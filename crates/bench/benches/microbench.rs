@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks of the simulator's own machinery: shuffle
+//! throughput, cache access, interpreter speed, and end-to-end simulated
+//! cycles per second in each mode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use blackjack::faults::FaultPlan;
+use blackjack::isa::{FuType, Interp};
+use blackjack::mem::{MemConfig, MemSystem};
+use blackjack::sim::shuffle::{safe_shuffle, ShuffleItem};
+use blackjack::sim::{Core, CoreConfig, FuCounts, Mode};
+use blackjack::workloads::{build, random::random_program, Benchmark};
+
+#[derive(Debug, Clone, Copy)]
+struct Item {
+    ty: FuType,
+    fe: usize,
+    be: usize,
+}
+
+impl ShuffleItem for Item {
+    fn fu_type(&self) -> FuType {
+        self.ty
+    }
+    fn lead_front_way(&self) -> usize {
+        self.fe
+    }
+    fn lead_back_way(&self) -> usize {
+        self.be
+    }
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let counts = FuCounts::default();
+    let packet = vec![
+        Item { ty: FuType::IntAlu, fe: 0, be: 0 },
+        Item { ty: FuType::IntMul, fe: 1, be: 4 },
+        Item { ty: FuType::MemPort, fe: 2, be: 14 },
+        Item { ty: FuType::IntAlu, fe: 3, be: 1 },
+    ];
+    c.bench_function("safe_shuffle/4-wide packet", |b| {
+        b.iter_batched(
+            || packet.clone(),
+            |p| black_box(safe_shuffle(p, 4, &counts)),
+            BatchSize::SmallInput,
+        )
+    });
+    let single = vec![Item { ty: FuType::FpDiv, fe: 1, be: 12 }];
+    c.bench_function("safe_shuffle/lone instruction", |b| {
+        b.iter_batched(
+            || single.clone(),
+            |p| black_box(safe_shuffle(p, 4, &counts)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("mem_system/l1 hit", |b| {
+        let mut m = MemSystem::new(&MemConfig::default());
+        m.access_data(0x1000, false);
+        b.iter(|| black_box(m.access_data(0x1000, false)))
+    });
+    c.bench_function("mem_system/streaming misses", |b| {
+        let mut m = MemSystem::new(&MemConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            black_box(m.access_data(addr, false))
+        })
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let prog = build(Benchmark::Gzip, 1);
+    c.bench_function("interp/gzip kernel", |b| {
+        b.iter(|| {
+            let mut it = Interp::new(&prog);
+            it.run(10_000_000).unwrap();
+            black_box(it.icount())
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let prog = random_program(7, 10);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    for mode in Mode::ALL {
+        g.bench_function(format!("random program, {mode}"), |b| {
+            b.iter(|| {
+                let mut core =
+                    Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+                let out = core.run(10_000_000);
+                assert!(out.completed());
+                black_box(core.stats().cycles)
+            })
+        });
+    }
+    g.finish();
+
+    let gzip = build(Benchmark::Gzip, 1);
+    let mut g = c.benchmark_group("pipeline-gzip");
+    g.sample_size(10);
+    for mode in [Mode::Single, Mode::BlackJack] {
+        g.bench_function(format!("gzip kernel, {mode}"), |b| {
+            b.iter(|| {
+                let mut core = Core::new(CoreConfig::with_mode(mode), &gzip, FaultPlan::new());
+                let out = core.run(100_000_000);
+                assert!(out.completed());
+                black_box(core.stats().cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shuffle, bench_cache, bench_interp, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//! slack target, safe-shuffle, atomic packet issue, split payload RAM,
+//! and the shuffle's own costs (splits / filler NOPs).
+
+use blackjack::faults::{AreaModel, FaultPlan};
+use blackjack::sim::{Core, CoreConfig, Mode, ShuffleAlgo};
+use blackjack::workloads::{build, Benchmark};
+
+struct Row {
+    cov: f64,
+    perf: f64,
+    splits: u64,
+    nops: u64,
+}
+
+fn run(cfg: CoreConfig, prog: &blackjack::isa::Program, single_cycles: u64) -> Row {
+    let mut core = Core::new(cfg, prog, FaultPlan::new());
+    let out = core.run(400_000_000);
+    assert!(out.completed(), "{out:?}");
+    let s = core.stats();
+    Row {
+        cov: 100.0 * s.total_coverage(&AreaModel::default()),
+        perf: 100.0 * single_cycles as f64 / s.cycles as f64,
+        splits: s.shuffle_splits,
+        nops: s.shuffle_nops,
+    }
+}
+
+fn main() {
+    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex];
+    for b in benchmarks {
+        let prog = build(b, 1);
+        let mut single = Core::new(CoreConfig::with_mode(Mode::Single), &prog, FaultPlan::new());
+        assert!(single.run(400_000_000).completed());
+        let base = single.stats().cycles;
+
+        println!("== {b} ==");
+        println!("{:34} | {:>8} {:>7} {:>8} {:>8}", "configuration", "coverage", "perf", "splits", "nops");
+
+        let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+        let r = run(cfg.clone(), &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "BlackJack (paper defaults)", r.cov, r.perf, r.splits, r.nops);
+
+        cfg = CoreConfig::with_mode(Mode::BlackJackNoShuffle);
+        let r = run(cfg, &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  no shuffle (BlackJack-NS)", r.cov, r.perf, r.splits, r.nops);
+
+        cfg = CoreConfig::with_mode(Mode::BlackJack);
+        cfg.shuffle_algo = ShuffleAlgo::Exhaustive;
+        let r = run(cfg, &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  exhaustive shuffle (sec 6.2)", r.cov, r.perf, r.splits, r.nops);
+
+        cfg = CoreConfig::with_mode(Mode::BlackJack);
+        cfg.trailing_packet_atomic = false;
+        let r = run(cfg, &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  non-atomic packet issue", r.cov, r.perf, r.splits, r.nops);
+
+        cfg = CoreConfig::with_mode(Mode::BlackJack);
+        cfg.split_payload_ram = false;
+        let r = run(cfg, &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  shared payload RAM", r.cov, r.perf, r.splits, r.nops);
+
+        for slack in [32u64, 128, 512] {
+            cfg = CoreConfig::with_mode(Mode::BlackJack);
+            cfg.slack = slack;
+            let r = run(cfg, &prog, base);
+            println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", format!("  slack {slack}"), r.cov, r.perf, r.splits, r.nops);
+        }
+
+        cfg = CoreConfig::with_mode(Mode::Srt);
+        let r = run(cfg, &prog, base);
+        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "SRT", r.cov, r.perf, r.splits, r.nops);
+        println!();
+    }
+}

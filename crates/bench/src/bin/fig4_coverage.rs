@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (a: whole-pipeline coverage, b: backend-only).
+
+fn main() {
+    let result = blackjack_bench::standard_experiment().run_all();
+    print!("{}", result.fig4_table());
+}

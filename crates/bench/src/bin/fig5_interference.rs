@@ -1,0 +1,7 @@
+//! Regenerates Figure 5: % of issue cycles with diversity-violating
+//! trailing-trailing and leading-trailing interference.
+
+fn main() {
+    let result = blackjack_bench::standard_experiment().run_all();
+    print!("{}", result.fig5_table());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: % of issue cycles drawing from a single context.
+
+fn main() {
+    let result = blackjack_bench::standard_experiment().run_all();
+    print!("{}", result.fig6_table());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: SRT / BlackJack-NS / BlackJack performance
+//! normalized to the non-fault-tolerant single thread.
+
+fn main() {
+    let result = blackjack_bench::standard_experiment().run_all();
+    print!("{}", result.fig7_table());
+}

@@ -1,0 +1,27 @@
+//! # Benchmark harnesses for the BlackJack reproduction
+//!
+//! One binary per figure of the paper, plus extension/ablation harnesses:
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `fig4_coverage` | Figure 4a/4b — hard-error instruction coverage |
+//! | `fig5_interference` | Figure 5 — interference cycles |
+//! | `fig6_burstiness` | Figure 6 — single-context issue cycles |
+//! | `fig7_performance` | Figure 7 — normalized performance |
+//! | `fig_all` | Table 1 + all figures, and the EXPERIMENTS.md body |
+//! | `ext_detection` | detection-rate sweep under injected faults |
+//! | `ext_ablation` | slack sweep + design-choice ablation |
+//!
+//! Run with `cargo run --release -p blackjack-bench --bin <name>`.
+//! Criterion microbenchmarks of the simulator itself live in `benches/`.
+
+use blackjack::Experiment;
+
+/// Builds the standard experiment at the scale used by the harnesses.
+pub fn standard_experiment() -> Experiment {
+    let scale = std::env::var("BJ_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(1);
+    Experiment::new().scale(scale)
+}

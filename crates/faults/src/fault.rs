@@ -1,0 +1,318 @@
+//! Hard-fault descriptions and the injection plan consulted by the
+//! simulator's decode and execute stages.
+
+use std::fmt;
+
+/// A structure in the core that can harbor a permanent fault.
+///
+/// The granularity matches the paper's spatial-diversity argument: an
+/// instruction is processed by exactly one *frontend way* (fetch slot,
+/// decoder, rename port) and one *backend way* (functional-unit instance
+/// with its operand-read and writeback paths), so faults are attached to
+/// ways. The shared issue queue's payload RAM is its own site class
+/// (§4.5's residual vulnerability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// The fetch/decode/rename path of frontend way `way` (0-based).
+    /// Corrupts the raw instruction word of every instruction that flows
+    /// through the way while the trigger matches.
+    Frontend {
+        /// Frontend way index.
+        way: usize,
+    },
+    /// The execute path of the backend way with global index `way`
+    /// (a specific functional-unit instance, including cache ports).
+    /// Corrupts the computed result (or the resolved target of a control
+    /// instruction, or the effective address of a memory operation).
+    Backend {
+        /// Global backend-way index.
+        way: usize,
+    },
+    /// One entry of the issue-queue payload RAM. Corrupts the instruction
+    /// word of whichever instruction occupies the entry, in *both* threads
+    /// if they happen to reuse it — the escape the paper closes by
+    /// splitting the payload RAM per thread.
+    PayloadRam {
+        /// Issue-queue entry index.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Frontend { way } => write!(f, "frontend way {way}"),
+            FaultSite::Backend { way } => write!(f, "backend way {way}"),
+            FaultSite::PayloadRam { entry } => write!(f, "payload RAM entry {entry}"),
+        }
+    }
+}
+
+/// How a fault transforms a value passing through the faulty structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corruption {
+    /// Bit `bit` reads as `value` regardless of what was written.
+    StuckAt {
+        /// Bit position, `0..64`.
+        bit: u8,
+        /// The stuck level.
+        value: bool,
+    },
+    /// Bit `bit` inverts on every pass.
+    FlipBit {
+        /// Bit position, `0..64`.
+        bit: u8,
+    },
+    /// The value is XORed with `mask` (a multi-bit defect).
+    XorMask {
+        /// Bits to invert.
+        mask: u64,
+    },
+}
+
+impl Corruption {
+    /// Applies the corruption to a value.
+    pub fn apply(self, v: u64) -> u64 {
+        match self {
+            Corruption::StuckAt { bit, value } => {
+                if value {
+                    v | (1 << bit)
+                } else {
+                    v & !(1 << bit)
+                }
+            }
+            Corruption::FlipBit { bit } => v ^ (1 << bit),
+            Corruption::XorMask { mask } => v ^ mask,
+        }
+    }
+}
+
+/// The machine-state condition under which a fault manifests.
+///
+/// `Always` models a gross defect. `ValuePattern` models marginal hardware
+/// that fails only under specific signal patterns — exactly the class of
+/// error the paper argues escapes manufacturing test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// Fires on every value.
+    Always,
+    /// Fires only when `(value & mask) == pattern`.
+    ValuePattern {
+        /// Bits that participate in the condition.
+        mask: u64,
+        /// Required value of those bits.
+        pattern: u64,
+    },
+}
+
+impl Trigger {
+    /// True if the fault fires for `v`.
+    pub fn matches(self, v: u64) -> bool {
+        match self {
+            Trigger::Always => true,
+            Trigger::ValuePattern { mask, pattern } => (v & mask) == pattern,
+        }
+    }
+}
+
+/// One permanent fault: a site, a corruption, and a trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HardFault {
+    /// Where the fault lives.
+    pub site: FaultSite,
+    /// What it does to values.
+    pub corruption: Corruption,
+    /// When it fires.
+    pub trigger: Trigger,
+}
+
+impl HardFault {
+    /// An always-firing stuck-at-1 fault on bit 0 — the simplest defect,
+    /// handy for tests and examples.
+    pub fn stuck_bit(site: FaultSite, bit: u8) -> HardFault {
+        HardFault { site, corruption: Corruption::StuckAt { bit, value: true }, trigger: Trigger::Always }
+    }
+
+    /// Applies the fault to `v` if the trigger matches.
+    pub fn apply(&self, v: u64) -> u64 {
+        if self.trigger.matches(v) {
+            self.corruption.apply(v)
+        } else {
+            v
+        }
+    }
+}
+
+impl fmt::Display for HardFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} at {}", self.corruption, self.site)
+    }
+}
+
+/// The set of faults active in one simulation, with per-site lookups used
+/// by the pipeline's decode and execute hooks.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<HardFault>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(fault: HardFault) -> FaultPlan {
+        FaultPlan { faults: vec![fault] }
+    }
+
+    /// Adds a fault.
+    pub fn add(&mut self, fault: HardFault) -> &mut Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// All faults.
+    pub fn faults(&self) -> &[HardFault] {
+        &self.faults
+    }
+
+    /// True if no faults are active.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies every fault on frontend way `way` to an instruction word.
+    pub fn corrupt_frontend(&self, way: usize, word: u32) -> u32 {
+        let mut w = word as u64;
+        for f in &self.faults {
+            if f.site == (FaultSite::Frontend { way }) {
+                w = f.apply(w);
+            }
+        }
+        w as u32
+    }
+
+    /// Applies every fault on backend way `way` to a computed value.
+    pub fn corrupt_backend(&self, way: usize, value: u64) -> u64 {
+        let mut v = value;
+        for f in &self.faults {
+            if f.site == (FaultSite::Backend { way }) {
+                v = f.apply(v);
+            }
+        }
+        v
+    }
+
+    /// Applies every fault on payload-RAM entry `entry` to a 64-bit value
+    /// (the simulator models payload corruption as corrupting the computed
+    /// result of whichever instruction occupies the defective entry).
+    pub fn corrupt_payload_value(&self, entry: usize, value: u64) -> u64 {
+        let mut v = value;
+        for f in &self.faults {
+            if f.site == (FaultSite::PayloadRam { entry }) {
+                v = f.apply(v);
+            }
+        }
+        v
+    }
+
+    /// Applies every fault on payload-RAM entry `entry` to an instruction
+    /// word.
+    pub fn corrupt_payload(&self, entry: usize, word: u32) -> u32 {
+        let mut w = word as u64;
+        for f in &self.faults {
+            if f.site == (FaultSite::PayloadRam { entry }) {
+                w = f.apply(w);
+            }
+        }
+        w as u32
+    }
+
+    /// True if any fault targets the given frontend way.
+    pub fn has_frontend(&self, way: usize) -> bool {
+        self.faults.iter().any(|f| f.site == FaultSite::Frontend { way })
+    }
+
+    /// True if any fault targets the given backend way.
+    pub fn has_backend(&self, way: usize) -> bool {
+        self.faults.iter().any(|f| f.site == FaultSite::Backend { way })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_semantics() {
+        let c = Corruption::StuckAt { bit: 3, value: true };
+        assert_eq!(c.apply(0), 8);
+        assert_eq!(c.apply(8), 8);
+        let c = Corruption::StuckAt { bit: 3, value: false };
+        assert_eq!(c.apply(0xf), 0x7);
+        assert_eq!(c.apply(0x7), 0x7);
+    }
+
+    #[test]
+    fn flip_and_mask() {
+        assert_eq!(Corruption::FlipBit { bit: 0 }.apply(0), 1);
+        assert_eq!(Corruption::FlipBit { bit: 0 }.apply(1), 0);
+        assert_eq!(Corruption::XorMask { mask: 0xff }.apply(0x0f), 0xf0);
+    }
+
+    #[test]
+    fn pattern_trigger_is_selective() {
+        let f = HardFault {
+            site: FaultSite::Backend { way: 0 },
+            corruption: Corruption::FlipBit { bit: 8 },
+            trigger: Trigger::ValuePattern { mask: 0xf, pattern: 0xa },
+        };
+        assert_eq!(f.apply(0x1a), 0x11a, "pattern matches: corrupted");
+        assert_eq!(f.apply(0x1b), 0x1b, "pattern misses: clean");
+    }
+
+    #[test]
+    fn plan_routes_by_site() {
+        let mut plan = FaultPlan::new();
+        plan.add(HardFault::stuck_bit(FaultSite::Backend { way: 2 }, 0));
+        plan.add(HardFault::stuck_bit(FaultSite::Frontend { way: 1 }, 4));
+        assert_eq!(plan.corrupt_backend(2, 0), 1);
+        assert_eq!(plan.corrupt_backend(3, 0), 0, "other ways unaffected");
+        assert_eq!(plan.corrupt_frontend(1, 0), 16);
+        assert_eq!(plan.corrupt_frontend(0, 0), 0);
+        assert!(plan.has_backend(2) && !plan.has_backend(0));
+        assert!(plan.has_frontend(1) && !plan.has_frontend(3));
+    }
+
+    #[test]
+    fn multiple_faults_compose() {
+        let mut plan = FaultPlan::new();
+        plan.add(HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 0));
+        plan.add(HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 1));
+        assert_eq!(plan.corrupt_backend(0, 0), 3);
+    }
+
+    #[test]
+    fn payload_site() {
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::PayloadRam { entry: 7 }, 2));
+        assert_eq!(plan.corrupt_payload(7, 0), 4);
+        assert_eq!(plan.corrupt_payload(6, 0), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.corrupt_backend(0, 42), 42);
+        assert_eq!(plan.corrupt_frontend(0, 42), 42);
+    }
+
+    #[test]
+    fn display_forms() {
+        let f = HardFault::stuck_bit(FaultSite::Frontend { way: 2 }, 0);
+        assert!(f.to_string().contains("frontend way 2"));
+        assert!(FaultSite::PayloadRam { entry: 3 }.to_string().contains("entry 3"));
+    }
+}

@@ -1,0 +1,877 @@
+//! Two-pass assembler for BJ-ISA.
+//!
+//! Supports `.text`/`.data` sections, labels, data directives
+//! (`.dword`, `.word`, `.byte`, `.double`, `.zero`, `.align`), register
+//! aliases (`zero`, `ra`, `sp`), and the usual pseudo-instructions
+//! (`li`, `la`, `mv`, `j`, `call`, `ret`, `ble`, `bgt`, `beqz`, `bnez`,
+//! `seqz`, `not`, `neg`).
+//!
+//! # Example
+//!
+//! ```
+//! use blackjack_isa::asm::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let prog = assemble(
+//!     r#"
+//!     .data
+//!     table:  .dword 1, 2, 3
+//!     .text
+//!         la   x1, table
+//!         ld   x2, 8(x1)      # x2 = 2
+//!         halt
+//!     "#,
+//! )?;
+//! assert!(prog.len() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{IMM14_MAX, IMM14_MIN, IMM19_MAX, IMM19_MIN};
+use crate::inst::{AluOp, BranchCond, CmpOp, DivOp, FpAluOp, FpDivOp, Inst, MemWidth, MulOp};
+use crate::program::{Program, ProgramBuilder, DATA_BASE, TEXT_BASE};
+use crate::reg::{FReg, Reg};
+use crate::INST_BYTES;
+
+/// An assembly error with its source line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A not-yet-resolved operand that may reference a label.
+#[derive(Debug, Clone)]
+enum Target {
+    Imm(i64),
+    Label(String),
+}
+
+/// One parsed text-section item, before label resolution.
+#[derive(Debug, Clone)]
+enum ProtoInst {
+    /// Fully formed instruction.
+    Ready(Inst),
+    /// Branch needing target resolution.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Target },
+    /// JAL needing target resolution.
+    Jal { rd: Reg, target: Target },
+    /// `li`/`la` expansion first half: `lui rd, hi`.
+    Lui { rd: Reg, target: Target },
+    /// `ori rd, rd, lo` for `li`/`la` expansion.
+    OriLo { rd: Reg, target: Target },
+}
+
+/// Assembles BJ-ISA source text into a [`Program`] with the default segment
+/// layout.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with a line number) for syntax errors, unknown
+/// mnemonics, undefined or duplicate labels, and out-of-range immediates.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    assemble_named(src, "asm")
+}
+
+/// Like [`assemble`], but sets the program name.
+///
+/// # Errors
+///
+/// See [`assemble`].
+pub fn assemble_named(src: &str, name: &str) -> Result<Program, AsmError> {
+    let mut section = Section::Text;
+    let mut text: Vec<(usize, ProtoInst)> = Vec::new(); // (line, inst)
+    let mut data: Vec<u8> = Vec::new();
+    let mut labels: HashMap<String, u64> = HashMap::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(i) = s.find('#') {
+            s = &s[..i];
+        }
+        let mut s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = s.find(':') {
+            let (name, rest) = s.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            let addr = match section {
+                Section::Text => TEXT_BASE + (text.len() as u64) * INST_BYTES,
+                Section::Data => DATA_BASE + data.len() as u64,
+            };
+            if labels.insert(name.to_string(), addr).is_some() {
+                return err(line, format!("duplicate label `{name}`"));
+            }
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+
+        if let Some(directive) = s.strip_prefix('.') {
+            let (d, args) = split_first_word(directive);
+            match d {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "dword" => {
+                    for a in split_args(args) {
+                        let v = parse_int(&a).ok_or_else(|| bad_int(line, &a))?;
+                        data.extend_from_slice(&(v as u64).to_le_bytes());
+                    }
+                }
+                "word" => {
+                    for a in split_args(args) {
+                        let v = parse_int(&a).ok_or_else(|| bad_int(line, &a))?;
+                        data.extend_from_slice(&(v as u32).to_le_bytes());
+                    }
+                }
+                "byte" => {
+                    for a in split_args(args) {
+                        let v = parse_int(&a).ok_or_else(|| bad_int(line, &a))?;
+                        data.push(v as u8);
+                    }
+                }
+                "double" => {
+                    for a in split_args(args) {
+                        let v: f64 = a
+                            .parse()
+                            .map_err(|_| AsmError { line, msg: format!("bad float `{a}`") })?;
+                        data.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                "zero" => {
+                    let n = parse_int(args.trim()).ok_or_else(|| bad_int(line, args))?;
+                    data.resize(data.len() + n as usize, 0);
+                }
+                "align" => {
+                    let n = parse_int(args.trim()).ok_or_else(|| bad_int(line, args))? as usize;
+                    if n == 0 || (n & (n - 1)) != 0 {
+                        return err(line, format!("alignment {n} not a power of two"));
+                    }
+                    while data.len() % n != 0 {
+                        data.push(0);
+                    }
+                }
+                _ => return err(line, format!("unknown directive `.{d}`")),
+            }
+            continue;
+        }
+
+        if section != Section::Text {
+            return err(line, "instructions are only allowed in .text");
+        }
+        parse_inst(line, s, &mut text)?;
+    }
+
+    // Pass 2: resolve labels and emit.
+    let mut b = ProgramBuilder::new(name);
+    b.push_data(&data);
+    let resolve = |line: usize, t: &Target| -> Result<i64, AsmError> {
+        match t {
+            Target::Imm(v) => Ok(*v),
+            Target::Label(l) => labels
+                .get(l)
+                .map(|a| *a as i64)
+                .ok_or_else(|| AsmError { line, msg: format!("undefined label `{l}`") }),
+        }
+    };
+
+    for (idx, (line, pi)) in text.iter().enumerate() {
+        let pc = TEXT_BASE + (idx as u64) * INST_BYTES;
+        let inst = match pi {
+            ProtoInst::Ready(i) => *i,
+            ProtoInst::Branch { cond, rs1, rs2, target } => {
+                let off = branch_offset(*line, resolve(*line, target)?, target, pc)?;
+                check_range(*line, off / 4, IMM14_MIN, IMM14_MAX, "branch offset")?;
+                Inst::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: off as i32 }
+            }
+            ProtoInst::Jal { rd, target } => {
+                let off = branch_offset(*line, resolve(*line, target)?, target, pc)?;
+                check_range(*line, off / 4, IMM19_MIN, IMM19_MAX, "jump offset")?;
+                Inst::Jal { rd: *rd, offset: off as i32 }
+            }
+            ProtoInst::Lui { rd, target } => {
+                let v = resolve(*line, target)?;
+                let hi = li_hi(v);
+                Inst::Lui { rd: *rd, imm: hi }
+            }
+            ProtoInst::OriLo { rd, target } => {
+                let v = resolve(*line, target)?;
+                Inst::AluImm { op: AluOp::Or, rd: *rd, rs1: *rd, imm: li_lo(v) }
+            }
+        };
+        b.push(inst)
+            .map_err(|e| AsmError { line: *line, msg: e.to_string() })?;
+    }
+    Ok(b.build())
+}
+
+fn bad_int(line: usize, s: &str) -> AsmError {
+    AsmError { line, msg: format!("bad integer `{}`", s.trim()) }
+}
+
+fn branch_offset(line: usize, resolved: i64, target: &Target, pc: u64) -> Result<i64, AsmError> {
+    let off = match target {
+        // Numeric targets are byte offsets relative to the branch itself.
+        Target::Imm(v) => *v,
+        Target::Label(_) => resolved - pc as i64,
+    };
+    if off % 4 != 0 {
+        return err(line, format!("misaligned branch offset {off}"));
+    }
+    Ok(off)
+}
+
+fn check_range(line: usize, v: i64, lo: i32, hi: i32, what: &str) -> Result<(), AsmError> {
+    if v < lo as i64 || v > hi as i64 {
+        return err(line, format!("{what} {v} out of range [{lo}, {hi}]"));
+    }
+    Ok(())
+}
+
+/// High 19 bits of a `li` expansion (`lui` operand).
+fn li_hi(v: i64) -> i32 {
+    (v >> 13) as i32
+}
+
+/// Low 13 bits of a `li` expansion (`ori` operand, always non-negative).
+fn li_lo(v: i64) -> i32 {
+    (v & 0x1fff) as i32
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn split_args(s: &str) -> Vec<String> {
+    s.split(',').map(|a| a.trim().to_string()).filter(|a| !a.is_empty()).collect()
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok().or_else(|| {
+            u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
+        });
+    }
+    if let Some(hex) = s.strip_prefix("-0x").or_else(|| s.strip_prefix("-0X")) {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse().ok()
+}
+
+fn parse_xreg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let s = s.trim();
+    match s {
+        "zero" => return Ok(Reg::ZERO),
+        "ra" => return Ok(Reg::new(1)),
+        "sp" => return Ok(Reg::new(2)),
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix('x').and_then(|n| n.parse::<u8>().ok()) {
+        if n < 32 {
+            return Ok(Reg::new(n));
+        }
+    }
+    err(line, format!("expected integer register, found `{s}`"))
+}
+
+fn parse_freg(line: usize, s: &str) -> Result<FReg, AsmError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('f').and_then(|n| n.parse::<u8>().ok()) {
+        if n < 32 {
+            return Ok(FReg::new(n));
+        }
+    }
+    err(line, format!("expected FP register, found `{s}`"))
+}
+
+fn parse_imm(line: usize, s: &str) -> Result<i64, AsmError> {
+    parse_int(s).ok_or_else(|| bad_int(line, s))
+}
+
+fn parse_target(s: &str) -> Target {
+    match parse_int(s) {
+        Some(v) => Target::Imm(v),
+        None => Target::Label(s.trim().to_string()),
+    }
+}
+
+/// Parses `off(reg)` memory operands.
+fn parse_mem_operand(line: usize, s: &str) -> Result<(i64, Reg), AsmError> {
+    let s = s.trim();
+    let open = s.find('(');
+    let close = s.rfind(')');
+    match (open, close) {
+        (Some(o), Some(c)) if c > o => {
+            let off_str = s[..o].trim();
+            let off = if off_str.is_empty() { 0 } else { parse_imm(line, off_str)? };
+            let reg = parse_xreg(line, &s[o + 1..c])?;
+            Ok((off, reg))
+        }
+        _ => err(line, format!("expected `offset(reg)`, found `{s}`")),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_inst(
+    line: usize,
+    s: &str,
+    out: &mut Vec<(usize, ProtoInst)>,
+) -> Result<(), AsmError> {
+    let (mn, rest) = split_first_word(s);
+    let args = split_args(rest);
+    let argc = args.len();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if argc == n {
+            Ok(())
+        } else {
+            err(line, format!("`{mn}` expects {n} operands, found {argc}"))
+        }
+    };
+    // Register form, falling back to the immediate form when the third
+    // operand is a literal (`sll x1, x2, 3` assembles as `slli`).
+    let alu_r = |op: AluOp| -> Result<ProtoInst, AsmError> {
+        need(3)?;
+        if let Some(imm) = parse_int(&args[2]) {
+            if op == AluOp::Sub {
+                return err(line, "`sub` has no immediate form; negate and use `addi`");
+            }
+            check_range(line, imm, IMM14_MIN, IMM14_MAX, "immediate")?;
+            return Ok(ProtoInst::Ready(Inst::AluImm {
+                op,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                imm: imm as i32,
+            }));
+        }
+        Ok(ProtoInst::Ready(Inst::Alu {
+            op,
+            rd: parse_xreg(line, &args[0])?,
+            rs1: parse_xreg(line, &args[1])?,
+            rs2: parse_xreg(line, &args[2])?,
+        }))
+    };
+    let alu_i = |op: AluOp| -> Result<ProtoInst, AsmError> {
+        need(3)?;
+        let imm = parse_imm(line, &args[2])?;
+        check_range(line, imm, IMM14_MIN, IMM14_MAX, "immediate")?;
+        Ok(ProtoInst::Ready(Inst::AluImm {
+            op,
+            rd: parse_xreg(line, &args[0])?,
+            rs1: parse_xreg(line, &args[1])?,
+            imm: imm as i32,
+        }))
+    };
+    let branch = |cond: BranchCond, swap: bool| -> Result<ProtoInst, AsmError> {
+        need(3)?;
+        let (a, b) = if swap { (1, 0) } else { (0, 1) };
+        Ok(ProtoInst::Branch {
+            cond,
+            rs1: parse_xreg(line, &args[a])?,
+            rs2: parse_xreg(line, &args[b])?,
+            target: parse_target(&args[2]),
+        })
+    };
+    let load = |width: MemWidth| -> Result<ProtoInst, AsmError> {
+        need(2)?;
+        let (off, rs1) = parse_mem_operand(line, &args[1])?;
+        check_range(line, off, IMM14_MIN, IMM14_MAX, "offset")?;
+        Ok(ProtoInst::Ready(Inst::Load {
+            width,
+            rd: parse_xreg(line, &args[0])?,
+            rs1,
+            offset: off as i32,
+        }))
+    };
+    let store = |width: MemWidth| -> Result<ProtoInst, AsmError> {
+        need(2)?;
+        let (off, rs1) = parse_mem_operand(line, &args[1])?;
+        check_range(line, off, IMM14_MIN, IMM14_MAX, "offset")?;
+        Ok(ProtoInst::Ready(Inst::Store {
+            width,
+            rs1,
+            rs2: parse_xreg(line, &args[0])?,
+            offset: off as i32,
+        }))
+    };
+    let fp3 = |mk: fn(FReg, FReg, FReg) -> Inst| -> Result<ProtoInst, AsmError> {
+        need(3)?;
+        Ok(ProtoInst::Ready(mk(
+            parse_freg(line, &args[0])?,
+            parse_freg(line, &args[1])?,
+            parse_freg(line, &args[2])?,
+        )))
+    };
+    let fcmp = |op: CmpOp| -> Result<ProtoInst, AsmError> {
+        need(3)?;
+        Ok(ProtoInst::Ready(Inst::FpCmp {
+            op,
+            rd: parse_xreg(line, &args[0])?,
+            fs1: parse_freg(line, &args[1])?,
+            fs2: parse_freg(line, &args[2])?,
+        }))
+    };
+
+    let pi: ProtoInst = match mn {
+        "add" => alu_r(AluOp::Add)?,
+        "sub" => alu_r(AluOp::Sub)?,
+        "and" => alu_r(AluOp::And)?,
+        "or" => alu_r(AluOp::Or)?,
+        "xor" => alu_r(AluOp::Xor)?,
+        "sll" => alu_r(AluOp::Sll)?,
+        "srl" => alu_r(AluOp::Srl)?,
+        "sra" => alu_r(AluOp::Sra)?,
+        "slt" => alu_r(AluOp::Slt)?,
+        "sltu" => alu_r(AluOp::Sltu)?,
+        "addi" => alu_i(AluOp::Add)?,
+        "andi" => alu_i(AluOp::And)?,
+        "ori" => alu_i(AluOp::Or)?,
+        "xori" => alu_i(AluOp::Xor)?,
+        "slli" => alu_i(AluOp::Sll)?,
+        "srli" => alu_i(AluOp::Srl)?,
+        "srai" => alu_i(AluOp::Sra)?,
+        "slti" => alu_i(AluOp::Slt)?,
+        "sltui" => alu_i(AluOp::Sltu)?,
+        "lui" => {
+            need(2)?;
+            let imm = parse_imm(line, &args[1])?;
+            check_range(line, imm, IMM19_MIN, IMM19_MAX, "immediate")?;
+            ProtoInst::Ready(Inst::Lui { rd: parse_xreg(line, &args[0])?, imm: imm as i32 })
+        }
+        "mul" => {
+            need(3)?;
+            ProtoInst::Ready(Inst::Mul {
+                op: MulOp::Mul,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                rs2: parse_xreg(line, &args[2])?,
+            })
+        }
+        "mulh" => {
+            need(3)?;
+            ProtoInst::Ready(Inst::Mul {
+                op: MulOp::Mulh,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                rs2: parse_xreg(line, &args[2])?,
+            })
+        }
+        "div" => {
+            need(3)?;
+            ProtoInst::Ready(Inst::Div {
+                op: DivOp::Div,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                rs2: parse_xreg(line, &args[2])?,
+            })
+        }
+        "rem" => {
+            need(3)?;
+            ProtoInst::Ready(Inst::Div {
+                op: DivOp::Rem,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                rs2: parse_xreg(line, &args[2])?,
+            })
+        }
+        "lb" => load(MemWidth::Byte)?,
+        "lw" => load(MemWidth::Word)?,
+        "ld" => load(MemWidth::Double)?,
+        "sb" => store(MemWidth::Byte)?,
+        "sw" => store(MemWidth::Word)?,
+        "sd" => store(MemWidth::Double)?,
+        "fld" => {
+            need(2)?;
+            let (off, rs1) = parse_mem_operand(line, &args[1])?;
+            check_range(line, off, IMM14_MIN, IMM14_MAX, "offset")?;
+            ProtoInst::Ready(Inst::FLoad {
+                fd: parse_freg(line, &args[0])?,
+                rs1,
+                offset: off as i32,
+            })
+        }
+        "fsd" => {
+            need(2)?;
+            let (off, rs1) = parse_mem_operand(line, &args[1])?;
+            check_range(line, off, IMM14_MIN, IMM14_MAX, "offset")?;
+            ProtoInst::Ready(Inst::FStore {
+                rs1,
+                fs2: parse_freg(line, &args[0])?,
+                offset: off as i32,
+            })
+        }
+        "beq" => branch(BranchCond::Eq, false)?,
+        "bne" => branch(BranchCond::Ne, false)?,
+        "blt" => branch(BranchCond::Lt, false)?,
+        "bge" => branch(BranchCond::Ge, false)?,
+        "bltu" => branch(BranchCond::Ltu, false)?,
+        "bgeu" => branch(BranchCond::Geu, false)?,
+        // ble a,b  ==  bge b,a ; bgt a,b == blt b,a
+        "ble" => branch(BranchCond::Ge, true)?,
+        "bgt" => branch(BranchCond::Lt, true)?,
+        "beqz" => {
+            need(2)?;
+            ProtoInst::Branch {
+                cond: BranchCond::Eq,
+                rs1: parse_xreg(line, &args[0])?,
+                rs2: Reg::ZERO,
+                target: parse_target(&args[1]),
+            }
+        }
+        "bnez" => {
+            need(2)?;
+            ProtoInst::Branch {
+                cond: BranchCond::Ne,
+                rs1: parse_xreg(line, &args[0])?,
+                rs2: Reg::ZERO,
+                target: parse_target(&args[1]),
+            }
+        }
+        "jal" => {
+            need(2)?;
+            ProtoInst::Jal { rd: parse_xreg(line, &args[0])?, target: parse_target(&args[1]) }
+        }
+        "j" => {
+            need(1)?;
+            ProtoInst::Jal { rd: Reg::ZERO, target: parse_target(&args[0]) }
+        }
+        "call" => {
+            need(1)?;
+            ProtoInst::Jal { rd: Reg::new(1), target: parse_target(&args[0]) }
+        }
+        "jalr" => {
+            need(2)?;
+            let (off, rs1) = parse_mem_operand(line, &args[1])?;
+            check_range(line, off, IMM14_MIN, IMM14_MAX, "offset")?;
+            ProtoInst::Ready(Inst::Jalr {
+                rd: parse_xreg(line, &args[0])?,
+                rs1,
+                offset: off as i32,
+            })
+        }
+        "ret" => ProtoInst::Ready(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::new(1), offset: 0 }),
+        "fadd" => fp3(|fd, a, b| Inst::FpAlu { op: FpAluOp::Fadd, fd, fs1: a, fs2: b })?,
+        "fsub" => fp3(|fd, a, b| Inst::FpAlu { op: FpAluOp::Fsub, fd, fs1: a, fs2: b })?,
+        "fmin" => fp3(|fd, a, b| Inst::FpAlu { op: FpAluOp::Fmin, fd, fs1: a, fs2: b })?,
+        "fmax" => fp3(|fd, a, b| Inst::FpAlu { op: FpAluOp::Fmax, fd, fs1: a, fs2: b })?,
+        "fmul" => fp3(|fd, a, b| Inst::FpMul { fd, fs1: a, fs2: b })?,
+        "fdiv" => fp3(|fd, a, b| Inst::FpDiv { op: FpDivOp::Fdiv, fd, fs1: a, fs2: b })?,
+        "fsqrt" => {
+            need(2)?;
+            let fd = parse_freg(line, &args[0])?;
+            let fs1 = parse_freg(line, &args[1])?;
+            ProtoInst::Ready(Inst::FpDiv { op: FpDivOp::Fsqrt, fd, fs1, fs2: fs1 })
+        }
+        "feq" => fcmp(CmpOp::Feq)?,
+        "flt" => fcmp(CmpOp::Flt)?,
+        "fle" => fcmp(CmpOp::Fle)?,
+        "fcvt.d.l" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::CvtIf {
+                fd: parse_freg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+            })
+        }
+        "fcvt.l.d" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::CvtFi {
+                rd: parse_xreg(line, &args[0])?,
+                fs1: parse_freg(line, &args[1])?,
+            })
+        }
+        "fmv" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::FMove {
+                fd: parse_freg(line, &args[0])?,
+                fs1: parse_freg(line, &args[1])?,
+            })
+        }
+        "fmv.d.x" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::BitsToFp {
+                fd: parse_freg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+            })
+        }
+        "nop" => ProtoInst::Ready(Inst::Nop),
+        "halt" => ProtoInst::Ready(Inst::Halt),
+        "mv" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::AluImm {
+                op: AluOp::Add,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                imm: 0,
+            })
+        }
+        "not" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::AluImm {
+                op: AluOp::Xor,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                imm: -1,
+            })
+        }
+        "neg" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::Alu {
+                op: AluOp::Sub,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: Reg::ZERO,
+                rs2: parse_xreg(line, &args[1])?,
+            })
+        }
+        "seqz" => {
+            need(2)?;
+            ProtoInst::Ready(Inst::AluImm {
+                op: AluOp::Sltu,
+                rd: parse_xreg(line, &args[0])?,
+                rs1: parse_xreg(line, &args[1])?,
+                imm: 1,
+            })
+        }
+        "li" => {
+            need(2)?;
+            let rd = parse_xreg(line, &args[0])?;
+            let v = parse_imm(line, &args[1])?;
+            if (IMM14_MIN as i64..=IMM14_MAX as i64).contains(&v) {
+                ProtoInst::Ready(Inst::AluImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: v as i32 })
+            } else {
+                check_range(line, v >> 13, IMM19_MIN, IMM19_MAX, "li value (hi part)")?;
+                out.push((line, ProtoInst::Lui { rd, target: Target::Imm(v) }));
+                ProtoInst::OriLo { rd, target: Target::Imm(v) }
+            }
+        }
+        "la" => {
+            need(2)?;
+            let rd = parse_xreg(line, &args[0])?;
+            let target = Target::Label(args[1].clone());
+            out.push((line, ProtoInst::Lui { rd, target: target.clone() }));
+            ProtoInst::OriLo { rd, target }
+        }
+        _ => return err(line, format!("unknown mnemonic `{mn}`")),
+    };
+    out.push((line, pi));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    #[test]
+    fn li_small_is_one_inst() {
+        let p = assemble(".text\n li x1, 100\n halt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn li_large_is_two_insts() {
+        let p = assemble(".text\n li x1, 100000\n halt\n").unwrap();
+        assert_eq!(p.len(), 3);
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert_eq!(it.reg(1), 100000);
+    }
+
+    #[test]
+    fn li_negative_large() {
+        let p = assemble(".text\n li x1, -100000\n halt\n").unwrap();
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert_eq!(it.reg(1) as i64, -100000);
+    }
+
+    #[test]
+    fn li_hex() {
+        let p = assemble(".text\n li x1, 0xABCD\n halt\n").unwrap();
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert_eq!(it.reg(1), 0xabcd);
+    }
+
+    #[test]
+    fn la_resolves_data_label() {
+        let p = assemble(".data\nfoo: .dword 9\n.text\n la x1, foo\n ld x2, 0(x1)\n halt\n")
+            .unwrap();
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert_eq!(it.reg(1), DATA_BASE);
+        assert_eq!(it.reg(2), 9);
+    }
+
+    #[test]
+    fn backward_and_forward_branches() {
+        let p = assemble(
+            r#"
+            .text
+                li x1, 0
+                j  skip
+                li x1, 111    # skipped
+            skip:
+                addi x1, x1, 5
+                bnez x1, end
+                li x1, 222    # skipped
+            end:
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut it = Interp::new(&p);
+        it.run(100).unwrap();
+        assert_eq!(it.reg(1), 5);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble(".text\n mv x5, sp\n add x3, zero, ra\n halt\n").unwrap();
+        let mut it = Interp::new(&p);
+        it.run(10).unwrap();
+        assert_eq!(it.reg(5), crate::program::STACK_TOP);
+        assert_eq!(it.reg(3), 0, "ra starts at zero");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble(".text\na:\na:\n halt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble(".text\n j nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble(".text\n frobnicate x1, x2\n").unwrap_err();
+        assert!(e.msg.contains("unknown mnemonic"));
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let e = assemble(".text\n add x1, x2\n").unwrap_err();
+        assert!(e.msg.contains("expects 3"));
+    }
+
+    #[test]
+    fn imm_out_of_range_rejected() {
+        let e = assemble(".text\n addi x1, x2, 8192\n").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+    }
+
+    #[test]
+    fn data_in_text_rejected() {
+        let e = assemble(".data\n add x1, x2, x3\n").unwrap_err();
+        assert!(e.msg.contains("only allowed in .text"));
+    }
+
+    #[test]
+    fn data_directives_lay_out() {
+        let p = assemble(
+            ".data\na: .byte 1, 2\n.align 8\nb: .dword 3\nc: .double 1.5\nd: .zero 4\ne: .word 7\n.text\n halt\n",
+        )
+        .unwrap();
+        let m = p.load();
+        assert_eq!(m.read_u8(DATA_BASE), 1);
+        assert_eq!(m.read_u8(DATA_BASE + 1), 2);
+        assert_eq!(m.read_u64(DATA_BASE + 8), 3);
+        assert_eq!(f64::from_bits(m.read_u64(DATA_BASE + 16)), 1.5);
+        assert_eq!(m.read_u32(DATA_BASE + 28), 7);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# header\n\n.text\n  halt  # stop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let p = assemble(".text\na: b: halt\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn pseudo_ops_execute() {
+        let p = assemble(
+            r#"
+            .text
+                li   x5, 7
+                not  x6, x5      # !7 = -8
+                neg  x7, x5      # -7
+                seqz x8, zero    # 1
+                seqz x9, x5      # 0
+                halt
+            "#,
+        )
+        .unwrap();
+        let mut it = Interp::new(&p);
+        it.run(100).unwrap();
+        assert_eq!(it.reg(6) as i64, -8);
+        assert_eq!(it.reg(7) as i64, -7);
+        assert_eq!(it.reg(8), 1);
+        assert_eq!(it.reg(9), 0);
+    }
+
+    #[test]
+    fn ble_bgt_swap_operands() {
+        let p = assemble(
+            r#"
+            .text
+                li x1, 3
+                li x2, 5
+                li x3, 0
+                ble x1, x2, a    # 3 <= 5 taken
+                li x3, 1
+            a:  bgt x2, x1, b    # 5 > 3 taken
+                li x3, 2
+            b:  halt
+            "#,
+        )
+        .unwrap();
+        let mut it = Interp::new(&p);
+        it.run(100).unwrap();
+        assert_eq!(it.reg(3), 0);
+    }
+}

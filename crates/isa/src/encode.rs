@@ -1,0 +1,477 @@
+//! Binary codec for BJ-ISA instructions.
+//!
+//! Every instruction is 4 bytes. Bits `[31:24]` hold the opcode; the
+//! remaining 24 bits are format-specific:
+//!
+//! | format | fields |
+//! |--------|--------|
+//! | R      | `rd[23:19] rs1[18:14] rs2[13:9]` |
+//! | I      | `rd[23:19] rs1[18:14] imm14[13:0]` (signed) |
+//! | S      | `rs1[23:19] rs2[18:14] imm14[13:0]` (signed; branches store a word offset) |
+//! | U/J    | `rd[23:19] imm19[18:0]` (signed; JAL stores a word offset) |
+
+use std::error::Error;
+use std::fmt;
+
+use crate::inst::{
+    AluOp, BranchCond, CmpOp, DivOp, FpAluOp, FpDivOp, Inst, MemWidth, MulOp,
+};
+use crate::reg::{FReg, Reg};
+
+/// Inclusive bounds of a signed 14-bit immediate.
+pub const IMM14_MIN: i32 = -(1 << 13);
+/// Inclusive upper bound of a signed 14-bit immediate.
+pub const IMM14_MAX: i32 = (1 << 13) - 1;
+/// Inclusive bounds of a signed 19-bit immediate.
+pub const IMM19_MIN: i32 = -(1 << 18);
+/// Inclusive upper bound of a signed 19-bit immediate.
+pub const IMM19_MAX: i32 = (1 << 18) - 1;
+
+// Opcode numbers. Stable; the decoder matches on these.
+const OP_ADD: u8 = 0x00;
+const OP_SUB: u8 = 0x01;
+const OP_AND: u8 = 0x02;
+const OP_OR: u8 = 0x03;
+const OP_XOR: u8 = 0x04;
+const OP_SLL: u8 = 0x05;
+const OP_SRL: u8 = 0x06;
+const OP_SRA: u8 = 0x07;
+const OP_SLT: u8 = 0x08;
+const OP_SLTU: u8 = 0x09;
+const OP_ADDI: u8 = 0x10;
+const OP_ANDI: u8 = 0x12;
+const OP_ORI: u8 = 0x13;
+const OP_XORI: u8 = 0x14;
+const OP_SLLI: u8 = 0x15;
+const OP_SRLI: u8 = 0x16;
+const OP_SRAI: u8 = 0x17;
+const OP_SLTI: u8 = 0x18;
+const OP_SLTUI: u8 = 0x19;
+const OP_LUI: u8 = 0x1a;
+const OP_MUL: u8 = 0x20;
+const OP_MULH: u8 = 0x21;
+const OP_DIV: u8 = 0x22;
+const OP_REM: u8 = 0x23;
+const OP_LB: u8 = 0x30;
+const OP_LW: u8 = 0x31;
+const OP_LD: u8 = 0x32;
+const OP_SB: u8 = 0x33;
+const OP_SW: u8 = 0x34;
+const OP_SD: u8 = 0x35;
+const OP_FLD: u8 = 0x36;
+const OP_FSD: u8 = 0x37;
+const OP_BEQ: u8 = 0x40;
+const OP_BNE: u8 = 0x41;
+const OP_BLT: u8 = 0x42;
+const OP_BGE: u8 = 0x43;
+const OP_BLTU: u8 = 0x44;
+const OP_BGEU: u8 = 0x45;
+const OP_JAL: u8 = 0x46;
+const OP_JALR: u8 = 0x47;
+const OP_FADD: u8 = 0x50;
+const OP_FSUB: u8 = 0x51;
+const OP_FMIN: u8 = 0x52;
+const OP_FMAX: u8 = 0x53;
+const OP_FMUL: u8 = 0x54;
+const OP_FDIV: u8 = 0x55;
+const OP_FSQRT: u8 = 0x56;
+const OP_FEQ: u8 = 0x57;
+const OP_FLT: u8 = 0x58;
+const OP_FLE: u8 = 0x59;
+const OP_CVTIF: u8 = 0x5a;
+const OP_CVTFI: u8 = 0x5b;
+const OP_FMV: u8 = 0x5c;
+const OP_FMVDX: u8 = 0x5d;
+const OP_NOP: u8 = 0x70;
+const OP_HALT: u8 = 0x71;
+
+/// Error produced by [`encode`] when a field does not fit its encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    inst: String,
+    what: &'static str,
+    value: i64,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot encode `{}`: {} {} out of range",
+            self.inst, self.what, self.value
+        )
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error produced by [`decode`] on an unrecognized bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl Error for DecodeError {}
+
+fn imm14(inst: &Inst, what: &'static str, v: i32) -> Result<u32, EncodeError> {
+    if (IMM14_MIN..=IMM14_MAX).contains(&v) {
+        Ok((v as u32) & 0x3fff)
+    } else {
+        Err(EncodeError { inst: inst.to_string(), what, value: v as i64 })
+    }
+}
+
+fn imm19(inst: &Inst, what: &'static str, v: i32) -> Result<u32, EncodeError> {
+    if (IMM19_MIN..=IMM19_MAX).contains(&v) {
+        Ok((v as u32) & 0x7ffff)
+    } else {
+        Err(EncodeError { inst: inst.to_string(), what, value: v as i64 })
+    }
+}
+
+fn word_off14(inst: &Inst, v: i32) -> Result<u32, EncodeError> {
+    if v % 4 != 0 {
+        return Err(EncodeError { inst: inst.to_string(), what: "misaligned offset", value: v as i64 });
+    }
+    imm14(inst, "branch offset", v / 4)
+}
+
+fn word_off19(inst: &Inst, v: i32) -> Result<u32, EncodeError> {
+    if v % 4 != 0 {
+        return Err(EncodeError { inst: inst.to_string(), what: "misaligned offset", value: v as i64 });
+    }
+    imm19(inst, "jump offset", v / 4)
+}
+
+fn r_type(op: u8, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    ((op as u32) << 24) | ((rd as u32) << 19) | ((rs1 as u32) << 14) | ((rs2 as u32) << 9)
+}
+
+fn i_type(op: u8, rd: u8, rs1: u8, imm: u32) -> u32 {
+    ((op as u32) << 24) | ((rd as u32) << 19) | ((rs1 as u32) << 14) | imm
+}
+
+fn s_type(op: u8, rs1: u8, rs2: u8, imm: u32) -> u32 {
+    ((op as u32) << 24) | ((rs1 as u32) << 19) | ((rs2 as u32) << 14) | imm
+}
+
+fn u_type(op: u8, rd: u8, imm: u32) -> u32 {
+    ((op as u32) << 24) | ((rd as u32) << 19) | imm
+}
+
+/// Encodes a decoded instruction into its 32-bit binary form.
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] if an immediate or offset does not fit its field
+/// (14 signed bits for ALU immediates and memory offsets, 19 for LUI/JAL),
+/// or a control-flow offset is not 4-byte aligned.
+pub fn encode(inst: &Inst) -> Result<u32, EncodeError> {
+    let aluop_r = |op: AluOp| match op {
+        AluOp::Add => OP_ADD,
+        AluOp::Sub => OP_SUB,
+        AluOp::And => OP_AND,
+        AluOp::Or => OP_OR,
+        AluOp::Xor => OP_XOR,
+        AluOp::Sll => OP_SLL,
+        AluOp::Srl => OP_SRL,
+        AluOp::Sra => OP_SRA,
+        AluOp::Slt => OP_SLT,
+        AluOp::Sltu => OP_SLTU,
+    };
+    let aluop_i = |op: AluOp| match op {
+        AluOp::Add => Some(OP_ADDI),
+        AluOp::And => Some(OP_ANDI),
+        AluOp::Or => Some(OP_ORI),
+        AluOp::Xor => Some(OP_XORI),
+        AluOp::Sll => Some(OP_SLLI),
+        AluOp::Srl => Some(OP_SRLI),
+        AluOp::Sra => Some(OP_SRAI),
+        AluOp::Slt => Some(OP_SLTI),
+        AluOp::Sltu => Some(OP_SLTUI),
+        AluOp::Sub => None,
+    };
+    Ok(match *inst {
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            r_type(aluop_r(op), rd.index(), rs1.index(), rs2.index())
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let opc = aluop_i(op).ok_or_else(|| EncodeError {
+                inst: inst.to_string(),
+                what: "no immediate form of",
+                value: 0,
+            })?;
+            i_type(opc, rd.index(), rs1.index(), imm14(inst, "immediate", imm)?)
+        }
+        Inst::Lui { rd, imm } => u_type(OP_LUI, rd.index(), imm19(inst, "immediate", imm)?),
+        Inst::Mul { op, rd, rs1, rs2 } => {
+            let opc = match op {
+                MulOp::Mul => OP_MUL,
+                MulOp::Mulh => OP_MULH,
+            };
+            r_type(opc, rd.index(), rs1.index(), rs2.index())
+        }
+        Inst::Div { op, rd, rs1, rs2 } => {
+            let opc = match op {
+                DivOp::Div => OP_DIV,
+                DivOp::Rem => OP_REM,
+            };
+            r_type(opc, rd.index(), rs1.index(), rs2.index())
+        }
+        Inst::Load { width, rd, rs1, offset } => {
+            let opc = match width {
+                MemWidth::Byte => OP_LB,
+                MemWidth::Word => OP_LW,
+                MemWidth::Double => OP_LD,
+            };
+            i_type(opc, rd.index(), rs1.index(), imm14(inst, "offset", offset)?)
+        }
+        Inst::Store { width, rs1, rs2, offset } => {
+            let opc = match width {
+                MemWidth::Byte => OP_SB,
+                MemWidth::Word => OP_SW,
+                MemWidth::Double => OP_SD,
+            };
+            s_type(opc, rs1.index(), rs2.index(), imm14(inst, "offset", offset)?)
+        }
+        Inst::FLoad { fd, rs1, offset } => {
+            i_type(OP_FLD, fd.index(), rs1.index(), imm14(inst, "offset", offset)?)
+        }
+        Inst::FStore { rs1, fs2, offset } => {
+            s_type(OP_FSD, rs1.index(), fs2.index(), imm14(inst, "offset", offset)?)
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            let opc = match cond {
+                BranchCond::Eq => OP_BEQ,
+                BranchCond::Ne => OP_BNE,
+                BranchCond::Lt => OP_BLT,
+                BranchCond::Ge => OP_BGE,
+                BranchCond::Ltu => OP_BLTU,
+                BranchCond::Geu => OP_BGEU,
+            };
+            s_type(opc, rs1.index(), rs2.index(), word_off14(inst, offset)?)
+        }
+        Inst::Jal { rd, offset } => u_type(OP_JAL, rd.index(), word_off19(inst, offset)?),
+        Inst::Jalr { rd, rs1, offset } => {
+            i_type(OP_JALR, rd.index(), rs1.index(), imm14(inst, "offset", offset)?)
+        }
+        Inst::FpAlu { op, fd, fs1, fs2 } => {
+            let opc = match op {
+                FpAluOp::Fadd => OP_FADD,
+                FpAluOp::Fsub => OP_FSUB,
+                FpAluOp::Fmin => OP_FMIN,
+                FpAluOp::Fmax => OP_FMAX,
+            };
+            r_type(opc, fd.index(), fs1.index(), fs2.index())
+        }
+        Inst::FpMul { fd, fs1, fs2 } => r_type(OP_FMUL, fd.index(), fs1.index(), fs2.index()),
+        Inst::FpDiv { op, fd, fs1, fs2 } => {
+            let opc = match op {
+                FpDivOp::Fdiv => OP_FDIV,
+                FpDivOp::Fsqrt => OP_FSQRT,
+            };
+            r_type(opc, fd.index(), fs1.index(), fs2.index())
+        }
+        Inst::FpCmp { op, rd, fs1, fs2 } => {
+            let opc = match op {
+                CmpOp::Feq => OP_FEQ,
+                CmpOp::Flt => OP_FLT,
+                CmpOp::Fle => OP_FLE,
+            };
+            r_type(opc, rd.index(), fs1.index(), fs2.index())
+        }
+        Inst::CvtIf { fd, rs1 } => r_type(OP_CVTIF, fd.index(), rs1.index(), 0),
+        Inst::CvtFi { rd, fs1 } => r_type(OP_CVTFI, rd.index(), fs1.index(), 0),
+        Inst::FMove { fd, fs1 } => r_type(OP_FMV, fd.index(), fs1.index(), 0),
+        Inst::BitsToFp { fd, rs1 } => r_type(OP_FMVDX, fd.index(), rs1.index(), 0),
+        Inst::Nop => u_type(OP_NOP, 0, 0),
+        Inst::Halt => u_type(OP_HALT, 0, 0),
+    })
+}
+
+fn sext14(v: u32) -> i32 {
+    ((v << 18) as i32) >> 18
+}
+
+fn sext19(v: u32) -> i32 {
+    ((v << 13) as i32) >> 13
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode byte is not a defined BJ-ISA opcode.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let op = (word >> 24) as u8;
+    let f1 = ((word >> 19) & 0x1f) as u8;
+    let f2 = ((word >> 14) & 0x1f) as u8;
+    let f3 = ((word >> 9) & 0x1f) as u8;
+    let i14 = sext14(word & 0x3fff);
+    let i19 = sext19(word & 0x7ffff);
+
+    let r = Reg::new;
+    let fr = FReg::new;
+
+    let alu = |aop: AluOp| Inst::Alu { op: aop, rd: r(f1), rs1: r(f2), rs2: r(f3) };
+    let alui = |aop: AluOp| Inst::AluImm { op: aop, rd: r(f1), rs1: r(f2), imm: i14 };
+
+    Ok(match op {
+        OP_ADD => alu(AluOp::Add),
+        OP_SUB => alu(AluOp::Sub),
+        OP_AND => alu(AluOp::And),
+        OP_OR => alu(AluOp::Or),
+        OP_XOR => alu(AluOp::Xor),
+        OP_SLL => alu(AluOp::Sll),
+        OP_SRL => alu(AluOp::Srl),
+        OP_SRA => alu(AluOp::Sra),
+        OP_SLT => alu(AluOp::Slt),
+        OP_SLTU => alu(AluOp::Sltu),
+        OP_ADDI => alui(AluOp::Add),
+        OP_ANDI => alui(AluOp::And),
+        OP_ORI => alui(AluOp::Or),
+        OP_XORI => alui(AluOp::Xor),
+        OP_SLLI => alui(AluOp::Sll),
+        OP_SRLI => alui(AluOp::Srl),
+        OP_SRAI => alui(AluOp::Sra),
+        OP_SLTI => alui(AluOp::Slt),
+        OP_SLTUI => alui(AluOp::Sltu),
+        OP_LUI => Inst::Lui { rd: r(f1), imm: i19 },
+        OP_MUL => Inst::Mul { op: MulOp::Mul, rd: r(f1), rs1: r(f2), rs2: r(f3) },
+        OP_MULH => Inst::Mul { op: MulOp::Mulh, rd: r(f1), rs1: r(f2), rs2: r(f3) },
+        OP_DIV => Inst::Div { op: DivOp::Div, rd: r(f1), rs1: r(f2), rs2: r(f3) },
+        OP_REM => Inst::Div { op: DivOp::Rem, rd: r(f1), rs1: r(f2), rs2: r(f3) },
+        OP_LB => Inst::Load { width: MemWidth::Byte, rd: r(f1), rs1: r(f2), offset: i14 },
+        OP_LW => Inst::Load { width: MemWidth::Word, rd: r(f1), rs1: r(f2), offset: i14 },
+        OP_LD => Inst::Load { width: MemWidth::Double, rd: r(f1), rs1: r(f2), offset: i14 },
+        OP_SB => Inst::Store { width: MemWidth::Byte, rs1: r(f1), rs2: r(f2), offset: i14 },
+        OP_SW => Inst::Store { width: MemWidth::Word, rs1: r(f1), rs2: r(f2), offset: i14 },
+        OP_SD => Inst::Store { width: MemWidth::Double, rs1: r(f1), rs2: r(f2), offset: i14 },
+        OP_FLD => Inst::FLoad { fd: fr(f1), rs1: r(f2), offset: i14 },
+        OP_FSD => Inst::FStore { rs1: r(f1), fs2: fr(f2), offset: i14 },
+        OP_BEQ => branch(BranchCond::Eq, f1, f2, i14),
+        OP_BNE => branch(BranchCond::Ne, f1, f2, i14),
+        OP_BLT => branch(BranchCond::Lt, f1, f2, i14),
+        OP_BGE => branch(BranchCond::Ge, f1, f2, i14),
+        OP_BLTU => branch(BranchCond::Ltu, f1, f2, i14),
+        OP_BGEU => branch(BranchCond::Geu, f1, f2, i14),
+        OP_JAL => Inst::Jal { rd: r(f1), offset: i19.wrapping_mul(4) },
+        OP_JALR => Inst::Jalr { rd: r(f1), rs1: r(f2), offset: i14 },
+        OP_FADD => Inst::FpAlu { op: FpAluOp::Fadd, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FSUB => Inst::FpAlu { op: FpAluOp::Fsub, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FMIN => Inst::FpAlu { op: FpAluOp::Fmin, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FMAX => Inst::FpAlu { op: FpAluOp::Fmax, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FMUL => Inst::FpMul { fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FDIV => Inst::FpDiv { op: FpDivOp::Fdiv, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FSQRT => Inst::FpDiv { op: FpDivOp::Fsqrt, fd: fr(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FEQ => Inst::FpCmp { op: CmpOp::Feq, rd: r(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FLT => Inst::FpCmp { op: CmpOp::Flt, rd: r(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_FLE => Inst::FpCmp { op: CmpOp::Fle, rd: r(f1), fs1: fr(f2), fs2: fr(f3) },
+        OP_CVTIF => Inst::CvtIf { fd: fr(f1), rs1: r(f2) },
+        OP_CVTFI => Inst::CvtFi { rd: r(f1), fs1: fr(f2) },
+        OP_FMV => Inst::FMove { fd: fr(f1), fs1: fr(f2) },
+        OP_FMVDX => Inst::BitsToFp { fd: fr(f1), rs1: r(f2) },
+        OP_NOP => Inst::Nop,
+        OP_HALT => Inst::Halt,
+        _ => return Err(DecodeError { word }),
+    })
+}
+
+fn branch(cond: BranchCond, f1: u8, f2: u8, words: i32) -> Inst {
+    Inst::Branch {
+        cond,
+        rs1: Reg::new(f1),
+        rs2: Reg::new(f2),
+        offset: words.wrapping_mul(4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    fn rt(i: Inst) {
+        let w = encode(&i).expect("encodes");
+        let back = decode(w).expect("decodes");
+        assert_eq!(i, back, "round trip of {i} via {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representatives() {
+        let x = Reg::new;
+        let f = FReg::new;
+        rt(Inst::Alu { op: AluOp::Add, rd: x(1), rs1: x(2), rs2: x(3) });
+        rt(Inst::Alu { op: AluOp::Sltu, rd: x(31), rs1: x(30), rs2: x(29) });
+        rt(Inst::AluImm { op: AluOp::Add, rd: x(1), rs1: x(2), imm: -8192 });
+        rt(Inst::AluImm { op: AluOp::Xor, rd: x(1), rs1: x(2), imm: 8191 });
+        rt(Inst::Lui { rd: x(7), imm: -262144 });
+        rt(Inst::Lui { rd: x(7), imm: 262143 });
+        rt(Inst::Mul { op: MulOp::Mulh, rd: x(4), rs1: x(5), rs2: x(6) });
+        rt(Inst::Div { op: DivOp::Rem, rd: x(4), rs1: x(5), rs2: x(6) });
+        rt(Inst::Load { width: MemWidth::Word, rd: x(9), rs1: x(10), offset: -4 });
+        rt(Inst::Store { width: MemWidth::Double, rs1: x(9), rs2: x(10), offset: 8 });
+        rt(Inst::FLoad { fd: f(3), rs1: x(4), offset: 16 });
+        rt(Inst::FStore { rs1: x(4), fs2: f(3), offset: -16 });
+        rt(Inst::Branch { cond: BranchCond::Geu, rs1: x(1), rs2: x(2), offset: -32768 });
+        rt(Inst::Branch { cond: BranchCond::Eq, rs1: x(1), rs2: x(2), offset: 32764 });
+        rt(Inst::Jal { rd: x(1), offset: -1048576 });
+        rt(Inst::Jalr { rd: x(1), rs1: x(2), offset: 0 });
+        rt(Inst::FpAlu { op: FpAluOp::Fmax, fd: f(1), fs1: f(2), fs2: f(3) });
+        rt(Inst::FpMul { fd: f(1), fs1: f(2), fs2: f(3) });
+        rt(Inst::FpDiv { op: FpDivOp::Fsqrt, fd: f(1), fs1: f(2), fs2: f(3) });
+        rt(Inst::FpCmp { op: CmpOp::Fle, rd: x(1), fs1: f(2), fs2: f(3) });
+        rt(Inst::CvtIf { fd: f(1), rs1: x(2) });
+        rt(Inst::CvtFi { rd: x(1), fs1: f(2) });
+        rt(Inst::FMove { fd: f(1), fs1: f(2) });
+        rt(Inst::BitsToFp { fd: f(1), rs1: x(2) });
+        rt(Inst::Nop);
+        rt(Inst::Halt);
+    }
+
+    #[test]
+    fn immediate_out_of_range_rejected() {
+        let i = Inst::AluImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(2), imm: 8192 };
+        assert!(encode(&i).is_err());
+        let i = Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+            offset: 40000,
+        };
+        assert!(encode(&i).is_err());
+    }
+
+    #[test]
+    fn misaligned_branch_rejected() {
+        let i = Inst::Branch { cond: BranchCond::Eq, rs1: Reg::new(1), rs2: Reg::new(2), offset: 6 };
+        assert!(encode(&i).is_err());
+        let i = Inst::Jal { rd: Reg::new(1), offset: 2 };
+        assert!(encode(&i).is_err());
+    }
+
+    #[test]
+    fn sub_has_no_immediate_form() {
+        let i = Inst::AluImm { op: AluOp::Sub, rd: Reg::new(1), rs1: Reg::new(2), imm: 1 };
+        assert!(encode(&i).is_err());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(decode(0xff00_0000).is_err());
+        assert!(decode(0x7f00_0000).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = decode(0xff00_0000).unwrap_err();
+        assert_eq!(e.to_string(), "invalid instruction word 0xff000000");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared single-instruction execution semantics.
+//!
+//! Both the golden interpreter and the timing simulator's execute stage call
+//! into this module, guaranteeing they compute bit-identical results. FP
+//! register values travel as raw `u64` bit patterns so that NaN payloads and
+//! signed zeros are preserved deterministically.
+
+use crate::inst::{Inst, MemWidth};
+use crate::INST_BYTES;
+
+/// The architectural effect of executing one non-memory instruction, or the
+/// register-side effect of a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOut {
+    /// Destination value (raw bits for FP), if the instruction writes a
+    /// register. For loads this is filled in later by [`finish_load`].
+    pub wb: Option<u64>,
+    /// Architecturally correct next PC.
+    pub next_pc: u64,
+    /// True if control transferred somewhere other than `pc + 4`.
+    pub taken: bool,
+}
+
+/// Executes a non-memory instruction.
+///
+/// `a` and `b` are the source operand values in operand order (missing
+/// operands are ignored); FP operands are raw `f64` bits.
+///
+/// # Panics
+///
+/// Panics if called with a load or store; use [`effective_addr`],
+/// [`store_data`], and [`finish_load`] for those.
+pub fn exec_nonmem(inst: &Inst, a: u64, b: u64, pc: u64) -> ExecOut {
+    let fall = pc.wrapping_add(INST_BYTES);
+    let val = |wb: u64| ExecOut { wb: Some(wb), next_pc: fall, taken: false };
+    match *inst {
+        Inst::Alu { op, .. } => val(op.eval(a, b)),
+        Inst::AluImm { op, imm, .. } => val(op.eval(a, imm as i64 as u64)),
+        Inst::Lui { imm, .. } => val(((imm as i64) << 13) as u64),
+        Inst::Mul { op, .. } => val(op.eval(a, b)),
+        Inst::Div { op, .. } => val(op.eval(a, b)),
+        Inst::Branch { cond, offset, .. } => {
+            let taken = cond.eval(a, b);
+            ExecOut {
+                wb: None,
+                next_pc: if taken { pc.wrapping_add(offset as i64 as u64) } else { fall },
+                taken,
+            }
+        }
+        Inst::Jal { offset, .. } => ExecOut {
+            wb: Some(fall),
+            next_pc: pc.wrapping_add(offset as i64 as u64),
+            taken: true,
+        },
+        Inst::Jalr { offset, .. } => ExecOut {
+            wb: Some(fall),
+            next_pc: a.wrapping_add(offset as i64 as u64) & !3u64,
+            taken: true,
+        },
+        Inst::FpAlu { op, .. } => {
+            val(op.eval(f64::from_bits(a), f64::from_bits(b)).to_bits())
+        }
+        Inst::FpMul { .. } => val((f64::from_bits(a) * f64::from_bits(b)).to_bits()),
+        Inst::FpDiv { op, .. } => {
+            val(op.eval(f64::from_bits(a), f64::from_bits(b)).to_bits())
+        }
+        Inst::FpCmp { op, .. } => val(op.eval(f64::from_bits(a), f64::from_bits(b))),
+        Inst::CvtIf { .. } => val(((a as i64) as f64).to_bits()),
+        Inst::CvtFi { .. } => val((f64::from_bits(a) as i64) as u64),
+        Inst::FMove { .. } | Inst::BitsToFp { .. } => val(a),
+        Inst::Nop | Inst::Halt => ExecOut { wb: None, next_pc: fall, taken: false },
+        Inst::Load { .. } | Inst::Store { .. } | Inst::FLoad { .. } | Inst::FStore { .. } => {
+            panic!("exec_nonmem called with memory instruction {inst}")
+        }
+    }
+}
+
+/// Effective address of a memory instruction given its base-register value.
+///
+/// # Panics
+///
+/// Panics if `inst` is not a load or store.
+pub fn effective_addr(inst: &Inst, base: u64) -> u64 {
+    let off = match *inst {
+        Inst::Load { offset, .. }
+        | Inst::Store { offset, .. }
+        | Inst::FLoad { offset, .. }
+        | Inst::FStore { offset, .. } => offset,
+        _ => panic!("effective_addr called with non-memory instruction {inst}"),
+    };
+    base.wrapping_add(off as i64 as u64)
+}
+
+/// The value a store writes (low bits are truncated by the access width at
+/// the memory), given the data-operand value.
+pub fn store_data(inst: &Inst, data: u64) -> u64 {
+    match *inst {
+        Inst::Store { width, .. } => match width {
+            MemWidth::Byte => data & 0xff,
+            MemWidth::Word => data & 0xffff_ffff,
+            MemWidth::Double => data,
+        },
+        Inst::FStore { .. } => data,
+        _ => panic!("store_data called with non-store instruction {inst}"),
+    }
+}
+
+/// Applies the load's sign/zero extension to raw (zero-extended) bytes.
+pub fn finish_load(inst: &Inst, raw: u64) -> u64 {
+    match *inst {
+        Inst::Load { width, .. } => match width {
+            MemWidth::Byte => raw as u8 as i8 as i64 as u64,
+            MemWidth::Word => raw as u32 as i32 as i64 as u64,
+            MemWidth::Double => raw,
+        },
+        Inst::FLoad { .. } => raw,
+        _ => panic!("finish_load called with non-load instruction {inst}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, BranchCond, CmpOp, FpDivOp};
+    use crate::reg::{FReg, Reg};
+
+    fn x(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn alu_writeback_and_fallthrough() {
+        let i = Inst::Alu { op: AluOp::Add, rd: x(1), rs1: x(2), rs2: x(3) };
+        let o = exec_nonmem(&i, 2, 3, 100);
+        assert_eq!(o.wb, Some(5));
+        assert_eq!(o.next_pc, 104);
+        assert!(!o.taken);
+    }
+
+    #[test]
+    fn lui_shifts_by_13() {
+        let i = Inst::Lui { rd: x(1), imm: 1 };
+        assert_eq!(exec_nonmem(&i, 0, 0, 0).wb, Some(1 << 13));
+        let i = Inst::Lui { rd: x(1), imm: -1 };
+        assert_eq!(exec_nonmem(&i, 0, 0, 0).wb, Some((-8192i64) as u64));
+    }
+
+    #[test]
+    fn branch_taken_and_not() {
+        let i = Inst::Branch { cond: BranchCond::Eq, rs1: x(1), rs2: x(2), offset: -8 };
+        let t = exec_nonmem(&i, 7, 7, 100);
+        assert!(t.taken);
+        assert_eq!(t.next_pc, 92);
+        let n = exec_nonmem(&i, 7, 8, 100);
+        assert!(!n.taken);
+        assert_eq!(n.next_pc, 104);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let i = Inst::Jal { rd: x(1), offset: 16 };
+        let o = exec_nonmem(&i, 0, 0, 100);
+        assert_eq!(o.wb, Some(104));
+        assert_eq!(o.next_pc, 116);
+        assert!(o.taken);
+    }
+
+    #[test]
+    fn jalr_masks_low_bits() {
+        let i = Inst::Jalr { rd: x(1), rs1: x(2), offset: 3 };
+        let o = exec_nonmem(&i, 100, 0, 0);
+        assert_eq!(o.next_pc, 100, "(100 + 3) & !3");
+    }
+
+    #[test]
+    fn fp_travels_as_bits() {
+        let i = Inst::FpDiv {
+            op: FpDivOp::Fsqrt,
+            fd: FReg::new(1),
+            fs1: FReg::new(2),
+            fs2: FReg::new(2),
+        };
+        let o = exec_nonmem(&i, 9.0f64.to_bits(), 0, 0);
+        assert_eq!(f64::from_bits(o.wb.unwrap()), 3.0);
+        // sqrt(-1) is NaN; comparisons on it are false.
+        let o = exec_nonmem(&i, (-1.0f64).to_bits(), 0, 0);
+        assert!(f64::from_bits(o.wb.unwrap()).is_nan());
+        let c = Inst::FpCmp { op: CmpOp::Feq, rd: x(1), fs1: FReg::new(1), fs2: FReg::new(1) };
+        assert_eq!(exec_nonmem(&c, o.wb.unwrap(), o.wb.unwrap(), 0).wb, Some(0));
+    }
+
+    #[test]
+    fn cvt_saturates() {
+        let i = Inst::CvtFi { rd: x(1), fs1: FReg::new(0) };
+        let o = exec_nonmem(&i, 1e300f64.to_bits(), 0, 0);
+        assert_eq!(o.wb, Some(i64::MAX as u64));
+        let o = exec_nonmem(&i, (-1e300f64).to_bits(), 0, 0);
+        assert_eq!(o.wb, Some(i64::MIN as u64));
+        let o = exec_nonmem(&i, f64::NAN.to_bits(), 0, 0);
+        assert_eq!(o.wb, Some(0));
+    }
+
+    #[test]
+    fn addressing_and_widths() {
+        let ld = Inst::Load { width: MemWidth::Byte, rd: x(1), rs1: x(2), offset: -1 };
+        assert_eq!(effective_addr(&ld, 100), 99);
+        assert_eq!(finish_load(&ld, 0x80), 0xffff_ffff_ffff_ff80, "lb sign-extends");
+        let lw = Inst::Load { width: MemWidth::Word, rd: x(1), rs1: x(2), offset: 0 };
+        assert_eq!(finish_load(&lw, 0x8000_0000), 0xffff_ffff_8000_0000);
+        let st = Inst::Store { width: MemWidth::Word, rs1: x(1), rs2: x(2), offset: 0 };
+        assert_eq!(store_data(&st, 0x1_2345_6789), 0x2345_6789);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exec_nonmem_rejects_loads() {
+        let ld = Inst::Load { width: MemWidth::Double, rd: x(1), rs1: x(2), offset: 0 };
+        let _ = exec_nonmem(&ld, 0, 0, 0);
+    }
+}

@@ -1,0 +1,732 @@
+//! Decoded instruction forms and their microarchitectural classification.
+
+use std::fmt;
+
+use crate::reg::{FReg, LogReg, Reg};
+
+/// Integer ALU operations (single-cycle, execute on an `IntAlu` way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    /// Logical shift left (shift amount = low 6 bits of rs2/imm).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Set-less-than, signed.
+    Slt,
+    /// Set-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Evaluates the operation on two 64-bit operands.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+            AluOp::Srl => a.wrapping_shr((b & 63) as u32),
+            AluOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// The assembler mnemonic (register form).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Integer multiply operations (execute on an `IntMul` way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    /// Low 64 bits of the signed product.
+    Mul,
+    /// High 64 bits of the signed product.
+    Mulh,
+}
+
+impl MulOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            MulOp::Mul => a.wrapping_mul(b),
+            MulOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+        }
+    }
+}
+
+/// Integer divide operations (execute on an `IntDiv` way, unpipelined).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivOp {
+    /// Signed quotient; division by zero yields all-ones.
+    Div,
+    /// Signed remainder; division by zero yields the dividend.
+    Rem,
+}
+
+impl DivOp {
+    /// Evaluates the operation with RISC-V-style division-by-zero semantics.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        let (a, b) = (a as i64, b as i64);
+        match self {
+            DivOp::Div => {
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a.wrapping_div(b) as u64
+                }
+            }
+            DivOp::Rem => {
+                if b == 0 {
+                    a as u64
+                } else {
+                    a.wrapping_rem(b) as u64
+                }
+            }
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DivOp::Div => "div",
+            DivOp::Rem => "rem",
+        }
+    }
+}
+
+/// Floating-point add-class operations (execute on an `FpAlu` way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpAluOp {
+    Fadd,
+    Fsub,
+    Fmin,
+    Fmax,
+}
+
+impl FpAluOp {
+    /// Evaluates the operation on two `f64` operands.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpAluOp::Fadd => a + b,
+            FpAluOp::Fsub => a - b,
+            FpAluOp::Fmin => a.min(b),
+            FpAluOp::Fmax => a.max(b),
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpAluOp::Fadd => "fadd",
+            FpAluOp::Fsub => "fsub",
+            FpAluOp::Fmin => "fmin",
+            FpAluOp::Fmax => "fmax",
+        }
+    }
+}
+
+/// Floating-point divide-class operations (execute on an `FpDiv` way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpDivOp {
+    Fdiv,
+    /// Square root of the first operand; the second operand is ignored.
+    Fsqrt,
+}
+
+impl FpDivOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpDivOp::Fdiv => a / b,
+            FpDivOp::Fsqrt => a.sqrt(),
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpDivOp::Fdiv => "fdiv",
+            FpDivOp::Fsqrt => "fsqrt",
+        }
+    }
+}
+
+/// Floating-point comparisons writing an integer register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Feq,
+    Flt,
+    Fle,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison (`NaN` compares false, as in IEEE 754).
+    pub fn eval(self, a: f64, b: f64) -> u64 {
+        (match self {
+            CmpOp::Feq => a == b,
+            CmpOp::Flt => a < b,
+            CmpOp::Fle => a <= b,
+        }) as u64
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Feq => "feq",
+            CmpOp::Flt => "flt",
+            CmpOp::Fle => "fle",
+        }
+    }
+}
+
+/// Conversions/moves between the integer and FP files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CvtOp {
+    /// `fd = rs1 as f64` (signed).
+    IntToFp,
+    /// `rd = fs1 as i64` (truncating, saturating).
+    FpToInt,
+    /// `fd = fs1` (FP register move).
+    FpMove,
+    /// `fd = raw bits of rs1` (bit-level move into the FP file).
+    BitsToFp,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the branch condition.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+}
+
+/// Memory access widths for integer loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 1 byte, sign-extended on load.
+    Byte,
+    /// 4 bytes, sign-extended on load.
+    Word,
+    /// 8 bytes.
+    Double,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Word => 4,
+            MemWidth::Double => 8,
+        }
+    }
+}
+
+/// The functional-unit class an instruction executes on.
+///
+/// Each class has a fixed number of *backend ways* (FU instances) in the
+/// simulated core; spatial diversity in the backend means the leading and
+/// trailing copy of an instruction execute on different instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuType {
+    /// Integer ALU (also branches, jumps, and NOPs).
+    IntAlu,
+    /// Pipelined integer multiplier.
+    IntMul,
+    /// Unpipelined integer divider.
+    IntDiv,
+    /// FP adder/compare/convert unit.
+    FpAlu,
+    /// Pipelined FP multiplier.
+    FpMul,
+    /// Unpipelined FP divider / square-root unit.
+    FpDiv,
+    /// Cache port (loads and stores).
+    MemPort,
+}
+
+impl FuType {
+    /// All FU classes in canonical order.
+    pub const ALL: [FuType; 7] = [
+        FuType::IntAlu,
+        FuType::IntMul,
+        FuType::IntDiv,
+        FuType::FpAlu,
+        FuType::FpMul,
+        FuType::FpDiv,
+        FuType::MemPort,
+    ];
+
+    /// A compact index, `0..7`, matching [`FuType::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            FuType::IntAlu => 0,
+            FuType::IntMul => 1,
+            FuType::IntDiv => 2,
+            FuType::FpAlu => 3,
+            FuType::FpMul => 4,
+            FuType::FpDiv => 5,
+            FuType::MemPort => 6,
+        }
+    }
+}
+
+impl fmt::Display for FuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuType::IntAlu => "int-alu",
+            FuType::IntMul => "int-mul",
+            FuType::IntDiv => "int-div",
+            FuType::FpAlu => "fp-alu",
+            FuType::FpMul => "fp-mul",
+            FuType::FpDiv => "fp-div",
+            FuType::MemPort => "mem-port",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded BJ-ISA instruction.
+///
+/// The enum is the canonical in-pipeline representation; [`crate::encode`]
+/// and [`crate::decode`] convert to and from the 32-bit binary form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// Register-register integer ALU operation: `rd = op(rs1, rs2)`.
+    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Register-immediate integer ALU operation: `rd = op(rs1, imm)`.
+    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Load upper immediate: `rd = imm << 13` (sign-extended 19-bit `imm`).
+    Lui { rd: Reg, imm: i32 },
+    /// Integer multiply: `rd = op(rs1, rs2)`.
+    Mul { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer divide/remainder: `rd = op(rs1, rs2)`.
+    Div { op: DivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer load: `rd = mem[rs1 + offset]`.
+    Load { width: MemWidth, rd: Reg, rs1: Reg, offset: i32 },
+    /// Integer store: `mem[rs1 + offset] = rs2`.
+    Store { width: MemWidth, rs1: Reg, rs2: Reg, offset: i32 },
+    /// FP load (8 bytes): `fd = mem[rs1 + offset]`.
+    FLoad { fd: FReg, rs1: Reg, offset: i32 },
+    /// FP store (8 bytes): `mem[rs1 + offset] = fs2`.
+    FStore { rs1: Reg, fs2: FReg, offset: i32 },
+    /// Conditional branch: `if cond(rs1, rs2) pc += offset` (bytes).
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Jump and link: `rd = pc + 4; pc += offset` (bytes).
+    Jal { rd: Reg, offset: i32 },
+    /// Indirect jump and link: `rd = pc + 4; pc = (rs1 + offset) & !3`.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// FP add-class operation: `fd = op(fs1, fs2)`.
+    FpAlu { op: FpAluOp, fd: FReg, fs1: FReg, fs2: FReg },
+    /// FP multiply: `fd = fs1 * fs2`.
+    FpMul { fd: FReg, fs1: FReg, fs2: FReg },
+    /// FP divide-class operation: `fd = op(fs1, fs2)`.
+    FpDiv { op: FpDivOp, fd: FReg, fs1: FReg, fs2: FReg },
+    /// FP comparison writing an integer register: `rd = cmp(fs1, fs2)`.
+    FpCmp { op: CmpOp, rd: Reg, fs1: FReg, fs2: FReg },
+    /// Convert signed integer to FP: `fd = rs1 as f64`.
+    CvtIf { fd: FReg, rs1: Reg },
+    /// Convert FP to signed integer (truncating): `rd = fs1 as i64`.
+    CvtFi { rd: Reg, fs1: FReg },
+    /// FP register move: `fd = fs1`.
+    FMove { fd: FReg, fs1: FReg },
+    /// Bit-level move from the integer file: `fd = f64::from_bits(rs1)`.
+    BitsToFp { fd: FReg, rs1: Reg },
+    /// No operation (occupies a frontend way, a backend `IntAlu` way, and an
+    /// issue-queue slot, exactly like safe-shuffle's filler NOPs).
+    Nop,
+    /// Stops the program when it commits.
+    Halt,
+}
+
+impl Inst {
+    /// The functional-unit class this instruction executes on.
+    pub fn fu_type(&self) -> FuType {
+        match self {
+            Inst::Alu { .. }
+            | Inst::AluImm { .. }
+            | Inst::Lui { .. }
+            | Inst::Branch { .. }
+            | Inst::Jal { .. }
+            | Inst::Jalr { .. }
+            | Inst::Nop
+            | Inst::Halt => FuType::IntAlu,
+            Inst::Mul { .. } => FuType::IntMul,
+            Inst::Div { .. } => FuType::IntDiv,
+            Inst::FpAlu { .. }
+            | Inst::FpCmp { .. }
+            | Inst::CvtIf { .. }
+            | Inst::CvtFi { .. }
+            | Inst::FMove { .. }
+            | Inst::BitsToFp { .. } => FuType::FpAlu,
+            Inst::FpMul { .. } => FuType::FpMul,
+            Inst::FpDiv { .. } => FuType::FpDiv,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::FLoad { .. } | Inst::FStore { .. } => {
+                FuType::MemPort
+            }
+        }
+    }
+
+    /// The unified-space source registers, in operand order.
+    ///
+    /// `x0` sources are included (they read as zero but still occupy an
+    /// operand slot); callers that only care about true dependencies should
+    /// filter with [`LogReg::is_zero`].
+    pub fn srcs(&self) -> SrcIter {
+        let (a, b) = match *self {
+            Inst::Alu { rs1, rs2, .. }
+            | Inst::Mul { rs1, rs2, .. }
+            | Inst::Div { rs1, rs2, .. }
+            | Inst::Branch { rs1, rs2, .. } => (Some(rs1.into()), Some(rs2.into())),
+            Inst::AluImm { rs1, .. } | Inst::Jalr { rs1, .. } => (Some(rs1.into()), None),
+            Inst::Load { rs1, .. } | Inst::FLoad { rs1, .. } => (Some(rs1.into()), None),
+            Inst::Store { rs1, rs2, .. } => (Some(rs1.into()), Some(rs2.into())),
+            Inst::FStore { rs1, fs2, .. } => (Some(rs1.into()), Some(fs2.into())),
+            Inst::FpAlu { fs1, fs2, .. }
+            | Inst::FpMul { fs1, fs2, .. }
+            | Inst::FpDiv { fs1, fs2, .. }
+            | Inst::FpCmp { fs1, fs2, .. } => (Some(fs1.into()), Some(fs2.into())),
+            Inst::CvtIf { rs1, .. } | Inst::BitsToFp { rs1, .. } => (Some(rs1.into()), None),
+            Inst::CvtFi { fs1, .. } | Inst::FMove { fs1, .. } => (Some(fs1.into()), None),
+            Inst::Lui { .. } | Inst::Jal { .. } | Inst::Nop | Inst::Halt => (None, None),
+        };
+        SrcIter { a, b }
+    }
+
+    /// The unified-space destination register, if any.
+    ///
+    /// Writes to `x0` are reported as `None` (they are architectural no-ops).
+    pub fn dst(&self) -> Option<LogReg> {
+        let d: Option<LogReg> = match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Lui { rd, .. }
+            | Inst::Mul { rd, .. }
+            | Inst::Div { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::FpCmp { rd, .. }
+            | Inst::CvtFi { rd, .. } => Some(rd.into()),
+            Inst::FLoad { fd, .. }
+            | Inst::FpAlu { fd, .. }
+            | Inst::FpMul { fd, .. }
+            | Inst::FpDiv { fd, .. }
+            | Inst::CvtIf { fd, .. }
+            | Inst::FMove { fd, .. }
+            | Inst::BitsToFp { fd, .. } => Some(fd.into()),
+            Inst::Store { .. }
+            | Inst::FStore { .. }
+            | Inst::Branch { .. }
+            | Inst::Nop
+            | Inst::Halt => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// True for conditional branches and unconditional jumps.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. }
+        )
+    }
+
+    /// True for conditional branches only.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// True for loads (integer or FP).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::FLoad { .. })
+    }
+
+    /// True for stores (integer or FP).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::FStore { .. })
+    }
+
+    /// True for any memory operation.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Access width in bytes for memory operations, `None` otherwise.
+    pub fn mem_bytes(&self) -> Option<u64> {
+        match self {
+            Inst::Load { width, .. } | Inst::Store { width, .. } => Some(width.bytes()),
+            Inst::FLoad { .. } | Inst::FStore { .. } => Some(8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+            Inst::Mul { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::Div { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Inst::Load { width, rd, rs1, offset } => {
+                let m = match width {
+                    MemWidth::Byte => "lb",
+                    MemWidth::Word => "lw",
+                    MemWidth::Double => "ld",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { width, rs1, rs2, offset } => {
+                let m = match width {
+                    MemWidth::Byte => "sb",
+                    MemWidth::Word => "sw",
+                    MemWidth::Double => "sd",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Inst::FLoad { fd, rs1, offset } => write!(f, "fld {fd}, {offset}({rs1})"),
+            Inst::FStore { rs1, fs2, offset } => write!(f, "fsd {fs2}, {offset}({rs1})"),
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic())
+            }
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::FpAlu { op, fd, fs1, fs2 } => {
+                write!(f, "{} {fd}, {fs1}, {fs2}", op.mnemonic())
+            }
+            Inst::FpMul { fd, fs1, fs2 } => write!(f, "fmul {fd}, {fs1}, {fs2}"),
+            Inst::FpDiv { op, fd, fs1, fs2 } => match op {
+                FpDivOp::Fdiv => write!(f, "fdiv {fd}, {fs1}, {fs2}"),
+                FpDivOp::Fsqrt => write!(f, "fsqrt {fd}, {fs1}"),
+            },
+            Inst::FpCmp { op, rd, fs1, fs2 } => {
+                write!(f, "{} {rd}, {fs1}, {fs2}", op.mnemonic())
+            }
+            Inst::CvtIf { fd, rs1 } => write!(f, "fcvt.d.l {fd}, {rs1}"),
+            Inst::CvtFi { rd, fs1 } => write!(f, "fcvt.l.d {rd}, {fs1}"),
+            Inst::FMove { fd, fs1 } => write!(f, "fmv {fd}, {fs1}"),
+            Inst::BitsToFp { fd, rs1 } => write!(f, "fmv.d.x {fd}, {rs1}"),
+            Inst::Nop => f.write_str("nop"),
+            Inst::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// Iterator over an instruction's source registers (at most two).
+#[derive(Debug, Clone)]
+pub struct SrcIter {
+    a: Option<LogReg>,
+    b: Option<LogReg>,
+}
+
+impl Iterator for SrcIter {
+    type Item = LogReg;
+
+    fn next(&mut self) -> Option<LogReg> {
+        self.a.take().or_else(|| self.b.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x(n: u8) -> Reg {
+        Reg::new(n)
+    }
+    fn fr(n: u8) -> FReg {
+        FReg::new(n)
+    }
+
+    #[test]
+    fn alu_eval() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), u64::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.eval(1, 63), 1 << 63);
+        assert_eq!(AluOp::Sll.eval(1, 64), 1, "shift amount is mod 64");
+        assert_eq!(AluOp::Srl.eval(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Sra.eval(u64::MAX, 63), u64::MAX);
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn mul_eval() {
+        assert_eq!(MulOp::Mul.eval(6, 7), 42);
+        // (-1) * (-1) = 1, high word 0.
+        assert_eq!(MulOp::Mulh.eval(u64::MAX, u64::MAX), 0);
+        // 2^32 * 2^32 = 2^64 -> high word 1.
+        assert_eq!(MulOp::Mulh.eval(1 << 32, 1 << 32), 1);
+    }
+
+    #[test]
+    fn div_by_zero_semantics() {
+        assert_eq!(DivOp::Div.eval(42, 0), u64::MAX);
+        assert_eq!(DivOp::Rem.eval(42, 0), 42);
+        assert_eq!(DivOp::Div.eval(42, 5), 8);
+        assert_eq!(DivOp::Rem.eval(42, 5), 2);
+        assert_eq!(DivOp::Div.eval((-42i64) as u64, 5), (-8i64) as u64);
+    }
+
+    #[test]
+    fn div_overflow_wraps() {
+        assert_eq!(DivOp::Div.eval(i64::MIN as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(DivOp::Rem.eval(i64::MIN as u64, (-1i64) as u64), 0);
+    }
+
+    #[test]
+    fn branch_eval() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0));
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+        assert!(BranchCond::Ge.eval(0, u64::MAX));
+        assert!(BranchCond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn fp_cmp_nan_is_false() {
+        assert_eq!(CmpOp::Feq.eval(f64::NAN, f64::NAN), 0);
+        assert_eq!(CmpOp::Flt.eval(f64::NAN, 1.0), 0);
+        assert_eq!(CmpOp::Fle.eval(1.0, 1.0), 1);
+    }
+
+    #[test]
+    fn fu_types() {
+        assert_eq!(
+            Inst::Alu { op: AluOp::Add, rd: x(1), rs1: x(2), rs2: x(3) }.fu_type(),
+            FuType::IntAlu
+        );
+        assert_eq!(
+            Inst::Mul { op: MulOp::Mul, rd: x(1), rs1: x(2), rs2: x(3) }.fu_type(),
+            FuType::IntMul
+        );
+        assert_eq!(
+            Inst::FpMul { fd: fr(1), fs1: fr(2), fs2: fr(3) }.fu_type(),
+            FuType::FpMul
+        );
+        assert_eq!(
+            Inst::Load { width: MemWidth::Double, rd: x(1), rs1: x(2), offset: 0 }.fu_type(),
+            FuType::MemPort
+        );
+        assert_eq!(Inst::Nop.fu_type(), FuType::IntAlu);
+        assert_eq!(Inst::Halt.fu_type(), FuType::IntAlu);
+    }
+
+    #[test]
+    fn srcs_and_dst() {
+        let i = Inst::Alu { op: AluOp::Add, rd: x(1), rs1: x(2), rs2: x(3) };
+        let srcs: Vec<_> = i.srcs().collect();
+        assert_eq!(srcs, vec![LogReg::new(2), LogReg::new(3)]);
+        assert_eq!(i.dst(), Some(LogReg::new(1)));
+
+        // Writes to x0 are architectural no-ops.
+        let i0 = Inst::Alu { op: AluOp::Add, rd: Reg::ZERO, rs1: x(2), rs2: x(3) };
+        assert_eq!(i0.dst(), None);
+
+        // FP store sources span both files.
+        let fs = Inst::FStore { rs1: x(5), fs2: fr(6), offset: 16 };
+        let srcs: Vec<_> = fs.srcs().collect();
+        assert_eq!(srcs, vec![LogReg::new(5), LogReg::new(32 + 6)]);
+        assert_eq!(fs.dst(), None);
+    }
+
+    #[test]
+    fn classification() {
+        let br = Inst::Branch { cond: BranchCond::Eq, rs1: x(1), rs2: x(2), offset: 8 };
+        assert!(br.is_control() && br.is_cond_branch() && !br.is_mem());
+        let j = Inst::Jal { rd: x(1), offset: 8 };
+        assert!(j.is_control() && !j.is_cond_branch());
+        let ld = Inst::FLoad { fd: fr(0), rs1: x(1), offset: 0 };
+        assert!(ld.is_load() && ld.is_mem() && !ld.is_store());
+        assert_eq!(ld.mem_bytes(), Some(8));
+        let st = Inst::Store { width: MemWidth::Word, rs1: x(1), rs2: x(2), offset: 0 };
+        assert!(st.is_store() && st.mem_bytes() == Some(4));
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(
+            Inst::Alu { op: AluOp::Add, rd: x(1), rs1: x(2), rs2: x(3) }.to_string(),
+            "add x1, x2, x3"
+        );
+        assert_eq!(
+            Inst::Load { width: MemWidth::Double, rd: x(1), rs1: x(2), offset: -8 }.to_string(),
+            "ld x1, -8(x2)"
+        );
+        assert_eq!(Inst::Nop.to_string(), "nop");
+    }
+}

@@ -1,0 +1,178 @@
+//! Architectural register names and the unified logical register space.
+
+use std::fmt;
+
+/// An architectural integer register, `x0`–`x31`.
+///
+/// `x0` is hardwired to zero: writes are discarded, reads return `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates `x<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> Reg {
+        assert!(n < 32, "integer register index {n} out of range");
+        Reg(n)
+    }
+
+    /// The register index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True for `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An architectural floating-point register, `f0`–`f31` (each holds an `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates `f<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub fn new(n: u8) -> FReg {
+        assert!(n < 32, "fp register index {n} out of range");
+        FReg(n)
+    }
+
+    /// The register index, `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A register in the unified 64-entry logical space used by the renamer.
+///
+/// Indices `0..32` name the integer registers and `32..64` the FP registers,
+/// so a single rename table covers both files. Index `0` is the hardwired
+/// zero register and is never renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogReg(u8);
+
+impl LogReg {
+    /// The unified index of the hardwired-zero register.
+    pub const ZERO: LogReg = LogReg(0);
+
+    /// Creates a logical register from a unified index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    pub fn new(n: u8) -> LogReg {
+        assert!(n < 64, "logical register index {n} out of range");
+        LogReg(n)
+    }
+
+    /// The unified index, `0..64`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// True if this names `x0`.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if this names a floating-point register.
+    pub fn is_fp(self) -> bool {
+        self.0 >= 32
+    }
+}
+
+impl From<Reg> for LogReg {
+    fn from(r: Reg) -> LogReg {
+        LogReg(r.index())
+    }
+}
+
+impl From<FReg> for LogReg {
+    fn from(f: FReg) -> LogReg {
+        LogReg(32 + f.index())
+    }
+}
+
+impl fmt::Display for LogReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_fp() {
+            write!(f, "f{}", self.0 - 32)
+        } else {
+            write!(f, "x{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(Reg::new(5).to_string(), "x5");
+        assert_eq!(FReg::new(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn zero_reg() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert!(LogReg::from(Reg::ZERO).is_zero());
+    }
+
+    #[test]
+    fn unified_mapping() {
+        assert_eq!(LogReg::from(Reg::new(31)).index(), 31);
+        assert_eq!(LogReg::from(FReg::new(0)).index(), 32);
+        assert_eq!(LogReg::from(FReg::new(31)).index(), 63);
+        assert!(LogReg::from(FReg::new(3)).is_fp());
+        assert!(!LogReg::from(Reg::new(3)).is_fp());
+    }
+
+    #[test]
+    fn logreg_display_matches_file() {
+        assert_eq!(LogReg::new(4).to_string(), "x4");
+        assert_eq!(LogReg::new(36).to_string(), "f4");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn logreg_out_of_range_panics() {
+        let _ = LogReg::new(64);
+    }
+}

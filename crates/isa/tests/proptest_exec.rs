@@ -1,0 +1,115 @@
+//! Property tests: instruction semantics against direct Rust formulas,
+//! and interpreter determinism.
+
+use blackjack_isa::exec::{effective_addr, exec_nonmem, finish_load, store_data};
+use blackjack_isa::{AluOp, BranchCond, DivOp, Inst, MemWidth, MulOp, Reg};
+use blackjack_isa::asm::assemble;
+use blackjack_isa::Interp;
+use proptest::prelude::*;
+
+fn x(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+proptest! {
+    #[test]
+    fn alu_semantics(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        prop_assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        prop_assert_eq!(AluOp::And.eval(a, b), a & b);
+        prop_assert_eq!(AluOp::Or.eval(a, b), a | b);
+        prop_assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        prop_assert_eq!(AluOp::Sll.eval(a, b), a << (b & 63));
+        prop_assert_eq!(AluOp::Srl.eval(a, b), a >> (b & 63));
+        prop_assert_eq!(AluOp::Sra.eval(a, b), ((a as i64) >> (b & 63)) as u64);
+        prop_assert_eq!(AluOp::Slt.eval(a, b), ((a as i64) < (b as i64)) as u64);
+        prop_assert_eq!(AluOp::Sltu.eval(a, b), (a < b) as u64);
+    }
+
+    #[test]
+    fn mul_div_semantics(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(
+            MulOp::Mul.eval(a as u64, b as u64),
+            a.wrapping_mul(b) as u64
+        );
+        prop_assert_eq!(
+            MulOp::Mulh.eval(a as u64, b as u64),
+            (((a as i128) * (b as i128)) >> 64) as u64
+        );
+        if b != 0 {
+            prop_assert_eq!(DivOp::Div.eval(a as u64, b as u64), a.wrapping_div(b) as u64);
+            prop_assert_eq!(DivOp::Rem.eval(a as u64, b as u64), a.wrapping_rem(b) as u64);
+        } else {
+            prop_assert_eq!(DivOp::Div.eval(a as u64, 0), u64::MAX);
+            prop_assert_eq!(DivOp::Rem.eval(a as u64, 0), a as u64);
+        }
+    }
+
+    #[test]
+    fn branch_semantics(a in any::<u64>(), b in any::<u64>(), pc in (0u64..1 << 40).prop_map(|p| p * 4), off in -8192i32..8192) {
+        let off = off * 4;
+        let i = Inst::Branch { cond: BranchCond::Lt, rs1: x(1), rs2: x(2), offset: off };
+        let out = exec_nonmem(&i, a, b, pc);
+        let taken = (a as i64) < (b as i64);
+        prop_assert_eq!(out.taken, taken);
+        let want = if taken { pc.wrapping_add(off as i64 as u64) } else { pc + 4 };
+        prop_assert_eq!(out.next_pc, want);
+        prop_assert_eq!(out.wb, None);
+    }
+
+    #[test]
+    fn fp_bits_roundtrip(a in any::<f64>(), b in any::<f64>()) {
+        use blackjack_isa::{FpAluOp, FReg};
+        let i = Inst::FpAlu { op: FpAluOp::Fadd, fd: FReg::new(1), fs1: FReg::new(2), fs2: FReg::new(3) };
+        let out = exec_nonmem(&i, a.to_bits(), b.to_bits(), 0);
+        let want = (a + b).to_bits();
+        prop_assert_eq!(out.wb, Some(want));
+    }
+
+    #[test]
+    fn load_store_width_duality(v in any::<u64>(), addr in any::<u64>(), off in -8192i32..8192) {
+        for w in [MemWidth::Byte, MemWidth::Word, MemWidth::Double] {
+            let st = Inst::Store { width: w, rs1: x(1), rs2: x(2), offset: off };
+            let ld = Inst::Load { width: w, rd: x(3), rs1: x(1), offset: off };
+            prop_assert_eq!(effective_addr(&st, addr), effective_addr(&ld, addr));
+            let stored = store_data(&st, v);
+            // Loading back what was stored sign-extends the stored bits.
+            let loaded = finish_load(&ld, stored);
+            let expect = match w {
+                MemWidth::Byte => v as u8 as i8 as i64 as u64,
+                MemWidth::Word => v as u32 as i32 as i64 as u64,
+                MemWidth::Double => v,
+            };
+            prop_assert_eq!(loaded, expect);
+        }
+    }
+
+    /// The interpreter is deterministic: two runs of the same program give
+    /// identical state and event traces.
+    #[test]
+    fn interpreter_deterministic(seed in 0u64..500) {
+        let prog = blackjack_workloads_shim(seed);
+        let mut a = Interp::new(&prog);
+        let mut b = Interp::new(&prog);
+        a.enable_trace();
+        b.enable_trace();
+        a.run(200_000).unwrap();
+        b.run(200_000).unwrap();
+        prop_assert_eq!(a.icount(), b.icount());
+        prop_assert_eq!(a.int_regs(), b.int_regs());
+        prop_assert_eq!(a.fp_regs(), b.fp_regs());
+        prop_assert_eq!(a.events(), b.events());
+    }
+}
+
+/// A tiny deterministic program family (avoid a dev-dependency cycle on
+/// blackjack-workloads from within blackjack-isa).
+fn blackjack_workloads_shim(seed: u64) -> blackjack_isa::Program {
+    let iters = 5 + seed % 40;
+    let mulk = (0x9e37 ^ seed) & 0xfff;
+    assemble(&format!(
+        ".text\n li x20, 0x400000\n li x21, {iters}\n li x5, {seed}\nloop:\n mul x5, x5, x6\n addi x5, x5, {mulk}\n xor x6, x5, x21\n sd x5, 0(x20)\n addi x20, x20, 8\n addi x21, x21, -1\n bnez x21, loop\n halt\n",
+        seed = seed & 0x1fff,
+    ))
+    .expect("shim assembles")
+}

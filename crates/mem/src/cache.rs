@@ -1,0 +1,273 @@
+//! Set-associative cache model (tags + LRU state only).
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Latency of a hit, in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not divisible by
+    /// `assoc * line_bytes`, or line size not a power of two).
+    pub fn num_sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let set_bytes = self.line_bytes * self.assoc as u64;
+        assert!(
+            set_bytes > 0 && self.size_bytes % set_bytes == 0,
+            "capacity {} not divisible by assoc*line {}",
+            self.size_bytes,
+            set_bytes
+        );
+        let sets = self.size_bytes / set_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets as usize
+    }
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (fills).
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when there have been no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Base address of a dirty line this access evicted, if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative, true-LRU, write-back write-allocate cache.
+///
+/// The model tracks tags and replacement state only; see the crate docs for
+/// why data is held externally.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_shift: u32,
+    set_mask: u64,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::num_sets`]).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = cfg.num_sets();
+        Cache {
+            sets: vec![
+                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.assoc];
+                sets
+            ],
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            stamp: 0,
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn split(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.set_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// True if the line containing `addr` is resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.split(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs an access, updating tags, LRU, and statistics.
+    ///
+    /// A miss allocates the line (write-allocate); `write` marks it dirty.
+    /// The victim's address is reported so a write-back can be charged.
+    pub fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.split(addr);
+        let lines = &mut self.sets[set];
+
+        if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            l.lru = self.stamp;
+            l.dirty |= write;
+            return Access { hit: true, writeback: None };
+        }
+
+        self.stats.misses += 1;
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache set is never empty");
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let victim_line = (victim.tag << self.set_mask.count_ones()) | set as u64;
+            writeback = Some(victim_line << self.set_shift);
+        }
+        *victim = Line { tag, valid: true, dirty: write, lru: self.stamp };
+        Access { hit: false, writeback }
+    }
+
+    /// Invalidates everything (used when resetting between runs).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for l in set {
+                l.valid = false;
+                l.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B
+        Cache::new(CacheConfig { size_bytes: 128, assoc: 2, line_bytes: 16, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 100, assoc: 3, line_bytes: 16, hit_latency: 1 });
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x4f, false).hit, "same line");
+        assert!(!c.access(0x50, false).hit, "next line");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Three lines mapping to set 0 (stride = sets*line = 64).
+        c.access(0, false);
+        c.access(64, false);
+        c.access(0, false); // 0 now MRU; 64 is LRU
+        c.access(128, false); // evicts 64
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = small();
+        c.access(0, true); // dirty
+        c.access(64, false);
+        let a = c.access(128, false); // evicts line 0 (dirty)
+        assert_eq!(a.writeback, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+        // Clean eviction reports no writeback.
+        let a = c.access(192, false); // evicts 64 (clean)
+        assert_eq!(a.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, true); // now dirty via hit
+        c.access(64, false);
+        let a = c.access(128, false);
+        assert_eq!(a.writeback, Some(0));
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0, true);
+        c.flush();
+        assert!(!c.probe(0));
+        assert!(!c.access(0, false).hit);
+        assert_eq!(c.stats().writebacks, 0, "flush drops dirty data silently (model only)");
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.access(i * 16, false);
+        }
+        for i in 0..4u64 {
+            assert!(c.probe(i * 16), "set {i} retained");
+        }
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = small();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+}

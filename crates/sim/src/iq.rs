@@ -1,0 +1,176 @@
+//! The shared, unified issue queue.
+//!
+//! SMT's unified issue queue is central to the paper's argument: RMT-style
+//! segmentation would give spatial diversity for free but "would incur
+//! substantial performance loss", so BlackJack keeps the queue unified and
+//! unmodified, and recovers diversity through safe-shuffle plus the
+//! dependence check at commit.
+//!
+//! The queue tracks dispatch (age) order — select is oldest-first — and
+//! models the payload RAM: every resident instruction occupies a physical
+//! payload entry whose index is exposed so payload-RAM faults can corrupt
+//! whoever sits in a defective entry.
+
+use crate::uop::UopId;
+
+/// The unified issue queue shared by both SMT contexts.
+#[derive(Debug)]
+pub struct IssueQueue {
+    capacity: usize,
+    /// Resident uops in dispatch (age) order, oldest first.
+    order: Vec<(UopId, usize)>, // (uop, payload entry)
+    /// Payload RAM occupancy; `order` references indices here.
+    payload: Vec<bool>,
+}
+
+impl IssueQueue {
+    /// Creates a queue with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> IssueQueue {
+        assert!(capacity > 0, "issue queue capacity must be positive");
+        IssueQueue { capacity, order: Vec::with_capacity(capacity), payload: vec![false; capacity] }
+    }
+
+    /// Number of resident instructions.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the queue holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Free entries remaining.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.order.len()
+    }
+
+    /// True if no more instructions can be dispatched.
+    pub fn is_full(&self) -> bool {
+        self.order.len() >= self.capacity
+    }
+
+    /// Dispatches a uop, returning the payload-RAM entry it occupies, or
+    /// `None` if the queue is full.
+    pub fn insert(&mut self, id: UopId) -> Option<usize> {
+        if self.is_full() {
+            return None;
+        }
+        let entry = self.payload.iter().position(|used| !used)?;
+        self.payload[entry] = true;
+        self.order.push((id, entry));
+        Some(entry)
+    }
+
+    /// Iterates residents in age order (oldest first) with their payload
+    /// entries.
+    pub fn iter_aged(&self) -> impl Iterator<Item = (UopId, usize)> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Removes a uop (on issue or squash). Returns true if it was present.
+    pub fn remove(&mut self, id: UopId) -> bool {
+        if let Some(pos) = self.order.iter().position(|(u, _)| *u == id) {
+            let (_, entry) = self.order.remove(pos);
+            self.payload[entry] = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every uop for which `pred` returns true (squash support).
+    pub fn remove_if(&mut self, mut pred: impl FnMut(UopId) -> bool) {
+        let payload = &mut self.payload;
+        self.order.retain(|(u, entry)| {
+            if pred(*u) {
+                payload[*entry] = false;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{Uop, UopSlab};
+    use blackjack_isa::Inst;
+
+    fn ids(n: usize) -> (UopSlab, Vec<UopId>) {
+        let mut slab = UopSlab::new();
+        let ids = (0..n).map(|i| slab.insert(Uop::new(i as u64, 0, i as u64, 0, 0, Inst::Nop))).collect();
+        (slab, ids)
+    }
+
+    #[test]
+    fn age_order_preserved() {
+        let (_s, ids) = ids(3);
+        let mut q = IssueQueue::new(8);
+        for id in &ids {
+            q.insert(*id).unwrap();
+        }
+        let order: Vec<UopId> = q.iter_aged().map(|(u, _)| u).collect();
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let (_s, ids) = ids(3);
+        let mut q = IssueQueue::new(2);
+        assert!(q.insert(ids[0]).is_some());
+        assert!(q.insert(ids[1]).is_some());
+        assert!(q.is_full());
+        assert!(q.insert(ids[2]).is_none());
+    }
+
+    #[test]
+    fn payload_entries_are_reused() {
+        let (_s, ids) = ids(3);
+        let mut q = IssueQueue::new(2);
+        let e0 = q.insert(ids[0]).unwrap();
+        let _e1 = q.insert(ids[1]).unwrap();
+        q.remove(ids[0]);
+        let e2 = q.insert(ids[2]).unwrap();
+        assert_eq!(e0, e2, "freed payload entry is recycled — the payload-RAM aliasing hazard");
+    }
+
+    #[test]
+    fn remove_middle_keeps_order() {
+        let (_s, ids) = ids(3);
+        let mut q = IssueQueue::new(4);
+        for id in &ids {
+            q.insert(*id).unwrap();
+        }
+        q.remove(ids[1]);
+        let order: Vec<UopId> = q.iter_aged().map(|(u, _)| u).collect();
+        assert_eq!(order, vec![ids[0], ids[2]]);
+        assert_eq!(q.free_slots(), 2);
+    }
+
+    #[test]
+    fn remove_if_bulk() {
+        let (slab, ids) = ids(4);
+        let mut q = IssueQueue::new(8);
+        for id in &ids {
+            q.insert(*id).unwrap();
+        }
+        // Squash uops with uid >= 2.
+        q.remove_if(|id| slab.at(id).uid >= 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_absent_is_false() {
+        let (_s, ids) = ids(2);
+        let mut q = IssueQueue::new(2);
+        q.insert(ids[0]).unwrap();
+        assert!(!q.remove(ids[1]));
+    }
+}

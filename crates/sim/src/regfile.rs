@@ -1,0 +1,268 @@
+//! Per-context physical register file, free list, and rename tables.
+
+use blackjack_isa::{LogReg, NUM_LOG_REGS};
+
+use crate::uop::PhysReg;
+
+/// A physical register file with ready bits and a free list, plus the
+/// frontend rename table (logical → physical).
+///
+/// At reset, logical register `i` maps to physical register `i` and holds
+/// the architectural initial value; the remaining registers are free.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    vals: Vec<u64>,
+    ready: Vec<bool>,
+    free: Vec<PhysReg>,
+    rat: [PhysReg; NUM_LOG_REGS],
+}
+
+impl RegFile {
+    /// Creates a file of `phys_regs` registers initialized from the
+    /// architectural state (`int_regs` = x0..x31 values; FP regs start 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < NUM_LOG_REGS`.
+    pub fn new(phys_regs: usize, int_regs: &[u64; 32]) -> RegFile {
+        assert!(phys_regs >= NUM_LOG_REGS, "too few physical registers");
+        let mut vals = vec![0u64; phys_regs];
+        vals[..32].copy_from_slice(int_regs);
+        let mut rat = [0 as PhysReg; NUM_LOG_REGS];
+        for (i, r) in rat.iter_mut().enumerate() {
+            *r = i as PhysReg;
+        }
+        RegFile {
+            vals,
+            ready: vec![true; phys_regs],
+            free: (NUM_LOG_REGS..phys_regs).rev().map(|i| i as PhysReg).collect(),
+            rat,
+        }
+    }
+
+    /// Number of free physical registers.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Current mapping of a logical register.
+    pub fn lookup(&self, r: LogReg) -> PhysReg {
+        self.rat[r.index() as usize]
+    }
+
+    /// Renames a destination: allocates a physical register, marks it
+    /// not-ready, updates the table, and returns `(new, previous)`.
+    ///
+    /// Returns `None` when no register is free (the caller must stall).
+    pub fn rename_dst(&mut self, r: LogReg) -> Option<(PhysReg, PhysReg)> {
+        debug_assert!(!r.is_zero(), "x0 is never renamed");
+        let new = self.free.pop()?;
+        self.ready[new as usize] = false;
+        let old = self.rat[r.index() as usize];
+        self.rat[r.index() as usize] = new;
+        Some((new, old))
+    }
+
+    /// Undoes a rename during squash recovery: restores the previous
+    /// mapping and returns the squashed register to the free list.
+    pub fn undo_rename(&mut self, r: LogReg, new: PhysReg, old: PhysReg) {
+        debug_assert_eq!(self.rat[r.index() as usize], new, "undo must unwind in reverse order");
+        self.rat[r.index() as usize] = old;
+        self.ready[new as usize] = true;
+        self.free.push(new);
+    }
+
+    /// Frees a physical register (the *previous* mapping of a committed
+    /// instruction's destination).
+    pub fn free_reg(&mut self, p: PhysReg) {
+        debug_assert!(!self.free.contains(&p), "double free of p{p}");
+        self.ready[p as usize] = true;
+        self.free.push(p);
+    }
+
+    /// Allocates a register without touching the rename table (used by the
+    /// trailing thread, whose table is keyed by leading physical ids).
+    pub fn alloc(&mut self) -> Option<PhysReg> {
+        let p = self.free.pop()?;
+        self.ready[p as usize] = false;
+        Some(p)
+    }
+
+    /// True if the register's value has been produced.
+    pub fn is_ready(&self, p: PhysReg) -> bool {
+        self.ready[p as usize]
+    }
+
+    /// Reads a register value.
+    pub fn read(&self, p: PhysReg) -> u64 {
+        self.vals[p as usize]
+    }
+
+    /// Writes a value and marks the register ready (writeback).
+    pub fn write(&mut self, p: PhysReg, v: u64) {
+        self.vals[p as usize] = v;
+        self.ready[p as usize] = true;
+    }
+}
+
+/// The trailing thread's first rename table, indexed by **leading physical
+/// register** (§4.3.1: "the trailing thread renamer renames the renamed
+/// leading instructions").
+#[derive(Debug, Clone)]
+pub struct LeadIndexedRat {
+    map: Vec<PhysReg>,
+}
+
+impl LeadIndexedRat {
+    /// Creates the table over `lead_phys_regs` rows. Row `i < 64` starts
+    /// mapped to trailing physical `i`, mirroring both threads' identical
+    /// initial logical→physical identity mapping.
+    pub fn new(lead_phys_regs: usize) -> LeadIndexedRat {
+        let mut map = vec![0 as PhysReg; lead_phys_regs];
+        for (i, m) in map.iter_mut().enumerate().take(NUM_LOG_REGS) {
+            *m = i as PhysReg;
+        }
+        LeadIndexedRat { map }
+    }
+
+    /// Trailing physical register currently associated with a leading
+    /// physical register.
+    pub fn lookup(&self, lead: PhysReg) -> PhysReg {
+        self.map[lead as usize]
+    }
+
+    /// Records that leading physical `lead` is now produced by trailing
+    /// physical `trail`.
+    pub fn update(&mut self, lead: PhysReg, trail: PhysReg) {
+        self.map[lead as usize] = trail;
+    }
+}
+
+/// The second, program-order rename table used at trailing commit for the
+/// dependence check (§4.4), and to drive program-order freeing.
+#[derive(Debug, Clone)]
+pub struct CommitRat {
+    rat: [PhysReg; NUM_LOG_REGS],
+}
+
+impl Default for CommitRat {
+    fn default() -> CommitRat {
+        let mut rat = [0 as PhysReg; NUM_LOG_REGS];
+        for (i, r) in rat.iter_mut().enumerate() {
+            *r = i as PhysReg;
+        }
+        CommitRat { rat }
+    }
+}
+
+impl CommitRat {
+    /// Creates the table with the identity initial mapping.
+    pub fn new() -> CommitRat {
+        CommitRat::default()
+    }
+
+    /// The physical register program order says a logical source should
+    /// have come from.
+    pub fn lookup(&self, r: LogReg) -> PhysReg {
+        self.rat[r.index() as usize]
+    }
+
+    /// Installs a committed destination mapping, returning the previous
+    /// mapping (which is now dead and can be freed — program-order
+    /// freeing, §4.4).
+    pub fn commit_dst(&mut self, r: LogReg, p: PhysReg) -> PhysReg {
+        let old = self.rat[r.index() as usize];
+        self.rat[r.index() as usize] = p;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::initial_int_regs;
+
+    fn rf(n: usize) -> RegFile {
+        RegFile::new(n, &initial_int_regs())
+    }
+
+    #[test]
+    fn initial_identity_mapping() {
+        let f = rf(128);
+        assert_eq!(f.lookup(LogReg::new(5)), 5);
+        assert_eq!(f.lookup(LogReg::new(63)), 63);
+        assert_eq!(f.read(2), blackjack_isa::STACK_TOP);
+        assert_eq!(f.free_count(), 64);
+    }
+
+    #[test]
+    fn rename_allocates_and_remembers_old() {
+        let mut f = rf(70);
+        let r = LogReg::new(3);
+        let (new, old) = f.rename_dst(r).unwrap();
+        assert_eq!(old, 3);
+        assert!(new >= 64);
+        assert!(!f.is_ready(new));
+        assert_eq!(f.lookup(r), new);
+    }
+
+    #[test]
+    fn rename_exhaustion_returns_none() {
+        let mut f = rf(65);
+        assert!(f.rename_dst(LogReg::new(1)).is_some());
+        assert!(f.rename_dst(LogReg::new(2)).is_none());
+    }
+
+    #[test]
+    fn undo_restores_mapping_and_frees() {
+        let mut f = rf(66);
+        let r = LogReg::new(4);
+        let (new, old) = f.rename_dst(r).unwrap();
+        let before_free = f.free_count();
+        f.undo_rename(r, new, old);
+        assert_eq!(f.lookup(r), old);
+        assert_eq!(f.free_count(), before_free + 1);
+    }
+
+    #[test]
+    fn write_makes_ready() {
+        let mut f = rf(66);
+        let (new, _) = f.rename_dst(LogReg::new(1)).unwrap();
+        assert!(!f.is_ready(new));
+        f.write(new, 99);
+        assert!(f.is_ready(new));
+        assert_eq!(f.read(new), 99);
+    }
+
+    #[test]
+    fn free_then_realloc() {
+        let mut f = rf(65);
+        let (new, old) = f.rename_dst(LogReg::new(1)).unwrap();
+        f.write(new, 1);
+        f.free_reg(old);
+        let (new2, _) = f.rename_dst(LogReg::new(2)).unwrap();
+        assert_eq!(new2, old, "freed register is reused");
+    }
+
+    #[test]
+    fn lead_indexed_rat_identity_then_update() {
+        let mut t = LeadIndexedRat::new(128);
+        assert_eq!(t.lookup(10), 10);
+        t.update(100, 77);
+        assert_eq!(t.lookup(100), 77);
+        t.update(10, 80);
+        assert_eq!(t.lookup(10), 80);
+    }
+
+    #[test]
+    fn commit_rat_tracks_program_order() {
+        let mut c = CommitRat::new();
+        let r = LogReg::new(9);
+        assert_eq!(c.lookup(r), 9);
+        let old = c.commit_dst(r, 70);
+        assert_eq!(old, 9);
+        assert_eq!(c.lookup(r), 70);
+        let old = c.commit_dst(r, 71);
+        assert_eq!(old, 70);
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-context active list (reorder buffer).
+
+use crate::uop::UopId;
+
+/// A program-ordered active list for one context.
+///
+/// The trailing thread in BlackJack mode fetches out of program order
+/// (leading issue order), so its entries are allocated by *virtual index*
+/// (§4.3.1): the DTQ's program-order sequence number is translated to a
+/// ring slot, leaving holes for not-yet-fetched older instructions.
+#[derive(Debug)]
+pub struct ActiveList {
+    slots: Vec<Option<(u64, UopId)>>, // (seq, uop)
+    capacity: usize,
+    /// Sequence number of the next instruction to commit.
+    head_seq: u64,
+    live: usize,
+}
+
+impl ActiveList {
+    /// Creates an active list with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ActiveList {
+        assert!(capacity > 0, "active list capacity must be positive");
+        ActiveList { slots: vec![None; capacity], capacity, head_seq: 0, live: 0 }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The sequence number the next commit must have.
+    pub fn head_seq(&self) -> u64 {
+        self.head_seq
+    }
+
+    /// True if an instruction with sequence `seq` can be allocated now
+    /// (its virtual index falls within the window).
+    pub fn can_allocate(&self, seq: u64) -> bool {
+        seq >= self.head_seq && seq - self.head_seq < self.capacity as u64
+    }
+
+    /// Allocates the entry for `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of window or the slot is already occupied.
+    pub fn allocate(&mut self, seq: u64, id: UopId) {
+        assert!(self.can_allocate(seq), "active list allocation out of window (seq {seq})");
+        let slot = (seq % self.capacity as u64) as usize;
+        assert!(self.slots[slot].is_none(), "active list slot collision at seq {seq}");
+        self.slots[slot] = Some((seq, id));
+        self.live += 1;
+    }
+
+    /// The uop at the commit head, if the head instruction has been
+    /// allocated (the trailing thread may have holes).
+    pub fn head(&self) -> Option<UopId> {
+        let slot = (self.head_seq % self.capacity as u64) as usize;
+        match self.slots[slot] {
+            Some((seq, id)) if seq == self.head_seq => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Commits the head entry, advancing the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is not present.
+    pub fn commit_head(&mut self) -> UopId {
+        let slot = (self.head_seq % self.capacity as u64) as usize;
+        let (seq, id) = self.slots[slot].take().expect("committing a hole");
+        assert_eq!(seq, self.head_seq);
+        self.head_seq += 1;
+        self.live -= 1;
+        id
+    }
+
+    /// Removes every entry with sequence greater than `seq`, returning the
+    /// removed uops youngest-first (squash walk order).
+    pub fn squash_after(&mut self, seq: u64) -> Vec<UopId> {
+        let mut squashed: Vec<(u64, UopId)> = self
+            .slots
+            .iter_mut()
+            .filter_map(|s| {
+                if matches!(s, Some((q, _)) if *q > seq) {
+                    s.take()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        self.live -= squashed.len();
+        squashed.sort_by(|a, b| b.0.cmp(&a.0));
+        squashed.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Iterates live entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = UopId> + '_ {
+        self.slots.iter().filter_map(|s| s.map(|(_, id)| id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{Uop, UopSlab};
+    use blackjack_isa::Inst;
+
+    fn mk_ids(n: usize) -> Vec<UopId> {
+        let mut slab = UopSlab::new();
+        (0..n).map(|i| slab.insert(Uop::new(i as u64, 0, i as u64, 0, 0, Inst::Nop))).collect()
+    }
+
+    #[test]
+    fn in_order_allocate_and_commit() {
+        let ids = mk_ids(3);
+        let mut al = ActiveList::new(4);
+        for (i, id) in ids.iter().enumerate() {
+            al.allocate(i as u64, *id);
+        }
+        assert_eq!(al.head(), Some(ids[0]));
+        assert_eq!(al.commit_head(), ids[0]);
+        assert_eq!(al.commit_head(), ids[1]);
+        assert_eq!(al.head_seq(), 2);
+    }
+
+    #[test]
+    fn out_of_order_allocation_with_holes() {
+        let ids = mk_ids(3);
+        let mut al = ActiveList::new(4);
+        al.allocate(2, ids[2]); // younger arrives first (BlackJack trailing)
+        assert_eq!(al.head(), None, "head is a hole");
+        al.allocate(0, ids[0]);
+        assert_eq!(al.head(), Some(ids[0]));
+        al.commit_head();
+        assert_eq!(al.head(), None, "seq 1 still missing");
+        al.allocate(1, ids[1]);
+        assert_eq!(al.head(), Some(ids[1]));
+    }
+
+    #[test]
+    fn window_limits_allocation() {
+        let ids = mk_ids(2);
+        let mut al = ActiveList::new(4);
+        assert!(al.can_allocate(3));
+        assert!(!al.can_allocate(4), "beyond window");
+        al.allocate(0, ids[0]);
+        al.commit_head();
+        assert!(al.can_allocate(4), "window slides with commit");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_window_panics() {
+        let ids = mk_ids(1);
+        let mut al = ActiveList::new(2);
+        al.allocate(5, ids[0]);
+    }
+
+    #[test]
+    fn squash_returns_youngest_first() {
+        let ids = mk_ids(4);
+        let mut al = ActiveList::new(8);
+        for (i, id) in ids.iter().enumerate() {
+            al.allocate(i as u64, *id);
+        }
+        let squashed = al.squash_after(1);
+        assert_eq!(squashed, vec![ids[3], ids[2]]);
+        assert_eq!(al.len(), 2);
+        assert_eq!(al.head(), Some(ids[0]));
+    }
+
+    #[test]
+    fn wraparound() {
+        let ids = mk_ids(6);
+        let mut al = ActiveList::new(2);
+        al.allocate(0, ids[0]);
+        al.allocate(1, ids[1]);
+        al.commit_head();
+        al.commit_head();
+        al.allocate(2, ids[2]);
+        al.allocate(3, ids[3]);
+        assert_eq!(al.commit_head(), ids[2]);
+        assert_eq!(al.commit_head(), ids[3]);
+    }
+}

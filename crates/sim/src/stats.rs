@@ -1,0 +1,191 @@
+//! Simulation statistics: performance, interference, burstiness, coverage.
+
+use blackjack_faults::{AreaModel, CoverageAccum};
+
+use crate::detect::DetectionEvent;
+
+/// Per-pair way-usage record (captured only when
+/// [`SimStats::trace_pairs`] is set; used by tests and debugging).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairTrace {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// FU class index.
+    pub fu: usize,
+    /// Leading (frontend, backend) ways.
+    pub lead: (usize, usize),
+    /// Trailing (frontend, backend) ways.
+    pub trail: (usize, usize),
+    /// Cycle the trailing copy issued.
+    pub trail_issue: u64,
+    /// Trailing packet id.
+    pub packet: u64,
+}
+
+/// Everything a run measures; the figure harnesses read these fields.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Architectural instructions committed, per context.
+    pub committed: [u64; 2],
+    /// Instructions fetched (including wrong-path), per context.
+    pub fetched: [u64; 2],
+    /// Instructions issued (including wrong-path and filler NOPs), per
+    /// context.
+    pub issued: [u64; 2],
+    /// Safe-shuffle filler NOPs issued.
+    pub filler_issued: u64,
+    /// Wrong-path instructions squashed.
+    pub squashed: u64,
+    /// Leading-thread branch mispredictions.
+    pub mispredicts: u64,
+    /// Committed conditional branches (leading).
+    pub branches: u64,
+
+    // --- issue-cycle classification (Figures 5 and 6) ---
+    /// Cycles in which at least one instruction issued.
+    pub issue_cycles: u64,
+    /// Issue cycles whose instructions all came from one context (Fig. 6).
+    pub single_ctx_issue_cycles: u64,
+    /// Issue cycles where leading and trailing instructions co-issued.
+    pub lt_coissue_cycles: u64,
+    /// Issue cycles where two or more trailing packets co-issued.
+    pub tt_coissue_cycles: u64,
+    /// Leading-trailing co-issue cycles that *violated* spatial diversity
+    /// (Fig. 5, black bars).
+    pub lt_interference_cycles: u64,
+    /// Trailing-trailing co-issue cycles that violated spatial diversity
+    /// (Fig. 5, white bars).
+    pub tt_interference_cycles: u64,
+
+    // --- coverage (Figure 4) ---
+    /// Spatial-diversity observations over committed pairs.
+    pub coverage: CoverageAccum,
+    /// Backend-diversity outcome per FU class: `[class][0]` = pairs that
+    /// shared a way, `[class][1]` = pairs on different ways.
+    pub back_div_by_fu: [[u64; 2]; 7],
+
+    // --- safe-shuffle ---
+    /// Input packets split by the shuffle.
+    pub shuffle_splits: u64,
+    /// Filler NOPs emitted by the shuffle.
+    pub shuffle_nops: u64,
+    /// Forced (non-diverse) placements by the shuffle.
+    pub shuffle_forced: u64,
+    /// Packets shuffled.
+    pub shuffle_packets: u64,
+
+    // --- redundancy machinery ---
+    /// Trailing stores checked against the store buffer.
+    pub store_checks: u64,
+    /// Detection events (at most one — the run stops on detection).
+    pub detections: Vec<DetectionEvent>,
+    /// True if the run was cut off by the no-progress watchdog (possible
+    /// under injected faults that stall a thread forever).
+    pub deadlocked: bool,
+    /// Enables [`SimStats::pair_trace`] capture.
+    pub trace_pairs: bool,
+    /// Per-pair way usage, when tracing is enabled.
+    pub pair_trace: Vec<PairTrace>,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle for the leading (or single)
+    /// thread — the paper's performance metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed[0] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issue cycles drawing from a single context (Fig. 6).
+    pub fn burstiness(&self) -> f64 {
+        if self.issue_cycles == 0 {
+            0.0
+        } else {
+            self.single_ctx_issue_cycles as f64 / self.issue_cycles as f64
+        }
+    }
+
+    /// Fraction of issue cycles with diversity-violating leading-trailing
+    /// interference (Fig. 5, black bars).
+    pub fn lt_interference(&self) -> f64 {
+        if self.issue_cycles == 0 {
+            0.0
+        } else {
+            self.lt_interference_cycles as f64 / self.issue_cycles as f64
+        }
+    }
+
+    /// Fraction of issue cycles with diversity-violating trailing-trailing
+    /// interference (Fig. 5, white bars).
+    pub fn tt_interference(&self) -> f64 {
+        if self.issue_cycles == 0 {
+            0.0
+        } else {
+            self.tt_interference_cycles as f64 / self.issue_cycles as f64
+        }
+    }
+
+    /// Whole-pipeline hard-error instruction coverage (Fig. 4a).
+    pub fn total_coverage(&self, area: &AreaModel) -> f64 {
+        self.coverage.total_coverage(area)
+    }
+
+    /// Backend-only coverage (Fig. 4b).
+    pub fn backend_coverage(&self) -> f64 {
+        self.coverage.backend_coverage()
+    }
+
+    /// Frontend-only coverage.
+    pub fn frontend_coverage(&self) -> f64 {
+        self.coverage.frontend_coverage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.burstiness(), 0.0);
+        assert_eq!(s.lt_interference(), 0.0);
+        assert_eq!(s.tt_interference(), 0.0);
+    }
+
+    #[test]
+    fn ipc_uses_leading_commits() {
+        let s = SimStats { cycles: 100, committed: [250, 240], ..SimStats::default() };
+        assert_eq!(s.ipc(), 2.5);
+    }
+
+    #[test]
+    fn interference_fractions() {
+        let s = SimStats {
+            issue_cycles: 200,
+            single_ctx_issue_cycles: 140,
+            lt_interference_cycles: 5,
+            tt_interference_cycles: 1,
+            ..SimStats::default()
+        };
+        assert_eq!(s.burstiness(), 0.7);
+        assert_eq!(s.lt_interference(), 0.025);
+        assert_eq!(s.tt_interference(), 0.005);
+    }
+
+    #[test]
+    fn coverage_passthrough() {
+        let mut s = SimStats::default();
+        s.coverage.record_pair(true, true);
+        s.coverage.record_pair(false, false);
+        assert_eq!(s.frontend_coverage(), 0.5);
+        assert_eq!(s.backend_coverage(), 0.5);
+        assert_eq!(s.total_coverage(&AreaModel::default()), 0.5);
+    }
+}

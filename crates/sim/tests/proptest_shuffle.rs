@@ -1,0 +1,187 @@
+//! Property tests for safe-shuffle: instruction preservation and the two
+//! §4.2.2 spatial-diversity constraints over arbitrary packets.
+
+use blackjack_isa::FuType;
+use blackjack_sim::shuffle::{exhaustive_shuffle, no_shuffle, safe_shuffle, ShuffleItem, Slot};
+use blackjack_sim::FuCounts;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Item {
+    ty: FuType,
+    fe: usize,
+    be: usize,
+    tag: usize,
+}
+
+impl ShuffleItem for Item {
+    fn fu_type(&self) -> FuType {
+        self.ty
+    }
+    fn lead_front_way(&self) -> usize {
+        self.fe
+    }
+    fn lead_back_way(&self) -> usize {
+        self.be
+    }
+}
+
+fn fu_type() -> impl Strategy<Value = FuType> {
+    prop_oneof![
+        Just(FuType::IntAlu),
+        Just(FuType::IntMul),
+        Just(FuType::IntDiv),
+        Just(FuType::FpAlu),
+        Just(FuType::FpMul),
+        Just(FuType::FpDiv),
+        Just(FuType::MemPort),
+    ]
+}
+
+/// A packet as the leading thread could have produced it: at most `width`
+/// instructions, no class over its instance count, distinct frontend ways
+/// (co-fetched instructions occupy distinct slots), and distinct backend
+/// ways per class (co-issued instructions occupy distinct instances).
+fn packet(width: usize) -> impl Strategy<Value = Vec<Item>> {
+    let counts = FuCounts::default();
+    proptest::collection::vec(fu_type(), 1..=width).prop_flat_map(move |mut types| {
+        // Enforce class-capacity feasibility by dropping extras.
+        let mut used = [0usize; 7];
+        types.retain(|t| {
+            used[t.index()] += 1;
+            used[t.index()] <= counts.of(*t)
+        });
+        let n = types.len();
+        // Random distinct frontend ways and per-class backend instances.
+        (proptest::sample::subsequence((0..width).collect::<Vec<_>>(), n), Just(types))
+            .prop_map(move |(fes, types)| {
+                let mut per_class = [0usize; 7];
+                types
+                    .iter()
+                    .zip(fes)
+                    .enumerate()
+                    .map(|(tag, (&ty, fe))| {
+                        let idx = per_class[ty.index()];
+                        per_class[ty.index()] += 1;
+                        Item { ty, fe, be: counts.global_way(ty, idx), tag }
+                    })
+                    .collect::<Vec<Item>>()
+            })
+    })
+}
+
+fn tags(out: &[Vec<Slot<Item>>]) -> Vec<usize> {
+    let mut v: Vec<usize> = out
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            Slot::Inst(i) => Some(i.tag),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    /// Shuffle preserves the instruction multiset, never exceeds the
+    /// machine width, and — when no placement was forced — satisfies both
+    /// diversity constraints for every instruction under the
+    /// whole-packet-alone issue assumption.
+    #[test]
+    fn shuffle_invariants(input in packet(4)) {
+        let counts = FuCounts::default();
+        let n = input.len();
+        let expect: Vec<usize> = (0..n).collect();
+        let out = safe_shuffle(input.clone(), 4, &counts);
+
+        prop_assert_eq!(tags(&out.packets), expect, "instructions lost or duplicated");
+        for p in &out.packets {
+            prop_assert!(p.len() <= 4, "packet wider than the machine");
+            prop_assert!(
+                !matches!(p.last(), Some(Slot::Nop(_)) | Some(Slot::Hole) | None),
+                "packets end with a real instruction"
+            );
+        }
+        if out.forced == 0 {
+            for p in &out.packets {
+                for (slot, s) in p.iter().enumerate() {
+                    if let Slot::Inst(i) = s {
+                        prop_assert_ne!(slot, i.fe, "frontend conflict for {:?}", i);
+                        let be_idx = p[..slot]
+                            .iter()
+                            .filter(|x| x.fu_type() == Some(i.ty))
+                            .count();
+                        prop_assert!(be_idx < counts.of(i.ty), "backend index over capacity");
+                        let way = counts.global_way(i.ty, be_idx);
+                        prop_assert_ne!(way, i.be, "backend conflict for {:?}", i);
+                    }
+                }
+            }
+        }
+        // NOP accounting is exact.
+        let nops = out.packets.iter().flatten().filter(|s| s.is_nop()).count() as u64;
+        prop_assert_eq!(out.nops, nops);
+        // With the default (multi-instance) classes nothing is forced.
+        prop_assert_eq!(out.forced, 0, "forced placement with 2+ instances per class");
+    }
+
+    /// The no-shuffle baseline is an exact pass-through.
+    #[test]
+    fn no_shuffle_is_identity(input in packet(4)) {
+        let n = input.len();
+        let out = no_shuffle(input.clone());
+        prop_assert_eq!(out.splits, 0);
+        prop_assert_eq!(out.nops, 0);
+        prop_assert_eq!(out.packets.len(), 1);
+        let p = &out.packets[0];
+        prop_assert_eq!(p.len(), n);
+        for (k, s) in p.iter().enumerate() {
+            match s {
+                Slot::Inst(i) => prop_assert_eq!(i.tag, k),
+                other => prop_assert!(false, "unexpected slot {:?}", other),
+            }
+        }
+    }
+
+    /// Shuffling is deterministic.
+    #[test]
+    fn shuffle_is_deterministic(input in packet(4)) {
+        let counts = FuCounts::default();
+        let a = safe_shuffle(input.clone(), 4, &counts);
+        let b = safe_shuffle(input, 4, &counts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The exhaustive shuffle satisfies the same invariants as the greedy
+    /// one and is never worse: no more splits and no more filler NOPs.
+    #[test]
+    fn exhaustive_shuffle_dominates_greedy(input in packet(4)) {
+        let counts = FuCounts::default();
+        let n = input.len();
+        let expect: Vec<usize> = (0..n).collect();
+        let greedy = safe_shuffle(input.clone(), 4, &counts);
+        let out = exhaustive_shuffle(input, 4, &counts);
+
+        prop_assert_eq!(tags(&out.packets), expect, "instructions lost or duplicated");
+        prop_assert!(out.splits <= greedy.splits, "exhaustive split more than greedy");
+        if out.splits == greedy.splits {
+            prop_assert!(out.nops <= greedy.nops, "exhaustive used more NOPs");
+        }
+        prop_assert_eq!(out.forced, 0);
+        for p in &out.packets {
+            for (slot, s) in p.iter().enumerate() {
+                if let Slot::Inst(i) = s {
+                    prop_assert_ne!(slot, i.fe, "frontend conflict for {:?}", i);
+                    let be_idx = p[..slot]
+                        .iter()
+                        .filter(|x| x.fu_type() == Some(i.ty))
+                        .count();
+                    prop_assert!(be_idx < counts.of(i.ty));
+                    prop_assert_ne!(counts.global_way(i.ty, be_idx), i.be,
+                        "backend conflict for {:?}", i);
+                }
+            }
+        }
+    }
+}

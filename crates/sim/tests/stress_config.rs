@@ -1,0 +1,186 @@
+//! Stress configurations: shrink every queue and buffer so the structural
+//! stall paths (store buffer, LVQ, BOQ, DTQ, LSQ, active list, physical
+//! registers, issue queue) are constantly exercised, then demand exact
+//! architectural equivalence with the golden interpreter in every mode.
+
+use blackjack_faults::FaultPlan;
+use blackjack_isa::Interp;
+use blackjack_mem::MemConfig;
+use blackjack_sim::{Core, CoreConfig, Mode, ShuffleAlgo};
+use blackjack_workloads::random::random_program;
+use blackjack_workloads::{build, Benchmark};
+
+/// Everything as small as the pipeline permits.
+fn tiny() -> CoreConfig {
+    CoreConfig {
+        active_list: 16,
+        lsq: 4,
+        issue_queue: 12,
+        // dtq must exceed active_list + width (see CoreConfig::validate).
+        phys_regs: 80,
+        store_buffer: 2,
+        lvq: 4,
+        boq: 4,
+        slack: 8,
+        dtq: 24,
+        fetch_queue: 8,
+        ..CoreConfig::default()
+    }
+}
+
+/// A mid-size machine with a tiny cache (thrashes constantly).
+fn tiny_cache() -> CoreConfig {
+    let mut mem = MemConfig::default();
+    mem.l1d.size_bytes = 1024;
+    mem.l1d.assoc = 1;
+    mem.l1i.size_bytes = 1024;
+    mem.l1i.assoc = 1;
+    mem.l2.size_bytes = 8 * 1024;
+    mem.l2.assoc = 2;
+    mem.mem_latency = 50;
+    CoreConfig { mem, ..CoreConfig::default() }
+}
+
+/// Single-instance FU classes: spatial diversity is impossible for those
+/// classes (forced placements), but correctness must be unaffected.
+fn single_instance_fus() -> CoreConfig {
+    let mut cfg = CoreConfig::default();
+    cfg.fu_counts.int_mul = 1;
+    cfg.fu_counts.int_div = 1;
+    cfg.fu_counts.fp_div = 1;
+    cfg
+}
+
+fn differential(cfg: &CoreConfig, prog: &blackjack_isa::Program) {
+    let mut it = Interp::new(prog);
+    it.run(50_000_000).expect("interpreter runs");
+    assert!(it.halted());
+
+    for mode in Mode::ALL {
+        let mut c = cfg.clone();
+        c.mode = mode;
+        let mut core = Core::new(c, prog, FaultPlan::new());
+        let out = core.run(100_000_000);
+        assert!(
+            out.completed(),
+            "{} / {mode}: {out:?}\n{}",
+            prog.name,
+            core.debug_state()
+        );
+        assert_eq!(
+            core.mem().first_difference(it.mem()),
+            None,
+            "{} / {mode}: memory diverged",
+            prog.name
+        );
+        for r in 0..32 {
+            assert_eq!(core.arch_reg(r), it.reg(r), "{} / {mode}: x{r}", prog.name);
+        }
+    }
+}
+
+#[test]
+fn tiny_structures_random_programs() {
+    let cfg = tiny();
+    for seed in 100..125 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+}
+
+#[test]
+fn tiny_structures_benchmark() {
+    let cfg = tiny();
+    for b in [Benchmark::Gzip, Benchmark::Fma3d] {
+        differential(&cfg, &build(b, 1));
+    }
+}
+
+#[test]
+fn tiny_caches_random_programs() {
+    let cfg = tiny_cache();
+    for seed in 200..215 {
+        let prog = random_program(seed, 12);
+        differential(&cfg, &prog);
+    }
+}
+
+#[test]
+fn single_instance_fu_classes_still_correct() {
+    // Coverage degrades (forced placements) but execution must not.
+    let cfg = single_instance_fus();
+    for seed in 300..312 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+}
+
+#[test]
+fn single_instance_fu_classes_report_forced_placements() {
+    let mut cfg = single_instance_fus();
+    cfg.mode = Mode::BlackJack;
+    let prog = build(Benchmark::Bzip, 1); // multiply-heavy
+    let mut core = Core::new(cfg, &prog, FaultPlan::new());
+    assert!(core.run(100_000_000).completed());
+    assert!(
+        core.stats().shuffle_forced > 0,
+        "single-instance multiplier must force placements"
+    );
+    // Frontend diversity survives even when backend diversity cannot.
+    assert_eq!(core.stats().frontend_coverage(), 1.0);
+}
+
+#[test]
+fn narrow_machine() {
+    // Width 2 with matching frontend: different fetch-group geometry.
+    let mut cfg = CoreConfig::default();
+    cfg.width = 2;
+    for seed in 400..412 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+}
+
+#[test]
+fn wide_slack_and_tiny_slack() {
+    for slack in [1u64, 4, 2048] {
+        let mut cfg = CoreConfig::default();
+        cfg.slack = slack;
+        for seed in 500..506 {
+            let prog = random_program(seed, 8);
+            differential(&cfg, &prog);
+        }
+    }
+}
+
+#[test]
+fn non_atomic_packet_issue_remains_correct() {
+    // The ablation switch trades coverage, never correctness.
+    let mut cfg = CoreConfig::default();
+    cfg.trailing_packet_atomic = false;
+    for seed in 600..612 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+}
+
+#[test]
+fn exhaustive_shuffle_remains_correct() {
+    let mut cfg = CoreConfig::default();
+    cfg.shuffle_algo = ShuffleAlgo::Exhaustive;
+    for seed in 800..812 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+    differential(&cfg, &build(Benchmark::Gzip, 1));
+}
+
+#[test]
+fn shared_payload_ram_remains_correct_fault_free() {
+    let mut cfg = CoreConfig::default();
+    cfg.split_payload_ram = false;
+    for seed in 700..708 {
+        let prog = random_program(seed, 10);
+        differential(&cfg, &prog);
+    }
+}

@@ -1,0 +1,748 @@
+//! The 16 benchmark kernels, one per SPEC2000 name in the paper.
+
+use blackjack_isa::asm::assemble_named;
+use blackjack_isa::Program;
+
+/// The paper's 16 benchmarks, in its plotting order (roughly increasing
+/// IPC, per Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// FP, memory-bound, the slowest benchmark (drives trailing-trailing
+    /// interference in §6.1).
+    Equake,
+    /// FP, streaming stencil with L2 misses.
+    Swim,
+    /// FP, strided neural-net-like walk with misses and FP compares.
+    Art,
+    /// FP, 3-point stencil with moderate locality.
+    Mgrid,
+    /// FP with heavy divide chains (divider pressure).
+    Applu,
+    /// FP, mixed arithmetic with data-dependent branches.
+    Fma3d,
+    /// Integer, branchy and irregular (compiler-like dispatch).
+    Gcc,
+    /// FP dot products, cache-friendly.
+    Facerec,
+    /// FP, ILP-rich multiply-add sequences.
+    Wupwise,
+    /// Integer, high IPC block transforms (compressor-like).
+    Bzip,
+    /// FP, mixed arithmetic, moderate IPC.
+    Apsi,
+    /// Integer, bitboard-style logic operations, high IPC.
+    Crafty,
+    /// Mixed integer/FP ray-tracer-like arithmetic.
+    Eon,
+    /// Integer, very high IPC tight loops with predictable branches.
+    Gzip,
+    /// Integer, pointer/record traffic with good locality, high IPC.
+    Vortex,
+    /// FP multiply-heavy tracking loops, cache-resident.
+    Sixtrack,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's plotting order.
+    pub const ALL: [Benchmark; 16] = [
+        Benchmark::Equake,
+        Benchmark::Swim,
+        Benchmark::Art,
+        Benchmark::Mgrid,
+        Benchmark::Applu,
+        Benchmark::Fma3d,
+        Benchmark::Gcc,
+        Benchmark::Facerec,
+        Benchmark::Wupwise,
+        Benchmark::Bzip,
+        Benchmark::Apsi,
+        Benchmark::Crafty,
+        Benchmark::Eon,
+        Benchmark::Gzip,
+        Benchmark::Vortex,
+        Benchmark::Sixtrack,
+    ];
+
+    /// Lower-case display name (matches the paper's axis labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Equake => "equake",
+            Benchmark::Swim => "swim",
+            Benchmark::Art => "art",
+            Benchmark::Mgrid => "mgrid",
+            Benchmark::Applu => "applu",
+            Benchmark::Fma3d => "fma3d",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Facerec => "facerec",
+            Benchmark::Wupwise => "wupwise",
+            Benchmark::Bzip => "bzip",
+            Benchmark::Apsi => "apsi",
+            Benchmark::Crafty => "crafty",
+            Benchmark::Eon => "eon",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Sixtrack => "sixtrack",
+        }
+    }
+
+    /// Looks a benchmark up by its display name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use blackjack_workloads::Benchmark;
+    /// assert_eq!(Benchmark::from_name("gzip"), Some(Benchmark::Gzip));
+    /// assert_eq!(Benchmark::from_name("nope"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// True for the floating-point benchmarks.
+    pub fn is_fp(self) -> bool {
+        !matches!(
+            self,
+            Benchmark::Gcc | Benchmark::Bzip | Benchmark::Crafty | Benchmark::Gzip | Benchmark::Vortex
+        )
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the kernel for `bench`. `scale` multiplies the outer iteration
+/// count (1 ⇒ roughly 30–70k dynamic instructions).
+///
+/// # Panics
+///
+/// Panics if `scale` is zero (kernels must execute at least one pass), or
+/// on an internal assembly error (a bug, covered by tests over all 16
+/// kernels).
+pub fn build(bench: Benchmark, scale: u32) -> Program {
+    assert!(scale > 0, "scale must be at least 1");
+    let src = match bench {
+        Benchmark::Equake => equake(scale),
+        Benchmark::Swim => swim(scale),
+        Benchmark::Art => art(scale),
+        Benchmark::Mgrid => mgrid(scale),
+        Benchmark::Applu => applu(scale),
+        Benchmark::Fma3d => fma3d(scale),
+        Benchmark::Gcc => gcc(scale),
+        Benchmark::Facerec => facerec(scale),
+        Benchmark::Wupwise => wupwise(scale),
+        Benchmark::Bzip => bzip(scale),
+        Benchmark::Apsi => apsi(scale),
+        Benchmark::Crafty => crafty(scale),
+        Benchmark::Eon => eon(scale),
+        Benchmark::Gzip => gzip(scale),
+        Benchmark::Vortex => vortex(scale),
+        Benchmark::Sixtrack => sixtrack(scale),
+    };
+    assemble_named(&src, bench.name()).unwrap_or_else(|e| {
+        panic!("internal error assembling {}: {e}", bench.name())
+    })
+}
+
+// Scratch memory lives above the data segment; untouched pages read zero.
+const HEAP: u64 = 0x40_0000;
+
+/// equake: serial pointer-chase-like strided FP updates over an 8MB
+/// footprint — every access misses the L2 (350-cycle stalls), dependent
+/// chain limits ILP. The paper's lowest-IPC benchmark.
+fn equake(scale: u32) -> String {
+    let iters = 3000 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}      # elements to touch
+            li   x22, 0            # index
+            li   x23, 33161        # odd stride (x8 bytes), defeats the L2
+            li   x24, 1048575      # footprint mask (8MB / 8)
+            fcvt.d.l f1, x21       # acc
+            li   x5, 3
+            fcvt.d.l f2, x5        # 3.0
+        loop:
+            mul  x6, x22, x23
+            and  x6, x6, x24
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f3, 0(x8)         # dependent miss
+            fadd f1, f1, f3
+            fdiv f4, f1, f2        # long-latency dependent op
+            fsd  f4, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            li   x9, {HEAP}
+            fsd  f1, 0(x9)
+            halt
+        "#
+    )
+}
+
+/// swim: streaming 3-point FP stencil over 4MB arrays; sequential misses
+/// overlap, FP-ALU pressure.
+fn swim(scale: u32) -> String {
+    let iters = 3000 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x25, {src2}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            sll  x7, x22, 3
+            add  x8, x20, x7
+            add  x9, x25, x7
+            fld  f1, 0(x8)
+            fld  f2, 8(x8)
+            fld  f3, 16(x8)
+            fadd f4, f1, f2
+            fadd f5, f4, f3
+            fmul f6, f5, f5
+            fsd  f6, 0(x9)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#,
+        src2 = HEAP + 8 * 1024 * 1024,
+    )
+}
+
+/// art: strided image-like walk with FP compares and a data-dependent
+/// branch (winner selection), misses in the L2.
+fn art(scale: u32) -> String {
+    let iters = 1800 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x23, 5113         # stride in elements
+            li   x24, 524287       # 4MB mask
+            li   x5, 2
+            fcvt.d.l f10, x5       # threshold 2.0
+            fcvt.d.l f11, x22      # best = 0.0
+        loop:
+            mul  x6, x22, x23
+            and  x6, x6, x24
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            addi x10, x6, 97
+            and  x10, x10, x24
+            sll  x11, x10, 3
+            add  x12, x20, x11
+            fld  f1, 0(x8)
+            fld  f4, 0(x12)
+            fcvt.d.l f2, x6
+            fadd f3, f1, f2
+            fadd f5, f4, f2
+            flt  x9, f11, f3
+            beqz x9, skip
+            fmv  f11, f3
+        skip:
+            fadd f3, f3, f10
+            fadd f5, f5, f10
+            fsd  f3, 0(x8)
+            fsd  f5, 0(x12)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// mgrid: 3-point stencil over a 512KB grid — fits the L2, misses the L1;
+/// medium IPC FP.
+fn mgrid(scale: u32) -> String {
+    let outer = 5 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x26, {outer}
+        outer:
+            li   x21, 1200         # elements per sweep
+            li   x22, 0
+        sweep:
+            sll  x7, x22, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fld  f2, 8(x8)
+            fld  f3, 16(x8)
+            fadd f4, f1, f3
+            fadd f5, f4, f2
+            fadd f6, f5, f2
+            fmul f7, f6, f6
+            fsd  f7, 8(x8)
+            addi x22, x22, 1
+            blt  x22, x21, sweep
+            addi x26, x26, -1
+            bnez x26, outer
+            halt
+        "#
+    )
+}
+
+/// applu: FP solver inner loop dominated by divides — the unpipelined
+/// dividers serialize execution.
+fn applu(scale: u32) -> String {
+    let iters = 1400 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x5, 3
+            fcvt.d.l f2, x5
+            li   x5, 7
+            fcvt.d.l f3, x5
+        loop:
+            and  x6, x22, 4095
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fadd f4, f1, f2
+            fdiv f5, f4, f3
+            fadd f6, f4, f2
+            fmul f7, f6, f6
+            fadd f8, f5, f7
+            fsd  f8, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// fma3d: mixed FP arithmetic with a data-dependent branch per element
+/// (contact detection), good locality.
+fn fma3d(scale: u32) -> String {
+    let iters = 2600 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x5, 1
+            fcvt.d.l f8, x5
+        loop:
+            and  x6, x22, 2047
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fmul f2, f1, f1
+            fadd f3, f2, f8
+            and  x9, x22, 7
+            bnez x9, nostore
+            fsd  f3, 0(x8)
+        nostore:
+            fadd f8, f8, f3
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// gcc: integer, irregular table-driven dispatch with hard-to-predict
+/// branches (LCG-hashed switch) and pointer-like loads.
+fn gcc(scale: u32) -> String {
+    let iters = 2200 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x23, 1103515245
+            li   x24, 12345
+            li   x25, 0            # lcg state
+        loop:
+            mul  x25, x25, x23
+            add  x25, x25, x24
+            srl  x5, x25, 16
+            and  x6, x5, 1023
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            and  x10, x5, 3
+            beqz x10, case0
+            addi x11, x10, -1
+            beqz x11, case1
+            add  x9, x9, x5
+            j    done
+        case0:
+            xor  x9, x9, x5
+            j    done
+        case1:
+            sub  x9, x9, x5
+        done:
+            sd   x9, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// facerec: cache-resident FP dot products — unrolled multiply-add pairs,
+/// decent ILP.
+fn facerec(scale: u32) -> String {
+    let iters = 1900 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 511
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fld  f2, 8(x8)
+            fld  f3, 16(x8)
+            fld  f4, 24(x8)
+            fmul f5, f1, f2
+            fmul f6, f3, f4
+            fadd f7, f5, f6
+            fadd f0, f0, f7
+            fsd  f7, 32(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            li   x9, {HEAP}
+            fsd  f0, 0(x9)
+            halt
+        "#
+    )
+}
+
+/// wupwise: ILP-rich independent FP multiply-add streams (matrix-vector
+/// flavor).
+fn wupwise(scale: u32) -> String {
+    let iters = 1900 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 1023
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fld  f2, 8(x8)
+            fmul f3, f1, f1
+            fmul f4, f2, f2
+            fadd f5, f3, f4
+            fadd f6, f1, f2
+            fmul f7, f5, f6
+            fsd  f7, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// bzip: integer block transform — byte extraction, shifts, masks, and a
+/// small in-cache table; high IPC.
+fn bzip(scale: u32) -> String {
+    let iters = 2800 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x23, 0x5bd1e995
+        loop:
+            and  x6, x22, 255
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            mul  x10, x9, x23
+            srl  x11, x10, 24
+            xor  x12, x10, x11
+            sll  x13, x12, 13
+            or   x14, x12, x13
+            add  x14, x14, x22
+            sd   x14, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// apsi: mixed FP arithmetic with moderate locality and an FP min/max
+/// reduction.
+fn apsi(scale: u32) -> String {
+    let iters = 2300 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 4095
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fcvt.d.l f2, x22
+            fadd f3, f1, f2
+            fmax f4, f3, f1
+            fmin f5, f3, f2
+            fadd f6, f4, f5
+            fsd  f6, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// crafty: bitboard-style integer logic — shifts, masks, and popcount-like
+/// folds with predictable branches; high IPC.
+fn crafty(scale: u32) -> String {
+    let iters = 2600 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+            li   x23, 0x0f0f0f0f
+        loop:
+            and  x6, x22, 127
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            xor  x9, x9, x22
+            srl  x10, x9, 1
+            and  x10, x10, x23
+            sub  x11, x9, x10
+            srl  x12, x11, 4
+            add  x13, x11, x12
+            and  x13, x13, x23
+            sll  x14, x13, 2
+            or   x15, x13, x14
+            sd   x15, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// eon: mixed integer address arithmetic and FP shading math (ray-tracer
+/// flavor).
+fn eon(scale: u32) -> String {
+    let iters = 2300 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 1023
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            add  x10, x9, x22
+            sd   x10, 0(x8)
+            fcvt.d.l f1, x10
+            fmul f2, f1, f1
+            fadd f3, f2, f1
+            fsd  f3, 8(x8)
+            addi x22, x22, 2
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// gzip: the highest-IPC integer kernel — a tight, predictable,
+/// ILP-friendly match loop over an in-cache window.
+fn gzip(scale: u32) -> String {
+    let iters = 3200 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 255
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            xor  x10, x9, x22
+            srl  x11, x10, 7
+            or   x12, x10, x11
+            add  x13, x12, x9
+            sll  x14, x13, 1
+            sd   x14, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+/// vortex: record/pointer traffic with good locality — paired loads and
+/// stores, address arithmetic, high IPC.
+fn vortex(scale: u32) -> String {
+    let iters = 2500 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x25, {obj2}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 511
+            sll  x7, x6, 4
+            add  x8, x20, x7
+            ld   x9, 0(x8)
+            ld   x10, 8(x8)
+            add  x11, x9, x10
+            add  x12, x25, x7
+            sd   x11, 0(x12)
+            addi x13, x11, 1
+            sd   x13, 8(x12)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#,
+        obj2 = HEAP + 64 * 1024,
+    )
+}
+
+/// sixtrack: FP-multiply-heavy particle tracking, cache-resident with
+/// good ILP; the FP units are the bottleneck.
+fn sixtrack(scale: u32) -> String {
+    let iters = 2300 * scale;
+    format!(
+        r#"
+        .text
+            li   x20, {HEAP}
+            li   x21, {iters}
+            li   x22, 0
+        loop:
+            and  x6, x22, 255
+            sll  x7, x6, 3
+            add  x8, x20, x7
+            fld  f1, 0(x8)
+            fmul f2, f1, f1
+            fmul f3, f2, f1
+            fadd f4, f2, f3
+            fmul f5, f4, f4
+            fsd  f5, 0(x8)
+            addi x22, x22, 1
+            blt  x22, x21, loop
+            halt
+        "#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::{Interp, StepOutcome};
+
+    #[test]
+    fn all_kernels_assemble() {
+        for b in Benchmark::ALL {
+            let p = build(b, 1);
+            assert!(p.len() > 5, "{b} too small");
+            assert_eq!(p.name, b.name());
+        }
+    }
+
+    #[test]
+    fn all_kernels_terminate_in_interpreter() {
+        for b in Benchmark::ALL {
+            let p = build(b, 1);
+            let mut it = Interp::new(&p);
+            let out = it.run(5_000_000).unwrap_or_else(|e| panic!("{b}: {e}"));
+            assert_eq!(out, StepOutcome::Halted, "{b} did not halt");
+            assert!(
+                it.icount() > 10_000,
+                "{b} too short: {} dynamic instructions",
+                it.icount()
+            );
+            assert!(
+                it.icount() < 200_000,
+                "{b} too long: {} dynamic instructions",
+                it.icount()
+            );
+        }
+    }
+
+    #[test]
+    fn fp_benchmarks_execute_fp() {
+        for b in Benchmark::ALL {
+            let p = build(b, 1);
+            let mut it = Interp::new(&p);
+            it.run(5_000_000).unwrap();
+            let fp_ops = it.stats().by_fu[blackjack_isa::FuType::FpAlu.index()]
+                + it.stats().by_fu[blackjack_isa::FuType::FpMul.index()]
+                + it.stats().by_fu[blackjack_isa::FuType::FpDiv.index()];
+            if b.is_fp() {
+                assert!(fp_ops > 1000, "{b} marked FP but ran {fp_ops} FP ops");
+            } else {
+                assert_eq!(fp_ops, 0, "{b} marked integer but ran FP ops");
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_store_to_memory() {
+        // Store checking is the SRT/BlackJack detection point; a kernel
+        // without stores would be invisible to it.
+        for b in Benchmark::ALL {
+            let p = build(b, 1);
+            let mut it = Interp::new(&p);
+            it.run(5_000_000).unwrap();
+            assert!(it.stats().stores > 100, "{b} has only {} stores", it.stats().stores);
+        }
+    }
+
+    #[test]
+    fn scale_multiplies_work() {
+        let p1 = build(Benchmark::Gzip, 1);
+        let p3 = build(Benchmark::Gzip, 3);
+        let mut i1 = Interp::new(&p1);
+        let mut i3 = Interp::new(&p3);
+        i1.run(10_000_000).unwrap();
+        i3.run(10_000_000).unwrap();
+        let r = i3.icount() as f64 / i1.icount() as f64;
+        assert!((2.5..3.5).contains(&r), "scale 3 ran {r}x the work");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = build(Benchmark::Gzip, 0);
+    }
+
+    #[test]
+    fn benchmark_order_matches_paper() {
+        assert_eq!(Benchmark::ALL[0], Benchmark::Equake);
+        assert_eq!(Benchmark::ALL[15], Benchmark::Sixtrack);
+        assert_eq!(Benchmark::ALL.len(), crate::NUM_BENCHMARKS);
+    }
+}

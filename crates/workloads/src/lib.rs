@@ -1,0 +1,40 @@
+//! # Synthetic SPEC2000-like workloads for the BlackJack simulator
+//!
+//! The paper evaluates 16 SPEC2000 benchmarks. SPEC binaries cannot be run
+//! on a from-scratch ISA, so this crate provides 16 hand-written BJ-ISA
+//! kernels, one per benchmark name, each tuned to mimic the
+//! characteristics the paper's analysis actually leans on:
+//!
+//! * **integer vs FP mix** — FP benchmarks pressure the 2-instance FP
+//!   units, which §6.1 identifies as the driver of interference-induced
+//!   coverage loss;
+//! * **IPC class** — equake is the slowest benchmark (memory-bound),
+//!   gzip/crafty/bzip/vortex are high-IPC integer codes (driving
+//!   leading-trailing interference, Figure 5/6);
+//! * **cache behaviour** — the memory-bound kernels walk footprints larger
+//!   than the 2MB L2.
+//!
+//! See `DESIGN.md` at the repository root for the full substitution
+//! rationale.
+//!
+//! The crate also provides [`random::random_program`], a generator of
+//! arbitrary terminating programs used for differential testing of the
+//! pipeline against the golden interpreter.
+//!
+//! # Example
+//!
+//! ```
+//! use blackjack_workloads::{Benchmark, build};
+//!
+//! let prog = build(Benchmark::Gzip, 1);
+//! assert_eq!(prog.name, "gzip");
+//! assert!(prog.len() > 10);
+//! ```
+
+mod kernels;
+pub mod random;
+
+pub use kernels::{build, Benchmark};
+
+/// Number of benchmarks (as in the paper).
+pub const NUM_BENCHMARKS: usize = 16;

@@ -1,0 +1,251 @@
+//! Random terminating-program generator for differential testing.
+//!
+//! Programs are built from bounded constructs only (counted loops, forward
+//! skips, leaf calls), so every generated program halts. The pipeline test
+//! suite runs these through the out-of-order core and the golden
+//! interpreter and demands bit-identical architectural state.
+
+use blackjack_isa::asm::assemble_named;
+use blackjack_isa::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scratch heap base used by generated loads/stores.
+const HEAP: u64 = 0x40_0000;
+
+/// Integer work registers the generator may read/write.
+const XREGS: [u8; 12] = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16];
+/// FP work registers.
+const FREGS: [u8; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+/// Generates a random terminating program of roughly `segments` code
+/// segments (loops, blocks, calls).
+///
+/// The same `(seed, segments)` always yields the same program.
+///
+/// # Panics
+///
+/// Panics if generated assembly fails to assemble (a generator bug; the
+/// property tests exercise thousands of seeds).
+pub fn random_program(seed: u64, segments: usize) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Gen { rng: &mut rng, label: 0, src: String::new(), funcs: Vec::new() };
+
+    g.line(".text");
+    g.line(&format!("    li x20, {HEAP}"));
+    // Seed the work registers with deterministic junk.
+    for (i, r) in XREGS.iter().enumerate() {
+        g.line(&format!("    li x{r}, {}", (seed as i64 ^ (i as i64 * 77)) & 0xffff));
+    }
+    for (i, f) in FREGS.iter().enumerate() {
+        let r = XREGS[i % XREGS.len()];
+        g.line(&format!("    fcvt.d.l f{f}, x{r}"));
+    }
+
+    // Pre-plan up to three leaf functions the body may call.
+    let n_funcs = g.rng.random_range(0..=3usize);
+    for i in 0..n_funcs {
+        g.funcs.push(format!("leaf{i}"));
+    }
+
+    for _ in 0..segments {
+        match g.rng.random_range(0..10u32) {
+            0..=3 => g.arith_block(8),
+            4..=5 => g.mem_block(),
+            6..=7 => g.counted_loop(),
+            8 => g.forward_skip(),
+            _ => g.call_leaf(),
+        }
+    }
+
+    // Publish final state through stores, then halt.
+    for (i, r) in XREGS.iter().enumerate() {
+        g.line(&format!("    sd x{r}, {}(x20)", 2048 + i * 8));
+    }
+    for (i, f) in FREGS.iter().enumerate() {
+        g.line(&format!("    fsd f{f}, {}(x20)", 2048 + (XREGS.len() + i) * 8));
+    }
+    g.line("    halt");
+
+    // Emit the leaf functions after the halt.
+    for i in 0..n_funcs {
+        g.line(&format!("leaf{i}:"));
+        let body = g.rng.random_range(2..6usize);
+        g.arith_block(body);
+        g.line("    ret");
+    }
+
+    let src = g.src;
+    assemble_named(&src, &format!("random-{seed}"))
+        .unwrap_or_else(|e| panic!("generator produced invalid assembly: {e}\n{src}"))
+}
+
+struct Gen<'a> {
+    rng: &'a mut StdRng,
+    label: usize,
+    src: String,
+    funcs: Vec<String>,
+}
+
+impl Gen<'_> {
+    fn line(&mut self, s: &str) {
+        self.src.push_str(s);
+        self.src.push('\n');
+    }
+
+    fn xreg(&mut self) -> u8 {
+        XREGS[self.rng.random_range(0..XREGS.len())]
+    }
+
+    fn freg(&mut self) -> u8 {
+        FREGS[self.rng.random_range(0..FREGS.len())]
+    }
+
+    fn fresh_label(&mut self, base: &str) -> String {
+        self.label += 1;
+        format!("{base}_{}", self.label)
+    }
+
+    fn arith_block(&mut self, n: usize) {
+        for _ in 0..n {
+            let (d, a, b) = (self.xreg(), self.xreg(), self.xreg());
+            let (fd, fa, fb) = (self.freg(), self.freg(), self.freg());
+            let imm = self.rng.random_range(-2048..2048i32);
+            let op = self.rng.random_range(0..20u32);
+            let s = match op {
+                0 => format!("    add x{d}, x{a}, x{b}"),
+                1 => format!("    sub x{d}, x{a}, x{b}"),
+                2 => format!("    and x{d}, x{a}, x{b}"),
+                3 => format!("    or x{d}, x{a}, x{b}"),
+                4 => format!("    xor x{d}, x{a}, x{b}"),
+                5 => format!("    sll x{d}, x{a}, x{b}"),
+                6 => format!("    srl x{d}, x{a}, x{b}"),
+                7 => format!("    sra x{d}, x{a}, x{b}"),
+                8 => format!("    slt x{d}, x{a}, x{b}"),
+                9 => format!("    sltu x{d}, x{a}, x{b}"),
+                10 => format!("    mul x{d}, x{a}, x{b}"),
+                11 => format!("    mulh x{d}, x{a}, x{b}"),
+                12 => format!("    div x{d}, x{a}, x{b}"),
+                13 => format!("    rem x{d}, x{a}, x{b}"),
+                14 => format!("    addi x{d}, x{a}, {imm}"),
+                15 => format!("    xori x{d}, x{a}, {imm}"),
+                16 => format!("    fadd f{fd}, f{fa}, f{fb}"),
+                17 => format!("    fmul f{fd}, f{fa}, f{fb}"),
+                18 => format!("    fcvt.d.l f{fd}, x{a}"),
+                _ => format!("    fcvt.l.d x{d}, f{fa}"),
+            };
+            self.line(&s);
+        }
+    }
+
+    fn mem_block(&mut self) {
+        let n = self.rng.random_range(2..6usize);
+        for _ in 0..n {
+            let r = self.xreg();
+            let off = self.rng.random_range(0..128usize) * 8;
+            if self.rng.random_bool(0.5) {
+                self.line(&format!("    sd x{r}, {off}(x20)"));
+            } else {
+                self.line(&format!("    ld x{r}, {off}(x20)"));
+            }
+            if self.rng.random_bool(0.3) {
+                let f = self.freg();
+                let off = self.rng.random_range(0..128usize) * 8;
+                if self.rng.random_bool(0.5) {
+                    self.line(&format!("    fsd f{f}, {off}(x20)"));
+                } else {
+                    self.line(&format!("    fld f{f}, {off}(x20)"));
+                }
+            }
+        }
+    }
+
+    fn counted_loop(&mut self) {
+        let head = self.fresh_label("loop");
+        let trips = self.rng.random_range(2..12u32);
+        // x25 is reserved for loop counting; loops never nest (the body is
+        // a straight-line block).
+        self.line(&format!("    li x25, {trips}"));
+        self.line(&format!("{head}:"));
+        let n = self.rng.random_range(3..8usize);
+        self.arith_block(n);
+        if self.rng.random_bool(0.5) {
+            self.mem_block();
+        }
+        self.line("    addi x25, x25, -1");
+        self.line(&format!("    bnez x25, {head}"));
+    }
+
+    fn forward_skip(&mut self) {
+        let skip = self.fresh_label("skip");
+        let (a, b) = (self.xreg(), self.xreg());
+        let cond = match self.rng.random_range(0..4u32) {
+            0 => format!("    beq x{a}, x{b}, {skip}"),
+            1 => format!("    bne x{a}, x{b}, {skip}"),
+            2 => format!("    blt x{a}, x{b}, {skip}"),
+            _ => format!("    bge x{a}, x{b}, {skip}"),
+        };
+        self.line(&cond);
+        let n = self.rng.random_range(2..6usize);
+        self.arith_block(n);
+        self.line(&format!("{skip}:"));
+    }
+
+    fn call_leaf(&mut self) {
+        if self.funcs.is_empty() {
+            self.arith_block(4);
+            return;
+        }
+        let i = self.rng.random_range(0..self.funcs.len());
+        let name = self.funcs[i].clone();
+        self.line(&format!("    call {name}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::{Interp, StepOutcome};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_program(42, 12);
+        let b = random_program(42, 12);
+        assert_eq!(a.text(), b.text());
+        let c = random_program(43, 12);
+        assert_ne!(a.text(), c.text(), "different seeds differ");
+    }
+
+    #[test]
+    fn many_seeds_terminate() {
+        for seed in 0..200 {
+            let p = random_program(seed, 10);
+            let mut it = Interp::new(&p);
+            let out = it
+                .run(1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(out, StepOutcome::Halted, "seed {seed} did not halt");
+        }
+    }
+
+    #[test]
+    fn programs_observable_through_stores() {
+        let p = random_program(7, 10);
+        let mut it = Interp::new(&p);
+        it.enable_trace();
+        it.run(1_000_000).unwrap();
+        let stores = it
+            .events()
+            .iter()
+            .filter(|e| matches!(e, blackjack_isa::ExecEvent::Store { .. }))
+            .count();
+        assert!(stores >= 20, "final state publication stores missing");
+    }
+
+    #[test]
+    fn size_grows_with_segments() {
+        let small = random_program(1, 4);
+        let large = random_program(1, 40);
+        assert!(large.len() > small.len());
+    }
+}

@@ -1,0 +1,59 @@
+//! Sweep the design space: how coverage and performance respond to the
+//! slack target and to the paper's design choices (shuffle on/off, atomic
+//! packet issue, split payload RAM).
+//!
+//! ```text
+//! cargo run --release --example coverage_sweep [benchmark]
+//! ```
+
+use blackjack::faults::{AreaModel, FaultPlan};
+use blackjack::sim::{Core, CoreConfig, Mode};
+use blackjack::workloads::{build, Benchmark};
+
+fn run(cfg: CoreConfig, prog: &blackjack::isa::Program) -> (f64, u64) {
+    let mut core = Core::new(cfg, prog, FaultPlan::new());
+    let out = core.run(400_000_000);
+    assert!(out.completed(), "{out:?}");
+    let s = core.stats();
+    (s.total_coverage(&AreaModel::default()), s.cycles)
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex".to_string());
+    let bench = Benchmark::from_name(&name).expect("benchmark name");
+    let prog = build(bench, 1);
+
+    let (_, single_cycles) = run(CoreConfig::with_mode(Mode::Single), &prog);
+    println!("benchmark {bench}: single-thread baseline = {single_cycles} cycles\n");
+
+    println!("-- slack sweep (BlackJack) --");
+    println!("{:>7} | {:>9} | {:>7}", "slack", "coverage", "perf");
+    for slack in [16u64, 64, 128, 256, 512, 1024] {
+        let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+        cfg.slack = slack;
+        let (cov, cycles) = run(cfg, &prog);
+        println!(
+            "{slack:7} | {:8.1}% | {:6.1}%",
+            100.0 * cov,
+            100.0 * single_cycles as f64 / cycles as f64
+        );
+    }
+
+    println!("\n-- design-choice ablation (slack 256) --");
+    let mut rows: Vec<(&str, CoreConfig)> = Vec::new();
+    rows.push(("BlackJack (paper)", CoreConfig::with_mode(Mode::BlackJack)));
+    rows.push(("  - shuffle (BJ-NS)", CoreConfig::with_mode(Mode::BlackJackNoShuffle)));
+    let mut no_atomic = CoreConfig::with_mode(Mode::BlackJack);
+    no_atomic.trailing_packet_atomic = false;
+    rows.push(("  - atomic packet issue", no_atomic));
+    rows.push(("SRT", CoreConfig::with_mode(Mode::Srt)));
+    println!("{:24} | {:>9} | {:>7}", "configuration", "coverage", "perf");
+    for (label, cfg) in rows {
+        let (cov, cycles) = run(cfg, &prog);
+        println!(
+            "{label:24} | {:8.1}% | {:6.1}%",
+            100.0 * cov,
+            100.0 * single_cycles as f64 / cycles as f64
+        );
+    }
+}

@@ -1,0 +1,25 @@
+# A small table-driven checksum kernel — handy input for `bjsim`.
+#
+#   cargo run --release --bin bjsim -- examples/programs/checksum.s
+#   cargo run --release --bin bjsim -- --mode srt --fault backend:4:5 examples/programs/checksum.s
+#
+# Registers: x20 table base, x21 loop counter, x5 running checksum.
+
+.data
+table:  .dword 3, 1, 4, 1, 5, 9, 2, 6
+.text
+        la   x20, table
+        li   x21, 200
+        li   x5, 0
+loop:
+        and  x6, x21, 7          # index into the 8-entry table
+        sll  x7, x6, 3
+        add  x8, x20, x7
+        ld   x9, 0(x8)
+        mul  x10, x9, x21        # mix in the counter
+        add  x5, x5, x10
+        xor  x5, x5, x9
+        sd   x5, 64(x8)          # publish the running value
+        addi x21, x21, -1
+        bnez x21, loop
+        halt

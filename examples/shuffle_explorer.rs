@@ -1,0 +1,124 @@
+//! Visualize safe-shuffle (§4.2.2): feed it leading packets and see the
+//! spatially diverse trailing packets it produces, including the Figure 2
+//! swap and packet splits.
+//!
+//! ```text
+//! cargo run --release --example shuffle_explorer
+//! ```
+
+use blackjack::isa::FuType;
+use blackjack::sim::shuffle::{safe_shuffle, ShuffleItem, Slot};
+use blackjack::sim::FuCounts;
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    name: &'static str,
+    ty: FuType,
+    fe: usize,
+    be: usize,
+}
+
+impl ShuffleItem for Op {
+    fn fu_type(&self) -> FuType {
+        self.ty
+    }
+    fn lead_front_way(&self) -> usize {
+        self.fe
+    }
+    fn lead_back_way(&self) -> usize {
+        self.be
+    }
+}
+
+fn show(title: &str, input: Vec<Op>) {
+    let counts = FuCounts::default();
+    println!("=== {title} ===");
+    println!("leading packet (frontend way / backend way):");
+    for op in &input {
+        let (ty, idx) = counts.way_type(op.be);
+        println!("  {:6} {:9} fetched on way {}, executed on {} #{}", op.name, op.ty.to_string(), op.fe, ty, idx);
+    }
+    let out = safe_shuffle(input, 4, &counts);
+    println!(
+        "shuffled into {} packet(s), {} filler NOP(s), {} split(s):",
+        out.packets.len(),
+        out.nops,
+        out.splits
+    );
+    for (pi, p) in out.packets.iter().enumerate() {
+        println!("  packet {pi}:");
+        for (slot, s) in p.iter().enumerate() {
+            match s {
+                Slot::Inst(op) => {
+                    let be_idx =
+                        p[..slot].iter().filter(|x| x.fu_type() == Some(op.ty)).count();
+                    let way = counts.global_way(op.ty, be_idx);
+                    let (ty, idx) = counts.way_type(way);
+                    let diverse = slot != op.fe && way != op.be;
+                    println!(
+                        "    slot {slot}: {:6} -> frontend way {slot}, {} #{}  {}",
+                        op.name,
+                        ty,
+                        idx,
+                        if diverse { "[diverse]" } else { "[CONFLICT]" }
+                    );
+                }
+                Slot::Nop(t) => println!("    slot {slot}: nop    -> occupies a {t} way"),
+                Slot::Hole => println!("    slot {slot}: (hole)"),
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let c = FuCounts::default();
+
+    // Figure 2 from the paper: two like instructions swap ways via a NOP.
+    show(
+        "Figure 2: the swap of two like instructions",
+        vec![
+            Op { name: "add A", ty: FuType::IntAlu, fe: 0, be: c.global_way(FuType::IntAlu, 0) },
+            Op { name: "add B", ty: FuType::IntAlu, fe: 1, be: c.global_way(FuType::IntAlu, 1) },
+        ],
+    );
+
+    // A full-width packet that fits without splitting.
+    show(
+        "a full 4-wide mixed packet",
+        vec![
+            Op { name: "add", ty: FuType::IntAlu, fe: 1, be: c.global_way(FuType::IntAlu, 1) },
+            Op { name: "mul", ty: FuType::IntMul, fe: 2, be: c.global_way(FuType::IntMul, 1) },
+            Op { name: "ld", ty: FuType::MemPort, fe: 3, be: c.global_way(FuType::MemPort, 1) },
+            Op { name: "fadd", ty: FuType::FpAlu, fe: 0, be: c.global_way(FuType::FpAlu, 1) },
+        ],
+    );
+
+    // The same mix with every leading copy on instance 0: backend bumps
+    // force NOPs into every below-slot, and the packet must split — the
+    // cost Figure 7 charges to the shuffle.
+    show(
+        "the worst case: every leading copy on instance 0",
+        vec![
+            Op { name: "add", ty: FuType::IntAlu, fe: 0, be: c.global_way(FuType::IntAlu, 0) },
+            Op { name: "mul", ty: FuType::IntMul, fe: 1, be: c.global_way(FuType::IntMul, 0) },
+            Op { name: "ld", ty: FuType::MemPort, fe: 2, be: c.global_way(FuType::MemPort, 0) },
+            Op { name: "fadd", ty: FuType::FpAlu, fe: 3, be: c.global_way(FuType::FpAlu, 0) },
+        ],
+    );
+
+    // A lone FP op that needs a bump NOP to dodge its leading unit.
+    show(
+        "a lone fdiv whose leading copy used divider 0",
+        vec![Op { name: "fdiv", ty: FuType::FpDiv, fe: 2, be: c.global_way(FuType::FpDiv, 0) }],
+    );
+
+    // Two FP multiplies that exhaust the class and force careful packing.
+    show(
+        "two fmuls on a 2-multiplier machine",
+        vec![
+            Op { name: "fmul A", ty: FuType::FpMul, fe: 0, be: c.global_way(FuType::FpMul, 0) },
+            Op { name: "fmul B", ty: FuType::FpMul, fe: 1, be: c.global_way(FuType::FpMul, 1) },
+        ],
+    );
+}

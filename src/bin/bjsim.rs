@@ -1,0 +1,180 @@
+//! `bjsim` — run a BJ-ISA assembly file on the BlackJack simulator.
+//!
+//! ```text
+//! bjsim [options] <program.s>
+//!
+//! options:
+//!   --mode single|srt|blackjack-ns|blackjack    (default: blackjack)
+//!   --shuffle greedy|exhaustive                 (default: greedy)
+//!   --slack N                                   (default: 256)
+//!   --fault SITE:WAY[:BIT]  inject a stuck-at-1 hard fault; SITE is
+//!                           `backend`, `frontend`, or `payload`
+//!   --max-cycles N                              (default: 1 billion)
+//!   --oracle        cross-check every commit against the interpreter
+//!                   (single mode, fault-free only)
+//!   --quiet         print only the outcome line
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! cargo run --release --bin bjsim -- --mode blackjack --fault backend:4:5 prog.s
+//! ```
+
+use std::process::exit;
+
+use blackjack::faults::{AreaModel, FaultPlan, FaultSite, HardFault};
+use blackjack::isa::asm::assemble_named;
+use blackjack::sim::{Core, CoreConfig, Mode, RunOutcome, ShuffleAlgo};
+
+fn usage() -> ! {
+    eprintln!("usage: bjsim [--mode M] [--shuffle S] [--slack N] [--fault SITE:WAY[:BIT]] [--max-cycles N] [--oracle] [--quiet] <program.s>");
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    let mut plan = FaultPlan::new();
+    let mut path: Option<String> = None;
+    let mut max_cycles: u64 = 1_000_000_000;
+    let mut oracle = false;
+    let mut quiet = false;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => {
+                let m = args.next().unwrap_or_else(|| usage());
+                cfg.mode = match m.as_str() {
+                    "single" => Mode::Single,
+                    "srt" => Mode::Srt,
+                    "blackjack-ns" => Mode::BlackJackNoShuffle,
+                    "blackjack" => Mode::BlackJack,
+                    other => {
+                        eprintln!("unknown mode `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--shuffle" => {
+                let m = args.next().unwrap_or_else(|| usage());
+                cfg.shuffle_algo = match m.as_str() {
+                    "greedy" => ShuffleAlgo::Greedy,
+                    "exhaustive" => ShuffleAlgo::Exhaustive,
+                    other => {
+                        eprintln!("unknown shuffle algorithm `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--slack" => {
+                cfg.slack = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-cycles" => {
+                max_cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() < 2 || parts.len() > 3 {
+                    eprintln!("bad fault spec `{spec}` (want SITE:WAY[:BIT])");
+                    usage();
+                }
+                let way: usize = parts[1].parse().unwrap_or_else(|_| usage());
+                let bit: u8 = parts.get(2).map(|b| b.parse().unwrap_or_else(|_| usage())).unwrap_or(0);
+                let site = match parts[0] {
+                    "backend" => FaultSite::Backend { way },
+                    "frontend" => FaultSite::Frontend { way },
+                    "payload" => FaultSite::PayloadRam { entry: way },
+                    other => {
+                        eprintln!("unknown fault site `{other}`");
+                        usage()
+                    }
+                };
+                plan.add(HardFault::stuck_bit(site, bit));
+            }
+            "--oracle" => oracle = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let Some(path) = path else { usage() };
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let prog = assemble_named(&src, &path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    });
+
+    let mut core = Core::new(cfg.clone(), &prog, plan);
+    if oracle {
+        core.enable_oracle(&prog);
+    }
+    let outcome = core.run(max_cycles);
+
+    let s = core.stats();
+    match outcome {
+        RunOutcome::Completed => println!("completed: {} instructions, {} cycles (IPC {:.3})",
+            s.committed[0], s.cycles, s.ipc()),
+        RunOutcome::Detected(ev) => println!("DETECTED: {ev}"),
+        RunOutcome::CycleLimit => {
+            println!("cycle limit reached at {}", s.cycles);
+            if !quiet {
+                eprintln!("{}", core.debug_state());
+            }
+            exit(3);
+        }
+    }
+    if quiet {
+        return;
+    }
+    if cfg.mode.is_redundant() {
+        let area = AreaModel::default();
+        println!(
+            "coverage: {:.1}% total ({:.1}% frontend, {:.1}% backend) over {} pairs",
+            100.0 * s.total_coverage(&area),
+            100.0 * s.frontend_coverage(),
+            100.0 * s.backend_coverage(),
+            s.coverage.pairs
+        );
+        println!(
+            "interference: {:.2}% leading-trailing, {:.2}% trailing-trailing; burstiness {:.1}%",
+            100.0 * s.lt_interference(),
+            100.0 * s.tt_interference(),
+            100.0 * s.burstiness()
+        );
+        if cfg.mode.uses_dtq() {
+            println!(
+                "shuffle: {} packets, {} splits, {} filler NOPs, {} forced",
+                s.shuffle_packets, s.shuffle_splits, s.shuffle_nops, s.shuffle_forced
+            );
+        }
+        println!("checks: {} stores compared", s.store_checks);
+    }
+    println!(
+        "branches: {} committed, {} mispredicted; squashed {} wrong-path instructions",
+        s.branches, s.mispredicts, s.squashed
+    );
+    let m = core.mem_sys();
+    println!(
+        "caches: L1D {:.2}% miss, L1I {:.2}% miss, L2 {:.2}% miss, {} memory accesses",
+        100.0 * m.l1d_stats().miss_rate(),
+        100.0 * m.l1i_stats().miss_rate(),
+        100.0 * m.l2_stats().miss_rate(),
+        m.mem_accesses()
+    );
+}

@@ -1,0 +1,16 @@
+//! # BlackJack — hard error detection with redundant threads on SMT
+//!
+//! Facade crate of the BlackJack reproduction (Schuchman & Vijaykumar,
+//! DSN 2007). Re-exports the component crates and provides the
+//! [`Experiment`] runner used by the examples, integration tests, and the
+//! figure-regeneration harnesses.
+
+pub use blackjack_faults as faults;
+pub use blackjack_isa as isa;
+pub use blackjack_mem as mem;
+pub use blackjack_sim as sim;
+pub use blackjack_workloads as workloads;
+
+mod experiment;
+
+pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};
