@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks of the simulator's own machinery: shuffle
-//! throughput, cache access, interpreter speed, and end-to-end simulated
-//! cycles per second in each mode.
+//! Microbenchmarks of the simulator's own machinery: shuffle throughput,
+//! cache access, interpreter speed, and end-to-end simulated cycles per
+//! second in each mode.
+//!
+//! Self-timed (`std::time::Instant` + median-of-samples) rather than
+//! criterion-based: the build environment has no network access to
+//! crates.io, so the workspace carries no external dependencies. Run with
+//! `cargo bench -p blackjack-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use blackjack::faults::FaultPlan;
 use blackjack::isa::{FuType, Interp};
@@ -31,7 +36,29 @@ impl ShuffleItem for Item {
     }
 }
 
-fn bench_shuffle(c: &mut Criterion) {
+/// Times `f` over `samples` batches of `iters` calls and reports the
+/// median per-call nanoseconds.
+fn bench(name: &str, samples: usize, iters: u64, mut f: impl FnMut()) {
+    // Warm-up batch.
+    for _ in 0..iters.min(1000) {
+        f();
+    }
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    let median = per_call[per_call.len() / 2];
+    let (lo, hi) = (per_call[0], per_call[per_call.len() - 1]);
+    println!("{name:44} {median:12.1} ns/iter   [{lo:.1} .. {hi:.1}]");
+}
+
+fn bench_shuffle() {
     let counts = FuCounts::default();
     let packet = vec![
         Item { ty: FuType::IntAlu, fe: 0, be: 0 },
@@ -39,82 +66,64 @@ fn bench_shuffle(c: &mut Criterion) {
         Item { ty: FuType::MemPort, fe: 2, be: 14 },
         Item { ty: FuType::IntAlu, fe: 3, be: 1 },
     ];
-    c.bench_function("safe_shuffle/4-wide packet", |b| {
-        b.iter_batched(
-            || packet.clone(),
-            |p| black_box(safe_shuffle(p, 4, &counts)),
-            BatchSize::SmallInput,
-        )
+    bench("safe_shuffle/4-wide packet", 20, 10_000, || {
+        black_box(safe_shuffle(black_box(packet.clone()), 4, &counts));
     });
     let single = vec![Item { ty: FuType::FpDiv, fe: 1, be: 12 }];
-    c.bench_function("safe_shuffle/lone instruction", |b| {
-        b.iter_batched(
-            || single.clone(),
-            |p| black_box(safe_shuffle(p, 4, &counts)),
-            BatchSize::SmallInput,
-        )
+    bench("safe_shuffle/lone instruction", 20, 10_000, || {
+        black_box(safe_shuffle(black_box(single.clone()), 4, &counts));
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("mem_system/l1 hit", |b| {
-        let mut m = MemSystem::new(&MemConfig::default());
-        m.access_data(0x1000, false);
-        b.iter(|| black_box(m.access_data(0x1000, false)))
+fn bench_cache() {
+    let mut m = MemSystem::new(&MemConfig::default());
+    m.access_data(0x1000, false);
+    bench("mem_system/l1 hit", 20, 100_000, || {
+        black_box(m.access_data(0x1000, false));
     });
-    c.bench_function("mem_system/streaming misses", |b| {
-        let mut m = MemSystem::new(&MemConfig::default());
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            black_box(m.access_data(addr, false))
-        })
+    let mut m = MemSystem::new(&MemConfig::default());
+    let mut addr = 0u64;
+    bench("mem_system/streaming misses", 20, 100_000, || {
+        addr = addr.wrapping_add(64);
+        black_box(m.access_data(addr, false));
     });
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn bench_interp() {
     let prog = build(Benchmark::Gzip, 1);
-    c.bench_function("interp/gzip kernel", |b| {
-        b.iter(|| {
-            let mut it = Interp::new(&prog);
-            it.run(10_000_000).unwrap();
-            black_box(it.icount())
-        })
+    bench("interp/gzip kernel", 10, 3, || {
+        let mut it = Interp::new(&prog);
+        it.run(10_000_000).unwrap();
+        black_box(it.icount());
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let prog = random_program(7, 10);
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(20);
     for mode in Mode::ALL {
-        g.bench_function(format!("random program, {mode}"), |b| {
-            b.iter(|| {
-                let mut core =
-                    Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
-                let out = core.run(10_000_000);
-                assert!(out.completed());
-                black_box(core.stats().cycles)
-            })
+        bench(&format!("pipeline/random program, {mode}"), 5, 3, || {
+            let mut core = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+            let out = core.run(10_000_000);
+            assert!(out.completed());
+            black_box(core.stats().cycles);
         });
     }
-    g.finish();
 
     let gzip = build(Benchmark::Gzip, 1);
-    let mut g = c.benchmark_group("pipeline-gzip");
-    g.sample_size(10);
     for mode in [Mode::Single, Mode::BlackJack] {
-        g.bench_function(format!("gzip kernel, {mode}"), |b| {
-            b.iter(|| {
-                let mut core = Core::new(CoreConfig::with_mode(mode), &gzip, FaultPlan::new());
-                let out = core.run(100_000_000);
-                assert!(out.completed());
-                black_box(core.stats().cycles)
-            })
+        bench(&format!("pipeline-gzip/gzip kernel, {mode}"), 3, 1, || {
+            let mut core = Core::new(CoreConfig::with_mode(mode), &gzip, FaultPlan::new());
+            let out = core.run(100_000_000);
+            assert!(out.completed());
+            black_box(core.stats().cycles);
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_shuffle, bench_cache, bench_interp, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    println!("{:44} {:>12}", "benchmark", "median");
+    bench_shuffle();
+    bench_cache();
+    bench_interp();
+    bench_pipeline();
+}

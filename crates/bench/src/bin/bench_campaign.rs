@@ -1,0 +1,71 @@
+//! Simulator-throughput benchmark: runs a fixed simulation campaign and
+//! writes the measured throughput to `BENCH_campaign.json`.
+//!
+//! Two throughput views are reported:
+//!
+//! * **core cycles/sec** — simulated cycles per wall-clock second summed
+//!   over the time spent *inside* `Core::run` ([`SimStats::wall_nanos`]).
+//!   This isolates the hot loop (`Core::step`) and is the number the
+//!   zero-allocation work moves.
+//! * **campaign cycles/sec** — simulated cycles per wall-clock second of
+//!   the whole campaign, including program builds and fan-out overhead.
+//!   This scales with `BJ_THREADS` on a multi-core host.
+//!
+//! Usage: `cargo run --release -p blackjack-bench --bin bench_campaign`
+//! (optionally under `BJ_THREADS=n`).
+
+use std::time::Instant;
+
+use blackjack::faults::FaultPlan;
+use blackjack::sim::{Core, CoreConfig, Mode, SimStats};
+use blackjack::workloads::{build, Benchmark};
+use blackjack::{Campaign, CampaignStats};
+
+fn main() {
+    let campaign = Campaign::from_env();
+    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex, Benchmark::Apsi];
+
+    let jobs: Vec<_> = benchmarks
+        .iter()
+        .flat_map(|&b| Mode::ALL.iter().map(move |&m| (b, m)))
+        .map(|(b, m)| {
+            move || {
+                let prog = build(b, 1);
+                let mut core = Core::new(CoreConfig::with_mode(m), &prog, FaultPlan::new());
+                assert!(core.run(200_000_000).completed(), "{b} in {m}");
+                core.stats().clone()
+            }
+        })
+        .collect();
+    let n_jobs = jobs.len();
+
+    let t0 = Instant::now();
+    let runs = campaign.run(jobs);
+    let wall = t0.elapsed();
+
+    let mut agg = CampaignStats::default();
+    let mut merged = SimStats::default();
+    for s in &runs {
+        agg.tally(s);
+        merged.merge(s);
+    }
+    agg.wall = wall;
+
+    let json = format!(
+        "{{\n  \"workers\": {},\n  \"jobs\": {},\n  \"sim_cycles\": {},\n  \
+         \"committed_insts\": {},\n  \"core_wall_seconds\": {:.3},\n  \
+         \"core_cycles_per_sec\": {:.0},\n  \"campaign_wall_seconds\": {:.3},\n  \
+         \"campaign_cycles_per_sec\": {:.0}\n}}\n",
+        campaign.workers(),
+        n_jobs,
+        agg.sim_cycles,
+        agg.committed,
+        merged.wall_nanos as f64 / 1e9,
+        merged.cycles_per_sec(),
+        wall.as_secs_f64(),
+        agg.cycles_per_sec(),
+    );
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_campaign.json");
+}

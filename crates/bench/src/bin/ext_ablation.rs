@@ -1,10 +1,18 @@
 //! Ablation experiments for the design choices DESIGN.md calls out:
 //! slack target, safe-shuffle, atomic packet issue, split payload RAM,
 //! and the shuffle's own costs (splits / filler NOPs).
+//!
+//! Two campaign phases (see [`blackjack::Campaign`]): first each
+//! benchmark's program build + single-thread baseline, then one job per
+//! (benchmark, configuration) ablation run. Output order is fixed by the
+//! job list, so the tables are identical for any `BJ_THREADS`.
+
+use std::time::Instant;
 
 use blackjack::faults::{AreaModel, FaultPlan};
 use blackjack::sim::{Core, CoreConfig, Mode, ShuffleAlgo};
 use blackjack::workloads::{build, Benchmark};
+use blackjack::Campaign;
 
 struct Row {
     cov: f64,
@@ -26,50 +34,80 @@ fn run(cfg: CoreConfig, prog: &blackjack::isa::Program, single_cycles: u64) -> R
     }
 }
 
-fn main() {
-    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex];
-    for b in benchmarks {
-        let prog = build(b, 1);
-        let mut single = Core::new(CoreConfig::with_mode(Mode::Single), &prog, FaultPlan::new());
-        assert!(single.run(400_000_000).completed());
-        let base = single.stats().cycles;
-
-        println!("== {b} ==");
-        println!("{:34} | {:>8} {:>7} {:>8} {:>8}", "configuration", "coverage", "perf", "splits", "nops");
-
+/// The ablation grid: label + configuration, in presentation order.
+fn configs() -> Vec<(&'static str, CoreConfig)> {
+    let mut grid: Vec<(&'static str, CoreConfig)> = Vec::new();
+    grid.push(("BlackJack (paper defaults)", CoreConfig::with_mode(Mode::BlackJack)));
+    grid.push(("  no shuffle (BlackJack-NS)", CoreConfig::with_mode(Mode::BlackJackNoShuffle)));
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    cfg.shuffle_algo = ShuffleAlgo::Exhaustive;
+    grid.push(("  exhaustive shuffle (sec 6.2)", cfg));
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    cfg.trailing_packet_atomic = false;
+    grid.push(("  non-atomic packet issue", cfg));
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    cfg.split_payload_ram = false;
+    grid.push(("  shared payload RAM", cfg));
+    for (label, slack) in [("  slack 32", 32u64), ("  slack 128", 128), ("  slack 512", 512)] {
         let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
-        let r = run(cfg.clone(), &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "BlackJack (paper defaults)", r.cov, r.perf, r.splits, r.nops);
+        cfg.slack = slack;
+        grid.push((label, cfg));
+    }
+    grid.push(("SRT", CoreConfig::with_mode(Mode::Srt)));
+    grid
+}
 
-        cfg = CoreConfig::with_mode(Mode::BlackJackNoShuffle);
-        let r = run(cfg, &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  no shuffle (BlackJack-NS)", r.cov, r.perf, r.splits, r.nops);
+fn main() {
+    let campaign = Campaign::from_env();
+    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex];
+    let grid = configs();
+    let t0 = Instant::now();
 
-        cfg = CoreConfig::with_mode(Mode::BlackJack);
-        cfg.shuffle_algo = ShuffleAlgo::Exhaustive;
-        let r = run(cfg, &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  exhaustive shuffle (sec 6.2)", r.cov, r.perf, r.splits, r.nops);
+    // Phase 1: program builds and single-thread baselines, one job each.
+    let bases: Vec<_> = campaign.run(
+        benchmarks
+            .iter()
+            .map(|&b| {
+                move || {
+                    let prog = build(b, 1);
+                    let mut single =
+                        Core::new(CoreConfig::with_mode(Mode::Single), &prog, FaultPlan::new());
+                    assert!(single.run(400_000_000).completed());
+                    let base = single.stats().cycles;
+                    (prog, base)
+                }
+            })
+            .collect(),
+    );
 
-        cfg = CoreConfig::with_mode(Mode::BlackJack);
-        cfg.trailing_packet_atomic = false;
-        let r = run(cfg, &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  non-atomic packet issue", r.cov, r.perf, r.splits, r.nops);
+    // Phase 2: one job per (benchmark, configuration).
+    let jobs: Vec<_> = bases
+        .iter()
+        .flat_map(|(prog, base)| {
+            grid.iter().map(move |(_, cfg)| move || run(cfg.clone(), prog, *base))
+        })
+        .collect();
+    let mut rows = campaign.run(jobs).into_iter();
 
-        cfg = CoreConfig::with_mode(Mode::BlackJack);
-        cfg.split_payload_ram = false;
-        let r = run(cfg, &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "  shared payload RAM", r.cov, r.perf, r.splits, r.nops);
-
-        for slack in [32u64, 128, 512] {
-            cfg = CoreConfig::with_mode(Mode::BlackJack);
-            cfg.slack = slack;
-            let r = run(cfg, &prog, base);
-            println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", format!("  slack {slack}"), r.cov, r.perf, r.splits, r.nops);
+    for b in benchmarks {
+        println!("== {b} ==");
+        println!(
+            "{:34} | {:>8} {:>7} {:>8} {:>8}",
+            "configuration", "coverage", "perf", "splits", "nops"
+        );
+        for (label, _) in &grid {
+            let r = rows.next().expect("one row per (benchmark, config)");
+            println!(
+                "{:34} | {:7.1}% {:6.1}% {:8} {:8}",
+                label, r.cov, r.perf, r.splits, r.nops
+            );
         }
-
-        cfg = CoreConfig::with_mode(Mode::Srt);
-        let r = run(cfg, &prog, base);
-        println!("{:34} | {:7.1}% {:6.1}% {:8} {:8}", "SRT", r.cov, r.perf, r.splits, r.nops);
         println!();
     }
+    println!(
+        "[{} ablation runs on {} workers in {:.1?}]",
+        benchmarks.len() * grid.len(),
+        campaign.workers(),
+        t0.elapsed()
+    );
 }

@@ -5,63 +5,104 @@
 //! run a benchmark to completion or detection. Reports, per mode:
 //! detected / silently-corrupted / benign (fault never exercised or
 //! masked).
+//!
+//! Every injection run is an independent campaign job (see
+//! [`blackjack::Campaign`]); each benchmark's program and golden
+//! reference run are computed once up front and shared read-only by all
+//! of that benchmark's injection runs across both modes. Tallies merge
+//! in job order, so the report is identical for any `BJ_THREADS`.
 
-use blackjack::faults::{Corruption, FaultPlan, FaultSite, HardFault, Trigger};
+use std::time::Instant;
+
+use blackjack::faults::{
+    Corruption, DetectionOutcome, DetectionTally, FaultPlan, FaultSite, HardFault, Trigger,
+};
 use blackjack::isa::Interp;
-use blackjack::sim::{Core, CoreConfig, FuCounts, Mode};
+use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
 use blackjack::workloads::{build, Benchmark};
-
-#[derive(Default)]
-struct Tally {
-    detected: u32,
-    corrupted: u32,
-    benign: u32,
-    stuck: u32,
-}
+use blackjack::Campaign;
 
 fn main() {
+    let campaign = Campaign::from_env();
     let benchmarks = [Benchmark::Gzip, Benchmark::Fma3d, Benchmark::Vortex, Benchmark::Apsi];
     let counts = FuCounts::default();
-    let mut sites: Vec<FaultSite> = (0..counts.total()).map(|w| FaultSite::Backend { way: w }).collect();
+    let mut sites: Vec<FaultSite> =
+        (0..counts.total()).map(|w| FaultSite::Backend { way: w }).collect();
     sites.extend((0..4).map(|w| FaultSite::Frontend { way: w }));
 
     println!("extension: detection outcomes per injected hard fault");
-    println!("(one stuck-at fault per run; {} sites x {} benchmarks per mode)\n", sites.len(), benchmarks.len());
+    println!(
+        "(one stuck-at fault per run; {} sites x {} benchmarks per mode; {} workers)\n",
+        sites.len(),
+        benchmarks.len(),
+        campaign.workers()
+    );
+    let t0 = Instant::now();
+
+    // Build each benchmark once and run its golden (fault-free,
+    // functional) reference once; both modes' injection runs compare
+    // against the same shared result.
+    let goldens: Vec<_> = campaign.run(
+        benchmarks
+            .iter()
+            .map(|&b| {
+                move || {
+                    let prog = build(b, 1);
+                    let mut golden = Interp::new(&prog);
+                    golden.run(50_000_000).unwrap();
+                    (prog, golden)
+                }
+            })
+            .collect(),
+    );
+
+    // One job per (mode, benchmark, site) injection run.
+    let sites = &sites;
+    let jobs: Vec<_> = [Mode::Srt, Mode::BlackJack]
+        .iter()
+        .flat_map(|&mode| {
+            goldens.iter().flat_map(move |(prog, golden)| {
+                sites.iter().map(move |&site| {
+                    move || {
+                        let bit = match site {
+                            FaultSite::Frontend { .. } => 1, // immediate-field bit
+                            _ => 5,
+                        };
+                        let fault = HardFault {
+                            site,
+                            corruption: Corruption::FlipBit { bit },
+                            trigger: Trigger::Always,
+                        };
+                        let mut core =
+                            Core::new(CoreConfig::with_mode(mode), prog, FaultPlan::single(fault));
+                        let outcome = match core.run(100_000_000) {
+                            RunOutcome::Detected(_) => DetectionOutcome::Detected,
+                            RunOutcome::Completed => {
+                                if core.mem().first_difference(golden.mem()).is_some() {
+                                    DetectionOutcome::SilentCorruption
+                                } else {
+                                    DetectionOutcome::Benign
+                                }
+                            }
+                            RunOutcome::CycleLimit => DetectionOutcome::Stuck,
+                        };
+                        (mode, DetectionTally::of(outcome))
+                    }
+                })
+            })
+        })
+        .collect();
+    let runs = campaign.run(jobs);
+
     println!(
         "{:12} | {:>9} {:>18} {:>8} {:>6}",
         "mode", "detected", "silent corruption", "benign", "stuck"
     );
-
     for mode in [Mode::Srt, Mode::BlackJack] {
-        let mut t = Tally::default();
-        for &b in &benchmarks {
-            let prog = build(b, 1);
-            let mut golden = Interp::new(&prog);
-            golden.run(50_000_000).unwrap();
-            for &site in &sites {
-                let bit = match site {
-                    FaultSite::Frontend { .. } => 1, // immediate-field bit
-                    _ => 5,
-                };
-                let fault = HardFault {
-                    site,
-                    corruption: Corruption::FlipBit { bit },
-                    trigger: Trigger::Always,
-                };
-                let mut core =
-                    Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::single(fault));
-                let out = core.run(100_000_000);
-                match out {
-                    blackjack::sim::RunOutcome::Detected(_) => t.detected += 1,
-                    blackjack::sim::RunOutcome::Completed => {
-                        if core.mem().first_difference(golden.mem()).is_some() {
-                            t.corrupted += 1;
-                        } else {
-                            t.benign += 1;
-                        }
-                    }
-                    blackjack::sim::RunOutcome::CycleLimit => t.stuck += 1,
-                }
+        let mut t = DetectionTally::default();
+        for (m, tally) in &runs {
+            if *m == mode {
+                t.merge(tally);
             }
         }
         println!(
@@ -73,6 +114,7 @@ fn main() {
             t.stuck
         );
     }
+    println!("\n[{} injection runs in {:.1?}]", runs.len(), t0.elapsed());
     println!(
         "\nExpected shape: BlackJack converts SRT's silent corruptions into\n\
          detections. `benign` counts faults the program never exercised —\n\

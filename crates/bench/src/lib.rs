@@ -11,9 +11,13 @@
 //! | `fig_all` | Table 1 + all figures, and the EXPERIMENTS.md body |
 //! | `ext_detection` | detection-rate sweep under injected faults |
 //! | `ext_ablation` | slack sweep + design-choice ablation |
+//! | `bench_campaign` | simulator throughput; writes `BENCH_campaign.json` |
 //!
-//! Run with `cargo run --release -p blackjack-bench --bin <name>`.
-//! Criterion microbenchmarks of the simulator itself live in `benches/`.
+//! Run with `cargo run --release -p blackjack-bench --bin <name>`. The
+//! harnesses fan out over a worker pool ([`blackjack::Campaign`]); set
+//! `BJ_THREADS` to pick the worker count and `BJ_SCALE` to scale the
+//! workloads. Self-timed microbenchmarks of the simulator's machinery
+//! live in `benches/`.
 
 use blackjack::Experiment;
 

@@ -1,0 +1,102 @@
+//! Outcome classification for fault-injection campaigns.
+//!
+//! A single-fault injection run ends one of four ways; [`DetectionTally`]
+//! counts them per mode so campaign workers can classify runs
+//! independently and merge their tallies deterministically afterwards.
+
+/// How one injected-fault run ended, from the detection experiment's point
+/// of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// The redundancy mechanism flagged a mismatch before retirement.
+    Detected,
+    /// The run completed with architectural state differing from the
+    /// golden run: silent data corruption.
+    SilentCorruption,
+    /// The run completed with state identical to the golden run — the
+    /// fault was never exercised, or was logically masked.
+    Benign,
+    /// The fault wedged a thread and the cycle-limit watchdog fired (in
+    /// hardware, a timeout is itself a detection).
+    Stuck,
+}
+
+/// Counts of [`DetectionOutcome`]s over a set of injection runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionTally {
+    /// Mismatch detected before retirement.
+    pub detected: u32,
+    /// Silent data corruption.
+    pub corrupted: u32,
+    /// Fault masked or never exercised.
+    pub benign: u32,
+    /// Watchdog timeout.
+    pub stuck: u32,
+}
+
+impl DetectionTally {
+    /// Records one run's outcome.
+    pub fn record(&mut self, outcome: DetectionOutcome) {
+        match outcome {
+            DetectionOutcome::Detected => self.detected += 1,
+            DetectionOutcome::SilentCorruption => self.corrupted += 1,
+            DetectionOutcome::Benign => self.benign += 1,
+            DetectionOutcome::Stuck => self.stuck += 1,
+        }
+    }
+
+    /// A tally of a single outcome — the unit campaign workers return.
+    pub fn of(outcome: DetectionOutcome) -> DetectionTally {
+        let mut t = DetectionTally::default();
+        t.record(outcome);
+        t
+    }
+
+    /// Sums another tally into this one. Merging is commutative and
+    /// associative, so any grouping of per-run tallies gives the same
+    /// totals.
+    pub fn merge(&mut self, other: &DetectionTally) {
+        self.detected += other.detected;
+        self.corrupted += other.corrupted;
+        self.benign += other.benign;
+        self.stuck += other.stuck;
+    }
+
+    /// Total runs recorded.
+    pub fn total(&self) -> u32 {
+        self.detected + self.corrupted + self.benign + self.stuck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge_agree() {
+        let outcomes = [
+            DetectionOutcome::Detected,
+            DetectionOutcome::Detected,
+            DetectionOutcome::SilentCorruption,
+            DetectionOutcome::Benign,
+            DetectionOutcome::Stuck,
+            DetectionOutcome::Benign,
+        ];
+        // One big tally...
+        let mut all = DetectionTally::default();
+        for &o in &outcomes {
+            all.record(o);
+        }
+        // ...equals merged per-run tallies in any split.
+        let mut merged = DetectionTally::default();
+        for &o in &outcomes {
+            merged.merge(&DetectionTally::of(o));
+        }
+        assert_eq!(all, merged);
+        assert_eq!(all.detected, 2);
+        assert_eq!(all.corrupted, 1);
+        assert_eq!(all.benign, 2);
+        assert_eq!(all.stuck, 1);
+        assert_eq!(all.total(), 6);
+    }
+}

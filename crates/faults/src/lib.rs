@@ -27,9 +27,11 @@
 //! ```
 
 mod coverage;
+mod detection;
 mod diagnosis;
 mod fault;
 
 pub use coverage::{AreaModel, CoverageAccum};
+pub use detection::{DetectionOutcome, DetectionTally};
 pub use diagnosis::DiagnosisTable;
 pub use fault::{Corruption, FaultPlan, FaultSite, HardFault, Trigger};

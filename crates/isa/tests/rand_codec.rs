@@ -1,0 +1,163 @@
+//! Randomized property tests for the binary codec and the
+//! assembler/display duality, driven by the workspace PRNG.
+
+use blackjack_isa::asm::assemble;
+use blackjack_isa::{
+    decode, encode, AluOp, BranchCond, CmpOp, DivOp, FReg, FpAluOp, FpDivOp, Inst, MemWidth,
+    MulOp, Reg,
+};
+use blackjack_rng::Rng;
+
+const CASES: usize = 2000;
+
+fn reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.random_range(0..32u8))
+}
+
+fn freg(rng: &mut Rng) -> FReg {
+    FReg::new(rng.random_range(0..32u8))
+}
+
+fn imm14(rng: &mut Rng) -> i32 {
+    rng.random_range(-8192..8192i32)
+}
+
+fn imm19(rng: &mut Rng) -> i32 {
+    rng.random_range(-262144..262144i32)
+}
+
+fn alu_op(rng: &mut Rng) -> AluOp {
+    const OPS: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+    OPS[rng.random_range(0..OPS.len())]
+}
+
+fn mem_width(rng: &mut Rng) -> MemWidth {
+    [MemWidth::Byte, MemWidth::Word, MemWidth::Double][rng.random_range(0..3usize)]
+}
+
+fn branch_cond(rng: &mut Rng) -> BranchCond {
+    const CONDS: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+    CONDS[rng.random_range(0..CONDS.len())]
+}
+
+/// Every encodable instruction form with in-range fields.
+fn inst(rng: &mut Rng) -> Inst {
+    match rng.random_range(0..22u32) {
+        0 => Inst::Alu { op: alu_op(rng), rd: reg(rng), rs1: reg(rng), rs2: reg(rng) },
+        1 => {
+            let op = loop {
+                let op = alu_op(rng);
+                if op != AluOp::Sub {
+                    break op; // sub has no imm form
+                }
+            };
+            Inst::AluImm { op, rd: reg(rng), rs1: reg(rng), imm: imm14(rng) }
+        }
+        2 => Inst::Lui { rd: reg(rng), imm: imm19(rng) },
+        3 => Inst::Mul {
+            op: [MulOp::Mul, MulOp::Mulh][rng.random_range(0..2usize)],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        4 => Inst::Div {
+            op: [DivOp::Div, DivOp::Rem][rng.random_range(0..2usize)],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        5 => Inst::Load { width: mem_width(rng), rd: reg(rng), rs1: reg(rng), offset: imm14(rng) },
+        6 => Inst::Store { width: mem_width(rng), rs1: reg(rng), rs2: reg(rng), offset: imm14(rng) },
+        7 => Inst::FLoad { fd: freg(rng), rs1: reg(rng), offset: imm14(rng) },
+        8 => Inst::FStore { rs1: reg(rng), fs2: freg(rng), offset: imm14(rng) },
+        9 => Inst::Branch {
+            cond: branch_cond(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: imm14(rng) * 4,
+        },
+        10 => Inst::Jal { rd: reg(rng), offset: imm19(rng) * 4 },
+        11 => Inst::Jalr { rd: reg(rng), rs1: reg(rng), offset: imm14(rng) },
+        12 => Inst::FpAlu {
+            op: [FpAluOp::Fadd, FpAluOp::Fsub, FpAluOp::Fmin, FpAluOp::Fmax]
+                [rng.random_range(0..4usize)],
+            fd: freg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+        },
+        13 => Inst::FpMul { fd: freg(rng), fs1: freg(rng), fs2: freg(rng) },
+        14 => Inst::FpDiv { op: FpDivOp::Fdiv, fd: freg(rng), fs1: freg(rng), fs2: freg(rng) },
+        15 => Inst::FpCmp {
+            op: [CmpOp::Feq, CmpOp::Flt, CmpOp::Fle][rng.random_range(0..3usize)],
+            rd: reg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+        },
+        16 => Inst::CvtIf { fd: freg(rng), rs1: reg(rng) },
+        17 => Inst::CvtFi { rd: reg(rng), fs1: freg(rng) },
+        18 => Inst::FMove { fd: freg(rng), fs1: freg(rng) },
+        19 => Inst::BitsToFp { fd: freg(rng), rs1: reg(rng) },
+        20 => Inst::Nop,
+        _ => Inst::Halt,
+    }
+}
+
+/// encode → decode is the identity on every encodable instruction.
+#[test]
+fn codec_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xC0DEC);
+    for _ in 0..CASES {
+        let i = inst(&mut rng);
+        let w = encode(&i).expect("in-range instruction encodes");
+        let back = decode(w).expect("encoded word decodes");
+        assert_eq!(i, back);
+    }
+}
+
+/// The disassembly (`Display`) re-assembles to the same encoding.
+#[test]
+fn display_assemble_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xD15A);
+    for _ in 0..CASES {
+        let i = inst(&mut rng);
+        let text = format!(".text\n    {i}\n");
+        let prog =
+            assemble(&text).unwrap_or_else(|e| panic!("`{i}` does not re-assemble: {e}"));
+        assert_eq!(prog.text()[0], encode(&i).unwrap(), "{i}");
+    }
+}
+
+/// Decoding arbitrary words either fails or yields a re-encodable
+/// instruction with the same semantics (decode is total over valid
+/// opcodes and never panics).
+#[test]
+fn decode_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xFACADE);
+    for _ in 0..20_000 {
+        let w = rng.next_u32();
+        if let Ok(i) = decode(w) {
+            // Re-encoding may normalize ignored fields but must succeed.
+            let w2 = encode(&i).expect("decoded instruction re-encodes");
+            let i2 = decode(w2).expect("normalized word decodes");
+            assert_eq!(i, i2);
+        }
+    }
+}

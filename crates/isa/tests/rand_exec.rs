@@ -1,0 +1,144 @@
+//! Randomized property tests: instruction semantics against direct Rust
+//! formulas, and interpreter determinism. Driven by the workspace PRNG.
+
+use blackjack_isa::asm::assemble;
+use blackjack_isa::exec::{effective_addr, exec_nonmem, finish_load, store_data};
+use blackjack_isa::Interp;
+use blackjack_isa::{AluOp, BranchCond, DivOp, Inst, MemWidth, MulOp, Reg};
+use blackjack_rng::Rng;
+
+fn x(n: u8) -> Reg {
+    Reg::new(n)
+}
+
+#[test]
+fn alu_semantics() {
+    let mut rng = Rng::seed_from_u64(0xA1);
+    for _ in 0..2000 {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        assert_eq!(AluOp::Add.eval(a, b), a.wrapping_add(b));
+        assert_eq!(AluOp::Sub.eval(a, b), a.wrapping_sub(b));
+        assert_eq!(AluOp::And.eval(a, b), a & b);
+        assert_eq!(AluOp::Or.eval(a, b), a | b);
+        assert_eq!(AluOp::Xor.eval(a, b), a ^ b);
+        assert_eq!(AluOp::Sll.eval(a, b), a << (b & 63));
+        assert_eq!(AluOp::Srl.eval(a, b), a >> (b & 63));
+        assert_eq!(AluOp::Sra.eval(a, b), ((a as i64) >> (b & 63)) as u64);
+        assert_eq!(AluOp::Slt.eval(a, b), ((a as i64) < (b as i64)) as u64);
+        assert_eq!(AluOp::Sltu.eval(a, b), (a < b) as u64);
+    }
+}
+
+#[test]
+fn mul_div_semantics() {
+    let mut rng = Rng::seed_from_u64(0xB2);
+    for case in 0..2000 {
+        let a = rng.next_u64() as i64;
+        // Exercise the b == 0 edge explicitly alongside random operands.
+        let b = if case % 17 == 0 { 0 } else { rng.next_u64() as i64 };
+        assert_eq!(MulOp::Mul.eval(a as u64, b as u64), a.wrapping_mul(b) as u64);
+        assert_eq!(
+            MulOp::Mulh.eval(a as u64, b as u64),
+            (((a as i128) * (b as i128)) >> 64) as u64
+        );
+        if b != 0 {
+            assert_eq!(DivOp::Div.eval(a as u64, b as u64), a.wrapping_div(b) as u64);
+            assert_eq!(DivOp::Rem.eval(a as u64, b as u64), a.wrapping_rem(b) as u64);
+        } else {
+            assert_eq!(DivOp::Div.eval(a as u64, 0), u64::MAX);
+            assert_eq!(DivOp::Rem.eval(a as u64, 0), a as u64);
+        }
+    }
+}
+
+#[test]
+fn branch_semantics() {
+    let mut rng = Rng::seed_from_u64(0xC3);
+    for _ in 0..2000 {
+        let (a, b) = (rng.next_u64(), rng.next_u64());
+        let pc = rng.random_range(0u64..1 << 40) * 4;
+        let off = rng.random_range(-8192..8192i32) * 4;
+        let i = Inst::Branch { cond: BranchCond::Lt, rs1: x(1), rs2: x(2), offset: off };
+        let out = exec_nonmem(&i, a, b, pc);
+        let taken = (a as i64) < (b as i64);
+        assert_eq!(out.taken, taken);
+        let want = if taken { pc.wrapping_add(off as i64 as u64) } else { pc + 4 };
+        assert_eq!(out.next_pc, want);
+        assert_eq!(out.wb, None);
+    }
+}
+
+#[test]
+fn fp_bits_roundtrip() {
+    use blackjack_isa::{FReg, FpAluOp};
+    let mut rng = Rng::seed_from_u64(0xD4);
+    for _ in 0..2000 {
+        // Random bit patterns double as NaN/denormal edge cases.
+        let a = f64::from_bits(rng.next_u64());
+        let b = f64::from_bits(rng.next_u64());
+        let i = Inst::FpAlu {
+            op: FpAluOp::Fadd,
+            fd: FReg::new(1),
+            fs1: FReg::new(2),
+            fs2: FReg::new(3),
+        };
+        let out = exec_nonmem(&i, a.to_bits(), b.to_bits(), 0);
+        let want = (a + b).to_bits();
+        assert_eq!(out.wb, Some(want));
+    }
+}
+
+#[test]
+fn load_store_width_duality() {
+    let mut rng = Rng::seed_from_u64(0xE5);
+    for _ in 0..2000 {
+        let v = rng.next_u64();
+        let addr = rng.next_u64();
+        let off = rng.random_range(-8192..8192i32);
+        for w in [MemWidth::Byte, MemWidth::Word, MemWidth::Double] {
+            let st = Inst::Store { width: w, rs1: x(1), rs2: x(2), offset: off };
+            let ld = Inst::Load { width: w, rd: x(3), rs1: x(1), offset: off };
+            assert_eq!(effective_addr(&st, addr), effective_addr(&ld, addr));
+            let stored = store_data(&st, v);
+            // Loading back what was stored sign-extends the stored bits.
+            let loaded = finish_load(&ld, stored);
+            let expect = match w {
+                MemWidth::Byte => v as u8 as i8 as i64 as u64,
+                MemWidth::Word => v as u32 as i32 as i64 as u64,
+                MemWidth::Double => v,
+            };
+            assert_eq!(loaded, expect);
+        }
+    }
+}
+
+/// The interpreter is deterministic: two runs of the same program give
+/// identical state and event traces.
+#[test]
+fn interpreter_deterministic() {
+    for seed in 0..100u64 {
+        let prog = blackjack_workloads_shim(seed);
+        let mut a = Interp::new(&prog);
+        let mut b = Interp::new(&prog);
+        a.enable_trace();
+        b.enable_trace();
+        a.run(200_000).unwrap();
+        b.run(200_000).unwrap();
+        assert_eq!(a.icount(), b.icount());
+        assert_eq!(a.int_regs(), b.int_regs());
+        assert_eq!(a.fp_regs(), b.fp_regs());
+        assert_eq!(a.events(), b.events());
+    }
+}
+
+/// A tiny deterministic program family (avoid a dev-dependency cycle on
+/// blackjack-workloads from within blackjack-isa).
+fn blackjack_workloads_shim(seed: u64) -> blackjack_isa::Program {
+    let iters = 5 + seed % 40;
+    let mulk = (0x9e37 ^ seed) & 0xfff;
+    assemble(&format!(
+        ".text\n li x20, 0x400000\n li x21, {iters}\n li x5, {seed}\nloop:\n mul x5, x5, x6\n addi x5, x5, {mulk}\n xor x6, x5, x21\n sd x5, 0(x20)\n addi x20, x20, 8\n addi x21, x21, -1\n bnez x21, loop\n halt\n",
+        seed = seed & 0x1fff,
+    ))
+    .expect("shim assembles")
+}

@@ -1,10 +1,11 @@
-//! Property tests: the memory models against simple reference models.
+//! Randomized property tests: the memory models against simple reference
+//! models, driven by the workspace PRNG.
 
 use std::collections::HashMap;
 
 use blackjack_isa::PagedMem;
 use blackjack_mem::{Cache, CacheConfig, StoreBuffer, StoreRecord};
-use proptest::prelude::*;
+use blackjack_rng::Rng;
 
 /// Random byte/word/dword writes against a byte-map model.
 #[derive(Debug, Clone)]
@@ -15,24 +16,26 @@ enum MemOp {
     R(u64, u8), // address, size log2 in {0,2,3}
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
+fn mem_op(rng: &mut Rng) -> MemOp {
     // Cluster addresses so reads observe writes.
-    let addr = (0u64..4096).prop_map(|a| 0x10_0000 + a);
-    prop_oneof![
-        (addr.clone(), any::<u8>()).prop_map(|(a, v)| MemOp::W8(a, v)),
-        (addr.clone(), any::<u32>()).prop_map(|(a, v)| MemOp::W32(a, v)),
-        (addr.clone(), any::<u64>()).prop_map(|(a, v)| MemOp::W64(a, v)),
-        (addr, prop_oneof![Just(0u8), Just(2), Just(3)]).prop_map(|(a, s)| MemOp::R(a, s)),
-    ]
+    let addr = 0x10_0000 + rng.random_range(0u64..4096);
+    match rng.random_range(0..4u32) {
+        0 => MemOp::W8(addr, rng.next_u64() as u8),
+        1 => MemOp::W32(addr, rng.next_u32()),
+        2 => MemOp::W64(addr, rng.next_u64()),
+        _ => MemOp::R(addr, [0u8, 2, 3][rng.random_range(0..3usize)]),
+    }
 }
 
-proptest! {
-    #[test]
-    fn paged_mem_matches_byte_map(ops in proptest::collection::vec(mem_op(), 1..200)) {
+#[test]
+fn paged_mem_matches_byte_map() {
+    let mut rng = Rng::seed_from_u64(0x11E1);
+    for _ in 0..100 {
+        let n_ops = rng.random_range(1..200usize);
         let mut mem = PagedMem::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match mem_op(&mut rng) {
                 MemOp::W8(a, v) => {
                     mem.write_u8(a, v);
                     model.insert(a, v);
@@ -56,22 +59,21 @@ proptest! {
                     for i in 0..n {
                         want |= (*model.get(&(a + i)).unwrap_or(&0) as u64) << (8 * i);
                     }
-                    prop_assert_eq!(got, want, "read {} bytes at {:#x}", n, a);
+                    assert_eq!(got, want, "read {n} bytes at {a:#x}");
                 }
             }
         }
     }
+}
 
-    /// The store buffer's byte-granular read-through equals replaying the
-    /// buffered stores over memory in order.
-    #[test]
-    fn store_buffer_read_through_matches_replay(
-        stores in proptest::collection::vec(
-            ((0u64..64), prop_oneof![Just(1u64), Just(4), Just(8)], any::<u64>()),
-            0..16
-        ),
-        read_addr in 0u64..64,
-    ) {
+/// The store buffer's byte-granular read-through equals replaying the
+/// buffered stores over memory in order.
+#[test]
+fn store_buffer_read_through_matches_replay() {
+    let mut rng = Rng::seed_from_u64(0x5B5B);
+    for _ in 0..500 {
+        let n_stores = rng.random_range(0..16usize);
+        let read_addr = rng.random_range(0u64..64);
         let mut sb = StoreBuffer::new(32);
         let mut mem = PagedMem::new();
         // Background memory pattern.
@@ -79,30 +81,37 @@ proptest! {
             mem.write_u8(a, (a as u8).wrapping_mul(37));
         }
         let mut replay = mem.clone();
-        for (i, (addr, bytes, data)) in stores.iter().enumerate() {
-            let data = *data & (u64::MAX >> (64 - 8 * bytes));
-            sb.push(StoreRecord { addr: *addr, bytes: *bytes, data, seq: i as u64 });
-            replay.write_sized(*addr, *bytes, data);
+        for i in 0..n_stores {
+            let addr = rng.random_range(0u64..64);
+            let bytes = [1u64, 4, 8][rng.random_range(0..3usize)];
+            let data = rng.next_u64() & (u64::MAX >> (64 - 8 * bytes));
+            sb.push(StoreRecord { addr, bytes, data, seq: i as u64 });
+            replay.write_sized(addr, bytes, data);
         }
         let got = sb.read_through(read_addr, 8, &mem);
         let want = replay.read_u64(read_addr);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// The cache agrees with a reference model: per-set LRU lists.
-    #[test]
-    fn cache_matches_lru_model(addrs in proptest::collection::vec(0u64..0x4000, 1..300)) {
+/// The cache agrees with a reference model: per-set LRU lists.
+#[test]
+fn cache_matches_lru_model() {
+    let mut rng = Rng::seed_from_u64(0xCAC4E);
+    for _ in 0..50 {
+        let n_addrs = rng.random_range(1..300usize);
         let cfg = CacheConfig { size_bytes: 1024, assoc: 4, line_bytes: 32, hit_latency: 1 };
         let mut cache = Cache::new(cfg);
         let sets = cfg.num_sets() as u64;
         // Model: per set, most-recent-last vector of line addresses.
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
-        for a in addrs {
+        for _ in 0..n_addrs {
+            let a = rng.random_range(0u64..0x4000);
             let line = a / cfg.line_bytes;
             let set = (line % sets) as usize;
             let hit_model = model[set].contains(&line);
             let got = cache.access(a, false);
-            prop_assert_eq!(got.hit, hit_model, "addr {:#x}", a);
+            assert_eq!(got.hit, hit_model, "addr {a:#x}");
             if hit_model {
                 let pos = model[set].iter().position(|l| *l == line).unwrap();
                 model[set].remove(pos);

@@ -1,0 +1,258 @@
+//! # A small deterministic PRNG
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace carries its own generator instead of depending on `rand`.
+//! [`Rng`] is a SplitMix64-seeded xoshiro256** generator: fast, tiny
+//! state, and excellent statistical quality for the two things the
+//! workspace needs randomness for — the random terminating-program
+//! generator (`blackjack-workloads`) and the randomized property tests.
+//!
+//! The same seed always yields the same stream on every platform; the
+//! differential tests depend on that.
+//!
+//! ```
+//! use blackjack_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let a = rng.random_range(0..10u32);
+//! assert!(a < 10);
+//! let mut again = Rng::seed_from_u64(42);
+//! assert_eq!(a, again.random_range(0..10u32));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256** generator, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// The next 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform value in `[0, bound)`, exactly unbiased via modulo
+    /// rejection (the rejection zone is vanishingly small for the bounds
+    /// used here, so the loop essentially never retries).
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Accept v only below the largest multiple of `bound`.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// A uniform sample from a (half-open or inclusive) integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoEndpoints<T>,
+    {
+        let (lo, hi_inclusive) = range.into_endpoints();
+        T::sample(self, lo, hi_inclusive)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+}
+
+/// Integer types [`Rng::random_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[lo, hi]` (both inclusive).
+    fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (lo as u64).wrapping_add(rng.below(span)) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = ((hi as i64).wrapping_sub(lo as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait IntoEndpoints<T> {
+    /// `(low, high)` with both ends inclusive.
+    fn into_endpoints(self) -> (T, T);
+}
+
+impl<T: SampleUniform + HasPredecessor> IntoEndpoints<T> for Range<T> {
+    fn into_endpoints(self) -> (T, T) {
+        (self.start, self.end.predecessor())
+    }
+}
+
+impl<T: SampleUniform> IntoEndpoints<T> for RangeInclusive<T> {
+    fn into_endpoints(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// `x - 1` for turning an exclusive upper bound inclusive.
+pub trait HasPredecessor {
+    /// The previous representable value.
+    fn predecessor(self) -> Self;
+}
+
+macro_rules! impl_pred {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            #[inline]
+            fn predecessor(self) -> Self {
+                self.checked_sub(1).expect("empty range")
+            }
+        }
+    )*};
+}
+
+impl_pred!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(Rng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let s = rng.random_range(-2048..2048i32);
+            assert!((-2048..2048).contains(&s));
+            let u = rng.random_range(0..=3usize);
+            assert!(u <= 3);
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 seen: {seen:?}");
+    }
+
+    #[test]
+    fn bool_probability_roughly_honored() {
+        let mut rng = Rng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn signed_full_span() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut neg = false;
+        let mut pos = false;
+        for _ in 0..1000 {
+            let v = rng.random_range(-10..=10i64);
+            assert!((-10..=10).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos);
+    }
+}

@@ -52,6 +52,76 @@ impl ShuffleItem for DtqPayload {
     }
 }
 
+/// Reusable per-cycle scratch buffers.
+///
+/// `step()` runs hundreds of millions of times per campaign; these
+/// buffers are taken (`std::mem::take`), cleared, filled, and put back
+/// each cycle, so the steady-state hot path performs no heap allocation —
+/// every buffer retains its high-water-mark capacity across cycles.
+#[derive(Default)]
+struct StepScratch {
+    /// Completions due this cycle.
+    due: Vec<(u64, UopId)>,
+    /// Uops issued this cycle.
+    issued: Vec<UopId>,
+    /// Age-ordered issue candidates.
+    candidates: Vec<(UopId, usize)>,
+    /// Per-trailing-packet operand readiness (packet id, all ready).
+    packet_ready: Vec<(u64, bool)>,
+    /// Trailing packets already considered for atomic issue this cycle.
+    handled_packets: Vec<u64>,
+    /// Members of the atomic packet under consideration.
+    members: Vec<(UopId, usize)>,
+    /// Backend ways allocated to the atomic packet under consideration.
+    ways: Vec<usize>,
+    /// Distinct trailing packets seen this issue cycle.
+    packets: Vec<u64>,
+    /// Leading uops issued this cycle (DTQ allocation order).
+    leading: Vec<UopId>,
+    /// Packet-boundary markers for DTQ allocation.
+    breaks: Vec<bool>,
+    /// Same-group destination registers (packet-splitting dependence check).
+    dsts: Vec<crate::uop::PhysReg>,
+}
+
+/// Fixed-capacity map from in-flight trailing packet id to its occupied
+/// slot count, for atomic packet issue.
+///
+/// Every live packet keeps at least one member in the trailing fetch
+/// queue or the issue queue until the whole packet issues (the trailing
+/// thread never squashes), so live entries never exceed
+/// `fetch_queue + issue_queue` and a pre-reserved array with linear scan
+/// replaces a `HashMap` without ever allocating after construction.
+struct PacketTotals {
+    entries: Vec<(u64, usize)>,
+}
+
+impl PacketTotals {
+    fn new(capacity: usize) -> PacketTotals {
+        PacketTotals { entries: Vec::with_capacity(capacity) }
+    }
+
+    fn insert(&mut self, pid: u64, total: usize) {
+        debug_assert!(self.entries.iter().all(|&(p, _)| p != pid));
+        debug_assert!(self.entries.len() < self.entries.capacity(), "live-packet bound exceeded");
+        self.entries.push((pid, total));
+    }
+
+    fn get(&self, pid: u64) -> Option<usize> {
+        self.entries.iter().find(|&&(p, _)| p == pid).map(|&(_, t)| t)
+    }
+
+    fn remove(&mut self, pid: u64) {
+        if let Some(i) = self.entries.iter().position(|&(p, _)| p == pid) {
+            self.entries.swap_remove(i);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
 /// Per-context (per-SMT-thread) machine state.
 struct Context {
     regs: RegFile,
@@ -120,7 +190,9 @@ pub struct Core {
 
     /// Trailing packet id → number of occupied slots (instructions +
     /// filler NOPs), for atomic packet issue.
-    trail_packet_total: std::collections::HashMap<u64, usize>,
+    trail_packet_total: PacketTotals,
+    /// Reusable per-cycle scratch buffers (see [`StepScratch`]).
+    scratch: StepScratch,
 
     /// Expected PC of the next trailing commit (program-order chain check).
     trail_expect_pc: u64,
@@ -167,7 +239,8 @@ impl Core {
             done: false,
             lead_packets: 0,
             trail_packets: 0,
-            trail_packet_total: std::collections::HashMap::new(),
+            trail_packet_total: PacketTotals::new(cfg.fetch_queue + cfg.issue_queue),
+            scratch: StepScratch::default(),
             trail_expect_pc: prog.entry(),
             commit_rat: CommitRat::new(),
             tmap: LeadIndexedRat::new(cfg.phys_regs),
@@ -203,7 +276,7 @@ impl Core {
     /// One-line description of machine occupancy, for stuck-state triage.
     pub fn debug_state(&self) -> String {
         let mut out = format!(
-            "cycle={} halted={:?} iq={} inflight={} sb={} lvq={} boq={} dtq={} fetchq_pkts={}",
+            "cycle={} halted={:?} iq={} inflight={} sb={} lvq={} boq={} dtq={} fetchq_pkts={} live_pkts={}",
             self.cycle,
             self.halted,
             self.iq.len(),
@@ -213,6 +286,7 @@ impl Core {
             self.boq.len(),
             self.dtq.len(),
             self.fetchq_packets.len(),
+            self.trail_packet_total.len(),
         );
         for (i, c) in self.ctxs.iter().enumerate() {
             out += &format!(
@@ -281,16 +355,24 @@ impl Core {
         self.done
     }
 
-    /// Runs until completion, detection, or `max_cycles`.
+    /// Runs until completion, detection, or `max_cycles`. Wall-clock time
+    /// spent here accumulates into [`SimStats::wall_nanos`] for
+    /// throughput accounting ([`SimStats::cycles_per_sec`]).
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let t0 = std::time::Instant::now();
+        let mut watchdog_fired = false;
         while !self.done && self.detection.is_none() && self.cycle < max_cycles {
             self.step();
             if self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
                 self.stats.deadlocked = true;
-                return RunOutcome::CycleLimit;
+                watchdog_fired = true;
+                break;
             }
         }
-        if let Some(e) = self.detection {
+        self.stats.wall_nanos += t0.elapsed().as_nanos() as u64;
+        if watchdog_fired {
+            RunOutcome::CycleLimit
+        } else if let Some(e) = self.detection {
             RunOutcome::Detected(e)
         } else if self.done {
             RunOutcome::Completed
@@ -698,7 +780,8 @@ impl Core {
 
     fn complete(&mut self) {
         let cycle = self.cycle;
-        let mut due: Vec<(u64, UopId)> = Vec::new();
+        let mut due = std::mem::take(&mut self.scratch.due);
+        due.clear();
         self.inflight.retain(|&(done, id)| {
             if done <= cycle {
                 due.push((done, id));
@@ -710,7 +793,7 @@ impl Core {
         // Oldest first so the eldest mispredicted branch squashes first.
         due.sort_by_key(|&(_, id)| self.slab.get(id).map(|u| u.uid).unwrap_or(u64::MAX));
 
-        for (_, id) in due {
+        for &(_, id) in &due {
             if !self.slab.contains(id) {
                 continue; // squashed while executing
             }
@@ -743,7 +826,7 @@ impl Core {
                         // The BOQ outcome was the trailing "prediction";
                         // disagreement is the §4.4-style verification firing.
                         self.detect(DetectionKind::BranchOutcomeMismatch, seq, pc);
-                        return;
+                        break;
                     }
                     // BlackJack trailing branches carry no prediction
                     // (pred_next_pc is set to the computed leading next PC
@@ -753,6 +836,7 @@ impl Core {
                 }
             }
         }
+        self.scratch.due = due;
     }
 
     // ----------------------------------------------------------------- squash
@@ -824,25 +908,35 @@ impl Core {
     fn issue(&mut self) {
         self.fus.begin_cycle();
         let mut budget = self.cfg.width;
-        let mut issued: Vec<UopId> = Vec::new();
+        let mut issued = std::mem::take(&mut self.scratch.issued);
+        issued.clear();
         let mut lead_dtq_needed = 0usize;
 
-        let candidates: Vec<(UopId, usize)> = self.iq.iter_aged().collect();
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
+        candidates.extend(self.iq.iter_aged());
         // Filler NOPs must move *with* their packet or the backend-way
         // mapping safe-shuffle computed is destroyed; compute per-packet
         // operand readiness first.
-        let mut packet_ready: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        let mut packet_ready = std::mem::take(&mut self.scratch.packet_ready);
+        packet_ready.clear();
         for &(id, _) in &candidates {
             let u = self.slab.at(id);
             if u.ctx == TRAILING && !u.filler {
                 if let Some(p) = u.packet {
                     let r = self.operands_ready(id);
-                    packet_ready.entry(p).and_modify(|e| *e &= r).or_insert(r);
+                    match packet_ready.iter_mut().find(|e| e.0 == p) {
+                        Some(e) => e.1 &= r,
+                        None => packet_ready.push((p, r)),
+                    }
                 }
             }
         }
         let atomic = self.cfg.trailing_packet_atomic && self.cfg.mode.uses_dtq();
-        let mut handled_packets: Vec<u64> = Vec::new();
+        let mut handled_packets = std::mem::take(&mut self.scratch.handled_packets);
+        handled_packets.clear();
+        let mut members = std::mem::take(&mut self.scratch.members);
+        let mut ways = std::mem::take(&mut self.scratch.ways);
         for (id, payload_entry) in candidates.iter().copied() {
             if budget == 0 {
                 break;
@@ -862,16 +956,12 @@ impl Core {
                     continue;
                 }
                 handled_packets.push(pid);
-                let members: Vec<(UopId, usize)> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&(cid, _)| {
-                        let c = self.slab.at(cid);
-                        c.ctx == TRAILING && c.packet == Some(pid)
-                    })
-                    .collect();
-                let total =
-                    self.trail_packet_total.get(&pid).copied().unwrap_or(members.len());
+                members.clear();
+                members.extend(candidates.iter().copied().filter(|&(cid, _)| {
+                    let c = self.slab.at(cid);
+                    c.ctx == TRAILING && c.packet == Some(pid)
+                }));
+                let total = self.trail_packet_total.get(pid).unwrap_or(members.len());
                 if members.len() != total
                     || budget < members.len()
                     || !members.iter().all(|&(mid, _)| self.operands_ready(mid))
@@ -879,7 +969,7 @@ impl Core {
                     continue;
                 }
                 let snap = self.fus.snapshot();
-                let mut ways = Vec::with_capacity(members.len());
+                ways.clear();
                 for &(mid, _) in &members {
                     match self.fus.try_alloc(self.slab.at(mid).fu, self.cycle, &self.cfg.fu_lat)
                     {
@@ -891,10 +981,10 @@ impl Core {
                     self.fus.restore(snap);
                     continue;
                 }
-                for (&(mid, pe), way) in members.iter().zip(ways) {
+                for (&(mid, pe), &way) in members.iter().zip(&ways) {
                     self.do_issue(mid, way, pe, &mut issued, &mut budget);
                 }
-                self.trail_packet_total.remove(&pid);
+                self.trail_packet_total.remove(pid);
                 continue;
             }
 
@@ -906,7 +996,7 @@ impl Core {
                     // of its packet is ready (it then issues in slot order
                     // with them, preserving the mapping).
                     let p = u.packet.expect("filler NOPs belong to a packet");
-                    if !packet_ready.get(&p).copied().unwrap_or(true) {
+                    if !packet_ready.iter().find(|e| e.0 == p).map(|e| e.1).unwrap_or(true) {
                         continue;
                     }
                 } else if !self.operands_ready(id) {
@@ -930,6 +1020,12 @@ impl Core {
         }
         self.classify_issue_cycle(&issued);
         self.allocate_dtq_entries(&issued);
+        self.scratch.issued = issued;
+        self.scratch.candidates = candidates;
+        self.scratch.packet_ready = packet_ready;
+        self.scratch.handled_packets = handled_packets;
+        self.scratch.members = members;
+        self.scratch.ways = ways;
     }
 
     /// Common issue bookkeeping: removes the uop from the queue, executes
@@ -1149,7 +1245,8 @@ impl Core {
         self.stats.issue_cycles += 1;
         let mut lead_n = 0usize;
         let mut trail_n = 0usize;
-        let mut packets: Vec<u64> = Vec::new();
+        let mut packets = std::mem::take(&mut self.scratch.packets);
+        packets.clear();
         let mut violated = false;
         for &id in issued {
             let u = self.slab.at(id);
@@ -1189,6 +1286,7 @@ impl Core {
                 self.stats.tt_interference_cycles += 1;
             }
         }
+        self.scratch.packets = packets;
     }
 
     /// Allocates DTQ entries for this cycle's leading packet, in issue
@@ -1209,10 +1307,12 @@ impl Core {
         // cycle. This keeps the DTQ in *dependence-complete* order, which
         // is what safe-shuffle's within-packet-independence and
         // across-packet-ordering guarantees actually require.
-        let leading: Vec<UopId> =
-            issued.iter().copied().filter(|&id| self.slab.at(id).ctx == LEADING).collect();
+        let mut leading = std::mem::take(&mut self.scratch.leading);
+        leading.clear();
+        leading.extend(issued.iter().copied().filter(|&id| self.slab.at(id).ctx == LEADING));
         let n = leading.len();
         if n == 0 {
+            self.scratch.leading = leading;
             return;
         }
         // Compute packet-boundary positions (break *before* index i): at a
@@ -1220,8 +1320,11 @@ impl Core {
         // when a class would exceed its FU instance count (late-captured
         // split stores can push a group past what any single cycle could
         // actually co-issue — such a packet could never issue whole).
-        let mut breaks = vec![false; n];
-        let mut dsts: Vec<crate::uop::PhysReg> = Vec::with_capacity(n);
+        let mut breaks = std::mem::take(&mut self.scratch.breaks);
+        breaks.clear();
+        breaks.resize(n, false);
+        let mut dsts = std::mem::take(&mut self.scratch.dsts);
+        dsts.clear();
         let mut members = 0usize;
         let mut class_counts = [0usize; 7];
         for (i, &id) in leading.iter().enumerate() {
@@ -1254,6 +1357,9 @@ impl Core {
             u.packet = Some(packet_id);
         }
         self.lead_packets = packet_id + 1;
+        self.scratch.leading = leading;
+        self.scratch.breaks = breaks;
+        self.scratch.dsts = dsts;
     }
 
     // --------------------------------------------------------------- dispatch
@@ -1613,7 +1719,11 @@ impl Core {
         self.trail_packets += 1;
         if self.cfg.trailing_packet_atomic {
             let occupied = packet.iter().filter(|s| !matches!(s, Slot::Hole)).count();
-            self.trail_packet_total.insert(packet_id, occupied);
+            // A memberless packet would never be removed at issue; skip it
+            // so the fixed-capacity table's live-entry bound holds.
+            if occupied > 0 {
+                self.trail_packet_total.insert(packet_id, occupied);
+            }
         }
         for (slot, s) in packet.into_iter().enumerate() {
             match s {

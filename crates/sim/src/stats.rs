@@ -27,6 +27,9 @@ pub struct PairTrace {
 pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
+    /// Wall-clock nanoseconds spent inside [`Core::run`](crate::Core::run)
+    /// — the simulator's own throughput denominator.
+    pub wall_nanos: u64,
     /// Architectural instructions committed, per context.
     pub committed: [u64; 2],
     /// Instructions fetched (including wrong-path), per context.
@@ -144,6 +147,55 @@ impl SimStats {
     pub fn frontend_coverage(&self) -> f64 {
         self.coverage.frontend_coverage()
     }
+
+    /// Simulated cycles per wall-clock second — the simulator's own
+    /// throughput, reported by the `bench_campaign` harness.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e9 / self.wall_nanos as f64
+        }
+    }
+
+    /// Merges another run's statistics into this one. All counters (and
+    /// wall-clock) sum, coverage observations pool, and event traces
+    /// append, so campaign workers can measure runs independently and
+    /// combine afterwards; merging is order-insensitive for every derived
+    /// ratio.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.cycles += other.cycles;
+        self.wall_nanos += other.wall_nanos;
+        for i in 0..2 {
+            self.committed[i] += other.committed[i];
+            self.fetched[i] += other.fetched[i];
+            self.issued[i] += other.issued[i];
+        }
+        self.filler_issued += other.filler_issued;
+        self.squashed += other.squashed;
+        self.mispredicts += other.mispredicts;
+        self.branches += other.branches;
+        self.issue_cycles += other.issue_cycles;
+        self.single_ctx_issue_cycles += other.single_ctx_issue_cycles;
+        self.lt_coissue_cycles += other.lt_coissue_cycles;
+        self.tt_coissue_cycles += other.tt_coissue_cycles;
+        self.lt_interference_cycles += other.lt_interference_cycles;
+        self.tt_interference_cycles += other.tt_interference_cycles;
+        self.coverage.merge(&other.coverage);
+        for (mine, theirs) in self.back_div_by_fu.iter_mut().zip(&other.back_div_by_fu) {
+            mine[0] += theirs[0];
+            mine[1] += theirs[1];
+        }
+        self.shuffle_splits += other.shuffle_splits;
+        self.shuffle_nops += other.shuffle_nops;
+        self.shuffle_forced += other.shuffle_forced;
+        self.shuffle_packets += other.shuffle_packets;
+        self.store_checks += other.store_checks;
+        self.detections.extend(other.detections.iter().copied());
+        self.deadlocked |= other.deadlocked;
+        self.trace_pairs |= other.trace_pairs;
+        self.pair_trace.extend(other.pair_trace.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +229,60 @@ mod tests {
         assert_eq!(s.burstiness(), 0.7);
         assert_eq!(s.lt_interference(), 0.025);
         assert_eq!(s.tt_interference(), 0.005);
+    }
+
+    #[test]
+    fn cycles_per_sec_accounting() {
+        let s = SimStats::default();
+        assert_eq!(s.cycles_per_sec(), 0.0, "no wall time yet");
+        let s = SimStats { cycles: 3_000_000, wall_nanos: 1_500_000_000, ..SimStats::default() };
+        assert_eq!(s.cycles_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_pools_coverage() {
+        let mut a = SimStats {
+            cycles: 100,
+            wall_nanos: 50,
+            committed: [10, 9],
+            issue_cycles: 40,
+            single_ctx_issue_cycles: 30,
+            mispredicts: 2,
+            shuffle_nops: 5,
+            ..SimStats::default()
+        };
+        a.coverage.record_pair(true, true);
+        a.back_div_by_fu[0][1] += 1;
+
+        let mut b = SimStats {
+            cycles: 300,
+            wall_nanos: 150,
+            committed: [20, 21],
+            issue_cycles: 60,
+            single_ctx_issue_cycles: 40,
+            mispredicts: 1,
+            shuffle_nops: 7,
+            deadlocked: true,
+            ..SimStats::default()
+        };
+        b.coverage.record_pair(false, false);
+        b.back_div_by_fu[0][0] += 1;
+
+        a.merge(&b);
+        assert_eq!(a.cycles, 400);
+        assert_eq!(a.wall_nanos, 200);
+        assert_eq!(a.committed, [30, 30]);
+        assert_eq!(a.issue_cycles, 100);
+        assert_eq!(a.single_ctx_issue_cycles, 70);
+        assert_eq!(a.mispredicts, 3);
+        assert_eq!(a.shuffle_nops, 12);
+        assert!(a.deadlocked);
+        assert_eq!(a.coverage.pairs, 2);
+        assert_eq!(a.back_div_by_fu[0], [1, 1]);
+        // Derived ratios come out pooled, not averaged.
+        assert_eq!(a.burstiness(), 0.7);
+        assert_eq!(a.backend_coverage(), 0.5);
+        assert_eq!(a.cycles_per_sec(), 2e9);
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Randomized property tests for safe-shuffle: instruction preservation
+//! and the two §4.2.2 spatial-diversity constraints over arbitrary
+//! packets, driven by the workspace PRNG.
+
+use blackjack_isa::FuType;
+use blackjack_rng::Rng;
+use blackjack_sim::shuffle::{exhaustive_shuffle, no_shuffle, safe_shuffle, ShuffleItem, Slot};
+use blackjack_sim::FuCounts;
+
+const CASES: usize = 2000;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Item {
+    ty: FuType,
+    fe: usize,
+    be: usize,
+    tag: usize,
+}
+
+impl ShuffleItem for Item {
+    fn fu_type(&self) -> FuType {
+        self.ty
+    }
+    fn lead_front_way(&self) -> usize {
+        self.fe
+    }
+    fn lead_back_way(&self) -> usize {
+        self.be
+    }
+}
+
+const TYPES: [FuType; 7] = [
+    FuType::IntAlu,
+    FuType::IntMul,
+    FuType::IntDiv,
+    FuType::FpAlu,
+    FuType::FpMul,
+    FuType::FpDiv,
+    FuType::MemPort,
+];
+
+/// A packet as the leading thread could have produced it: at most `width`
+/// instructions, no class over its instance count, distinct frontend ways
+/// (co-fetched instructions occupy distinct slots), and distinct backend
+/// ways per class (co-issued instructions occupy distinct instances).
+fn packet(rng: &mut Rng, width: usize) -> Vec<Item> {
+    let counts = FuCounts::default();
+    let n_raw = rng.random_range(1..=width);
+    let mut types: Vec<FuType> =
+        (0..n_raw).map(|_| TYPES[rng.random_range(0..TYPES.len())]).collect();
+    // Enforce class-capacity feasibility by dropping extras.
+    let mut used = [0usize; 7];
+    types.retain(|t| {
+        used[t.index()] += 1;
+        used[t.index()] <= counts.of(*t)
+    });
+    let n = types.len();
+    // Random distinct frontend ways, in increasing slot order.
+    let mut ways: Vec<usize> = (0..width).collect();
+    for i in 0..ways.len() {
+        let j = rng.random_range(i..ways.len());
+        ways.swap(i, j);
+    }
+    let mut fes: Vec<usize> = ways.into_iter().take(n).collect();
+    fes.sort_unstable();
+    let mut per_class = [0usize; 7];
+    types
+        .iter()
+        .zip(fes)
+        .enumerate()
+        .map(|(tag, (&ty, fe))| {
+            let idx = per_class[ty.index()];
+            per_class[ty.index()] += 1;
+            Item { ty, fe, be: counts.global_way(ty, idx), tag }
+        })
+        .collect()
+}
+
+fn tags(out: &[Vec<Slot<Item>>]) -> Vec<usize> {
+    let mut v: Vec<usize> = out
+        .iter()
+        .flatten()
+        .filter_map(|s| match s {
+            Slot::Inst(i) => Some(i.tag),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Shuffle preserves the instruction multiset, never exceeds the machine
+/// width, and — when no placement was forced — satisfies both diversity
+/// constraints for every instruction under the whole-packet-alone issue
+/// assumption.
+#[test]
+fn shuffle_invariants() {
+    let counts = FuCounts::default();
+    let mut rng = Rng::seed_from_u64(0x5AFE);
+    for _ in 0..CASES {
+        let input = packet(&mut rng, 4);
+        let n = input.len();
+        let expect: Vec<usize> = (0..n).collect();
+        let out = safe_shuffle(input.clone(), 4, &counts);
+
+        assert_eq!(tags(&out.packets), expect, "instructions lost or duplicated");
+        for p in &out.packets {
+            assert!(p.len() <= 4, "packet wider than the machine");
+            assert!(
+                !matches!(p.last(), Some(Slot::Nop(_)) | Some(Slot::Hole) | None),
+                "packets end with a real instruction"
+            );
+        }
+        if out.forced == 0 {
+            for p in &out.packets {
+                for (slot, s) in p.iter().enumerate() {
+                    if let Slot::Inst(i) = s {
+                        assert_ne!(slot, i.fe, "frontend conflict for {i:?}");
+                        let be_idx =
+                            p[..slot].iter().filter(|x| x.fu_type() == Some(i.ty)).count();
+                        assert!(be_idx < counts.of(i.ty), "backend index over capacity");
+                        let way = counts.global_way(i.ty, be_idx);
+                        assert_ne!(way, i.be, "backend conflict for {i:?}");
+                    }
+                }
+            }
+        }
+        // NOP accounting is exact.
+        let nops = out.packets.iter().flatten().filter(|s| s.is_nop()).count() as u64;
+        assert_eq!(out.nops, nops);
+        // With the default (multi-instance) classes nothing is forced.
+        assert_eq!(out.forced, 0, "forced placement with 2+ instances per class");
+    }
+}
+
+/// The no-shuffle baseline is an exact pass-through.
+#[test]
+fn no_shuffle_is_identity() {
+    let mut rng = Rng::seed_from_u64(0x1D);
+    for _ in 0..CASES {
+        let input = packet(&mut rng, 4);
+        let n = input.len();
+        let out = no_shuffle(input.clone());
+        assert_eq!(out.splits, 0);
+        assert_eq!(out.nops, 0);
+        assert_eq!(out.packets.len(), 1);
+        let p = &out.packets[0];
+        assert_eq!(p.len(), n);
+        for (k, s) in p.iter().enumerate() {
+            match s {
+                Slot::Inst(i) => assert_eq!(i.tag, k),
+                other => panic!("unexpected slot {other:?}"),
+            }
+        }
+    }
+}
+
+/// Shuffling is deterministic.
+#[test]
+fn shuffle_is_deterministic() {
+    let counts = FuCounts::default();
+    let mut rng = Rng::seed_from_u64(0xDE7);
+    for _ in 0..CASES {
+        let input = packet(&mut rng, 4);
+        let a = safe_shuffle(input.clone(), 4, &counts);
+        let b = safe_shuffle(input, 4, &counts);
+        assert_eq!(a, b);
+    }
+}
+
+/// The exhaustive shuffle satisfies the same invariants as the greedy one
+/// and is never worse: no more splits and no more filler NOPs.
+#[test]
+fn exhaustive_shuffle_dominates_greedy() {
+    let counts = FuCounts::default();
+    let mut rng = Rng::seed_from_u64(0xE4A);
+    for _ in 0..CASES {
+        let input = packet(&mut rng, 4);
+        let n = input.len();
+        let expect: Vec<usize> = (0..n).collect();
+        let greedy = safe_shuffle(input.clone(), 4, &counts);
+        let out = exhaustive_shuffle(input, 4, &counts);
+
+        assert_eq!(tags(&out.packets), expect, "instructions lost or duplicated");
+        assert!(out.splits <= greedy.splits, "exhaustive split more than greedy");
+        if out.splits == greedy.splits {
+            assert!(out.nops <= greedy.nops, "exhaustive used more NOPs");
+        }
+        assert_eq!(out.forced, 0);
+        for p in &out.packets {
+            for (slot, s) in p.iter().enumerate() {
+                if let Slot::Inst(i) = s {
+                    assert_ne!(slot, i.fe, "frontend conflict for {i:?}");
+                    let be_idx = p[..slot].iter().filter(|x| x.fu_type() == Some(i.ty)).count();
+                    assert!(be_idx < counts.of(i.ty));
+                    assert_ne!(
+                        counts.global_way(i.ty, be_idx),
+                        i.be,
+                        "backend conflict for {i:?}"
+                    );
+                }
+            }
+        }
+    }
+}

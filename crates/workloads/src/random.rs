@@ -7,8 +7,7 @@
 
 use blackjack_isa::asm::assemble_named;
 use blackjack_isa::Program;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use blackjack_rng::Rng;
 
 /// Scratch heap base used by generated loads/stores.
 const HEAP: u64 = 0x40_0000;
@@ -28,7 +27,7 @@ const FREGS: [u8; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 /// Panics if generated assembly fails to assemble (a generator bug; the
 /// property tests exercise thousands of seeds).
 pub fn random_program(seed: u64, segments: usize) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = Gen { rng: &mut rng, label: 0, src: String::new(), funcs: Vec::new() };
 
     g.line(".text");
@@ -81,7 +80,7 @@ pub fn random_program(seed: u64, segments: usize) -> Program {
 }
 
 struct Gen<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
     label: usize,
     src: String,
     funcs: Vec<String>,

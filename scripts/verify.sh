@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: offline build, full test suite, and a quick
+# end-to-end smoke of the figure pipeline. Run from anywhere; exits
+# non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: offline release build =="
+cargo build --release --offline
+
+echo "== tier-1: test suite =="
+cargo test -q --workspace --offline
+
+echo "== tier-1: fig_all smoke (BJ_SCALE=1) =="
+BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin fig_all >/dev/null
+
+echo "verify: OK"

@@ -1,0 +1,277 @@
+//! # The campaign engine: deterministic simulation fan-out
+//!
+//! The paper's evaluation is embarrassingly parallel — 16 benchmarks × 4
+//! modes for the figures, plus hundreds of independent single-fault
+//! injection runs for the detection sweep. This module flattens every
+//! unit of simulation work into a single job list executed by a
+//! work-stealing worker pool: workers race on one atomic job index and
+//! each claims the next unstarted job, so imbalanced job lengths (a
+//! BlackJack run costs ~3× a Single run) self-level without any static
+//! partitioning.
+//!
+//! **Determinism:** results are written into a slot per job and
+//! reassembled in job order, so campaign output is bit-identical
+//! regardless of worker count. The paper figures, the detection sweep,
+//! and the ablations all produce the same tables at `BJ_THREADS=1` and
+//! `BJ_THREADS=64`.
+//!
+//! Worker count defaults to the host's available parallelism and can be
+//! overridden with the `BJ_THREADS` environment variable.
+//!
+//! ```
+//! use blackjack::Campaign;
+//!
+//! let squares: Vec<u64> = Campaign::with_workers(4)
+//!     .run((0..100u64).map(|i| move || i * i).collect());
+//! assert_eq!(squares[7], 49);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A worker pool executing a flat list of independent jobs.
+///
+/// Construct with [`Campaign::from_env`] (honours `BJ_THREADS`) or
+/// [`Campaign::with_workers`]; run job lists with [`Campaign::run`].
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    workers: usize,
+}
+
+impl Default for Campaign {
+    fn default() -> Campaign {
+        Campaign::from_env()
+    }
+}
+
+impl Campaign {
+    /// A campaign sized from the environment: `BJ_THREADS` if set to a
+    /// positive integer, otherwise the host's available parallelism.
+    pub fn from_env() -> Campaign {
+        let workers = std::env::var("BJ_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        Campaign { workers }
+    }
+
+    /// A campaign with an explicit worker count (tests use this to avoid
+    /// racing on the process environment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Campaign {
+        assert!(workers > 0, "a campaign needs at least one worker");
+        Campaign { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every job and returns the results **in job order**,
+    /// regardless of which worker ran which job or in what order they
+    /// finished.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first job panic after all workers have drained.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Single worker: run inline, no thread overhead (and exact
+        // sequential semantics for debugging).
+        if self.workers == 1 || n == 1 {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+
+        let slots: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n);
+
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // The shared index is the work-stealing heart: a
+                    // worker that finishes early immediately claims the
+                    // next unstarted job.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each job claimed exactly once");
+                    let out = job();
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index below n was executed")
+            })
+            .collect()
+    }
+
+    /// [`Campaign::run`] plus wall-clock timing, for throughput
+    /// accounting.
+    pub fn run_timed<T, F>(&self, jobs: Vec<F>) -> (Vec<T>, Duration)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let t0 = Instant::now();
+        let out = self.run(jobs);
+        (out, t0.elapsed())
+    }
+}
+
+/// Aggregate throughput accounting for a campaign of simulator runs.
+///
+/// Built from the per-run [`SimStats`](blackjack_sim::SimStats) by
+/// [`CampaignStats::tally`]; the headline metric is *simulated cycles per
+/// wall-clock second across the whole campaign*, the number the
+/// `bench_campaign` harness records in `BENCH_campaign.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Total simulated cycles across all jobs.
+    pub sim_cycles: u64,
+    /// Total architecturally committed instructions (leading contexts).
+    pub committed: u64,
+    /// Campaign wall-clock.
+    pub wall: Duration,
+}
+
+impl CampaignStats {
+    /// Accumulates one run's statistics.
+    pub fn tally(&mut self, stats: &blackjack_sim::SimStats) {
+        self.jobs += 1;
+        self.sim_cycles += stats.cycles;
+        self.committed += stats.committed[0];
+    }
+
+    /// Simulated cycles per wall-clock second for the whole campaign.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / secs
+        }
+    }
+
+    /// Merges another campaign's tally into this one (wall-clock adds,
+    /// which models sequential campaign phases).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.jobs += other.jobs;
+        self.sim_cycles += other.sim_cycles;
+        self.committed += other.committed;
+        self.wall += other.wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_job_order_any_worker_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for workers in [1, 2, 8, 32] {
+            let jobs: Vec<_> = (0..97).map(|i| move || i * 3 + 1).collect();
+            let got = Campaign::with_workers(workers).run(jobs);
+            assert_eq!(got, expect, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_lists() {
+        let c = Campaign::with_workers(4);
+        let none: Vec<u32> = c.run(Vec::<fn() -> u32>::new());
+        assert!(none.is_empty());
+        assert_eq!(c.run(vec![|| 41 + 1]), vec![42]);
+    }
+
+    #[test]
+    fn uneven_job_lengths_self_level() {
+        // Long jobs first: a static split would serialize them on one
+        // worker; the shared index lets idle workers steal the rest.
+        let jobs: Vec<_> = (0..40u64)
+            .map(|i| {
+                move || {
+                    let spins = if i < 4 { 200_000 } else { 1_000 };
+                    let mut acc = i;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let got = Campaign::with_workers(8).run(jobs);
+        assert_eq!(got.len(), 40);
+        for (slot, (i, _)) in got.iter().enumerate() {
+            assert_eq!(slot as u64, *i, "result landed in the wrong slot");
+        }
+    }
+
+    #[test]
+    fn workers_from_env_shape() {
+        let c = Campaign::with_workers(3);
+        assert_eq!(c.workers(), 3);
+        assert!(Campaign::from_env().workers() >= 1);
+    }
+
+    #[test]
+    fn campaign_stats_tally_and_merge() {
+        let mut a = CampaignStats::default();
+        let mut s = blackjack_sim::SimStats::default();
+        s.cycles = 100;
+        s.committed[0] = 40;
+        a.tally(&s);
+        s.cycles = 50;
+        s.committed[0] = 20;
+        a.tally(&s);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.sim_cycles, 150);
+        assert_eq!(a.committed, 60);
+
+        let mut b = CampaignStats {
+            jobs: 1,
+            sim_cycles: 850,
+            committed: 300,
+            wall: Duration::from_secs(1),
+        };
+        b.merge(&a);
+        assert_eq!(b.jobs, 3);
+        assert_eq!(b.sim_cycles, 1000);
+        assert_eq!(b.committed, 360);
+        assert_eq!(b.cycles_per_sec(), 1000.0);
+
+        assert_eq!(CampaignStats::default().cycles_per_sec(), 0.0);
+    }
+}

@@ -1,11 +1,11 @@
 //! The experiment runner: drives benchmarks through the simulator modes
 //! and extracts the paper's figures.
 
-use std::thread;
-
 use blackjack_faults::{AreaModel, FaultPlan};
 use blackjack_sim::{Core, CoreConfig, Mode, RunOutcome, SimStats};
 use blackjack_workloads::{build, Benchmark};
+
+use crate::campaign::Campaign;
 
 /// Default cycle budget per run — far above anything the kernels need.
 const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
@@ -91,16 +91,40 @@ impl Experiment {
         BenchmarkResult { bench, single, srt, ns, bj }
     }
 
-    /// Runs the whole evaluation (16 benchmarks × 4 modes), one thread per
-    /// benchmark.
+    /// Runs the whole evaluation (16 benchmarks × 4 modes) on a campaign
+    /// sized from the environment (`BJ_THREADS`).
     pub fn run_all(&self) -> ExperimentResult {
-        let rows = thread::scope(|s| {
-            let handles: Vec<_> = Benchmark::ALL
-                .iter()
-                .map(|&b| s.spawn(move || self.run_benchmark(b)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("benchmark thread")).collect()
-        });
+        self.run_all_on(&Campaign::from_env())
+    }
+
+    /// Runs the whole evaluation on an explicit campaign. Every
+    /// (benchmark, mode) pair is one job, so the worker pool levels load
+    /// at mode granularity; results reassemble in benchmark order and are
+    /// identical for any worker count.
+    pub fn run_all_on(&self, campaign: &Campaign) -> ExperimentResult {
+        let jobs: Vec<_> = Benchmark::ALL
+            .iter()
+            .flat_map(|&b| Mode::ALL.iter().map(move |&m| (b, m)))
+            .map(|(b, m)| move || self.run_one(b, m))
+            .collect();
+        let mut runs = campaign.run(jobs).into_iter();
+        let rows = Benchmark::ALL
+            .iter()
+            .map(|&bench| {
+                let mut next = |mode: Mode| {
+                    let r = runs.next().expect("one run per (benchmark, mode)");
+                    assert_eq!((r.bench, r.mode), (bench, mode), "job order");
+                    r
+                };
+                BenchmarkResult {
+                    bench,
+                    single: next(Mode::Single),
+                    srt: next(Mode::Srt),
+                    ns: next(Mode::BlackJackNoShuffle),
+                    bj: next(Mode::BlackJack),
+                }
+            })
+            .collect();
         ExperimentResult { rows, area: AreaModel::default() }
     }
 }
@@ -317,6 +341,23 @@ impl ExperimentResult {
             mean(f.iter().map(|r| r.3)),
         ));
         s
+    }
+
+    /// Aggregate simulator throughput over every run in the evaluation:
+    /// `(simulated cycles, in-core wall seconds, cycles per second)`.
+    /// Wall time is summed across runs, so this measures the core's own
+    /// speed independent of how many campaign workers ran the jobs.
+    pub fn throughput(&self) -> (u64, f64, f64) {
+        let mut cycles = 0u64;
+        let mut nanos = 0u64;
+        for r in &self.rows {
+            for m in [&r.single, &r.srt, &r.ns, &r.bj] {
+                cycles += m.stats.cycles;
+                nanos += m.stats.wall_nanos;
+            }
+        }
+        let cps = if nanos == 0 { 0.0 } else { cycles as f64 * 1e9 / nanos as f64 };
+        (cycles, nanos as f64 / 1e9, cps)
     }
 
     /// Headline numbers in the abstract's terms: (SRT coverage %, BlackJack

@@ -11,6 +11,8 @@ pub use blackjack_mem as mem;
 pub use blackjack_sim as sim;
 pub use blackjack_workloads as workloads;
 
+mod campaign;
 mod experiment;
 
+pub use campaign::{Campaign, CampaignStats};
 pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};
