@@ -1,0 +1,37 @@
+//! Static analysis of BJ-ISA programs.
+//!
+//! Everything downstream of the assembler in this workspace — the
+//! interpreter, the timing simulator, the fault-injection campaigns —
+//! executes programs *dynamically*. This crate is the static
+//! counterpart: it decodes an assembled [`blackjack_isa::Program`] back
+//! into instructions, builds a control-flow graph, runs classic
+//! dataflow analyses over it, and exposes three consumers:
+//!
+//! * [`lint`] — program sanity checks (unreachable code, reads of
+//!   never-written registers, dead definitions, unbounded loops,
+//!   running off the end of the text segment). The workload suite is
+//!   lint-clean by test.
+//! * [`reach`] — static fault-site reachability: which backend ways a
+//!   program can possibly exercise, so injection campaigns can prove
+//!   the remaining sites benign without simulating them.
+//! * [`shuffle_check`] — a verifier that drives the real safe-shuffle
+//!   implementation over every possible leading placement and proves
+//!   the spatial-diversity property the paper's detection argument
+//!   rests on.
+//!
+//! The `bj-lint` binary in `blackjack-bench` runs all three over the
+//! workload suite and emits a machine-readable report.
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod lint;
+pub mod reach;
+pub mod shuffle_check;
+
+pub use cfg::{BasicBlock, Cfg, CfgError, Terminator};
+pub use dataflow::{dead_defs, DefiniteAssign, Liveness, ReachingDefs, RegSet};
+pub use lint::{lint_program, Lint, LintReport};
+pub use reach::{FuMix, SiteAnalysis};
+pub use shuffle_check::{verify_default, verify_shuffle, ShuffleCheckError, ShuffleProof};

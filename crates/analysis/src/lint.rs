@@ -1,0 +1,271 @@
+//! Static lints over BJ-ISA programs.
+//!
+//! Each lint is derived from the CFG and dataflow passes and reports a
+//! program point (instruction index + PC) so workload authors can map a
+//! finding straight back to the assembly source.
+
+use std::fmt;
+
+use blackjack_isa::{LogReg, Program};
+
+use crate::cfg::{Cfg, CfgError, Terminator};
+use crate::dataflow::{dead_defs, DefiniteAssign};
+
+/// One static finding about a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A basic block no path from the entry can execute.
+    UnreachableBlock {
+        /// Block id.
+        block: usize,
+        /// PC of the block's first instruction.
+        pc: u64,
+        /// Number of dead instructions.
+        len: usize,
+    },
+    /// A register is read on some path before any instruction writes it.
+    UninitRead {
+        /// Instruction index.
+        inst: usize,
+        /// PC of the reading instruction.
+        pc: u64,
+        /// The possibly-undefined register.
+        reg: LogReg,
+    },
+    /// A register write whose value can never be read afterwards.
+    DeadDef {
+        /// Instruction index.
+        inst: usize,
+        /// PC of the writing instruction.
+        pc: u64,
+        /// The pointlessly-written register.
+        reg: LogReg,
+    },
+    /// A reachable block from which no `halt` can be reached: the
+    /// program can enter an unbounded loop.
+    NoHaltPath {
+        /// Block id.
+        block: usize,
+        /// PC of the block's first instruction.
+        pc: u64,
+    },
+    /// Execution can run past the last instruction of the text segment.
+    FallsOffEnd {
+        /// Block id of the offending block.
+        block: usize,
+        /// PC of the block's last instruction.
+        pc: u64,
+    },
+}
+
+impl Lint {
+    /// Short machine-readable lint name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lint::UnreachableBlock { .. } => "unreachable-block",
+            Lint::UninitRead { .. } => "uninit-read",
+            Lint::DeadDef { .. } => "dead-def",
+            Lint::NoHaltPath { .. } => "no-halt-path",
+            Lint::FallsOffEnd { .. } => "falls-off-end",
+        }
+    }
+
+    /// The PC the finding anchors to.
+    pub fn pc(&self) -> u64 {
+        match *self {
+            Lint::UnreachableBlock { pc, .. }
+            | Lint::UninitRead { pc, .. }
+            | Lint::DeadDef { pc, .. }
+            | Lint::NoHaltPath { pc, .. }
+            | Lint::FallsOffEnd { pc, .. } => pc,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnreachableBlock { block, pc, len } => {
+                write!(f, "unreachable-block: block {block} at {pc:#x} ({len} insts) can never execute")
+            }
+            Lint::UninitRead { pc, reg, .. } => {
+                write!(f, "uninit-read: {reg} read at {pc:#x} before any write reaches it")
+            }
+            Lint::DeadDef { pc, reg, .. } => {
+                write!(f, "dead-def: value written to {reg} at {pc:#x} is never read")
+            }
+            Lint::NoHaltPath { block, pc } => {
+                write!(f, "no-halt-path: block {block} at {pc:#x} cannot reach halt (unbounded loop)")
+            }
+            Lint::FallsOffEnd { pc, .. } => {
+                write!(f, "falls-off-end: execution can run past the text segment after {pc:#x}")
+            }
+        }
+    }
+}
+
+/// The result of linting one program.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Program name (from [`Program`]).
+    pub program: String,
+    /// All findings, sorted by PC.
+    pub lints: Vec<Lint>,
+    /// Number of basic blocks analyzed.
+    pub blocks: usize,
+    /// Number of instructions analyzed.
+    pub insts: usize,
+}
+
+impl LintReport {
+    /// True when no lint fired.
+    pub fn is_clean(&self) -> bool {
+        self.lints.is_empty()
+    }
+}
+
+/// Runs every lint over `prog`.
+///
+/// Programs containing indirect jumps (`jalr`) get conservative results:
+/// reachability- and termination-based lints are suppressed because the
+/// static CFG cannot see where an indirect jump lands.
+///
+/// # Errors
+///
+/// Returns [`CfgError`] when the program cannot be analyzed at all
+/// (empty text, undecodable word, or a branch target outside the text
+/// segment) — those are hard errors, not lints.
+pub fn lint_program(prog: &Program) -> Result<LintReport, CfgError> {
+    let cfg = Cfg::build(prog)?;
+    let mut lints = Vec::new();
+
+    let has_indirect = cfg
+        .blocks()
+        .iter()
+        .any(|b| b.term == Terminator::Indirect);
+
+    let reachable = cfg.reachable();
+    if !has_indirect {
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if !reachable[b] {
+                lints.push(Lint::UnreachableBlock {
+                    block: b,
+                    pc: cfg.pc_of(blk.start),
+                    len: blk.len(),
+                });
+            }
+        }
+
+        let can_halt = cfg.can_reach_halt();
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if reachable[b] && !can_halt[b] && blk.term != Terminator::FallsOffEnd {
+                lints.push(Lint::NoHaltPath { block: b, pc: cfg.pc_of(blk.start) });
+            }
+        }
+    }
+
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if reachable[b] && blk.term == Terminator::FallsOffEnd {
+            lints.push(Lint::FallsOffEnd { block: b, pc: cfg.pc_of(blk.end - 1) });
+        }
+    }
+
+    for (i, reg) in DefiniteAssign::uninit_reads(&cfg) {
+        lints.push(Lint::UninitRead { inst: i, pc: cfg.pc_of(i), reg });
+    }
+
+    for (i, reg) in dead_defs(&cfg) {
+        lints.push(Lint::DeadDef { inst: i, pc: cfg.pc_of(i), reg });
+    }
+
+    lints.sort_by_key(|l| l.pc());
+    Ok(LintReport {
+        program: prog.name.clone(),
+        lints,
+        blocks: cfg.blocks().len(),
+        insts: cfg.insts().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    fn lint(src: &str) -> LintReport {
+        lint_program(&assemble(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint(
+            ".text
+                li   x1, 4
+                li   x2, 0
+            loop:
+                addi x2, x2, 1
+                blt  x2, x1, loop
+                sd   x2, 0(x2)
+                halt
+            ",
+        );
+        assert!(r.is_clean(), "unexpected lints: {:?}", r.lints);
+        assert_eq!(r.blocks, 3);
+    }
+
+    #[test]
+    fn all_five_lints_fire() {
+        let r = lint(
+            ".text
+                add  x4, x3, x0    # uninit-read (x3) and dead-def (x4)
+                li   x1, 1
+                beqz x1, spin
+                j    done
+                addi x5, x0, 9     # unreachable-block
+            spin:
+                j    spin          # no-halt-path
+            done:
+                halt
+                nop                # unreachable, and falls-off-end...
+            ",
+        );
+        let kinds: Vec<&str> = r.lints.iter().map(|l| l.kind()).collect();
+        assert!(kinds.contains(&"uninit-read"), "{kinds:?}");
+        assert!(kinds.contains(&"dead-def"), "{kinds:?}");
+        assert!(kinds.contains(&"unreachable-block"), "{kinds:?}");
+        assert!(kinds.contains(&"no-halt-path"), "{kinds:?}");
+        // falls-off-end only fires on *reachable* blocks; the trailing
+        // nop block is unreachable, so it is reported as dead code only.
+        assert!(!kinds.contains(&"falls-off-end"), "{kinds:?}");
+    }
+
+    #[test]
+    fn falls_off_end_on_reachable_tail() {
+        let r = lint(".text\n addi x1, x0, 1\n sd x1, 0(x2)\n");
+        let kinds: Vec<&str> = r.lints.iter().map(|l| l.kind()).collect();
+        assert!(kinds.contains(&"falls-off-end"), "{kinds:?}");
+    }
+
+    #[test]
+    fn lints_sorted_by_pc() {
+        let r = lint(
+            ".text
+                add  x4, x3, x0
+                add  x6, x5, x0
+                halt
+            ",
+        );
+        let pcs: Vec<u64> = r.lints.iter().map(|l| l.pc()).collect();
+        let mut sorted = pcs.clone();
+        sorted.sort_unstable();
+        assert_eq!(pcs, sorted);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = lint(".text\n add x4, x3, x0\n halt\n");
+        let text = r.lints.iter().map(|l| l.to_string()).collect::<Vec<_>>().join("\n");
+        assert!(text.contains("uninit-read"), "{text}");
+        assert!(text.contains("0x10000"), "should mention the PC: {text}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Static fault-site reachability: which backend ways can a program
+//! possibly exercise?
+//!
+//! A hard fault on a backend way only manifests when a uop *computes on
+//! that way* (the simulator corrupts results at execute, see
+//! `fault_value` in `blackjack-sim`). A way of FU class `t` can
+//! therefore never fire if no instruction of class `t` ever executes.
+//!
+//! The soundness argument has to cover more than the statically
+//! reachable path: a faulted core fetches wrong-path and speculative
+//! instructions, an already-fired fault can redirect control into
+//! otherwise-dead code, and safe-shuffle plants filler NOPs. So the
+//! pruning criterion is deliberately coarse: a class is *exercisable*
+//! if **any** word of the text segment decodes to it. Everything the
+//! core can conceivably execute — right path, wrong path, dead code —
+//! is some decoded text word, and shuffle filler NOPs only ever take
+//! the class of an instruction already present in the packet. A class
+//! absent from the entire text segment can never appear in the
+//! pipeline, so a fault on one of its ways is statically `Benign`.
+//!
+//! Frontend and payload-RAM sites are never pruned: every instruction
+//! flows through them regardless of class.
+
+use blackjack_faults::FaultSite;
+use blackjack_isa::{FuType, Program};
+use blackjack_sim::FuCounts;
+
+use crate::cfg::{Cfg, CfgError};
+
+/// Instruction counts per FU class (indexed by [`FuType::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FuMix {
+    /// One count per class, in [`FuType::ALL`] order.
+    pub counts: [usize; FuType::ALL.len()],
+}
+
+impl FuMix {
+    /// Count for one class.
+    pub fn of(&self, t: FuType) -> usize {
+        self.counts[t.index()]
+    }
+
+    /// True if any instruction of class `t` is present.
+    pub fn exercises(&self, t: FuType) -> bool {
+        self.of(t) > 0
+    }
+
+    /// Total instructions counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Static reachability analysis of one program against one backend
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct SiteAnalysis {
+    /// Program name.
+    pub program: String,
+    /// Mix over **every** decoded text word — the sound pruning basis
+    /// (covers wrong-path and fault-redirected execution).
+    pub static_mix: FuMix,
+    /// Mix over statically-reachable blocks only — reported for
+    /// diagnostics, never used to prune.
+    pub reachable_mix: FuMix,
+    fu: FuCounts,
+}
+
+impl SiteAnalysis {
+    /// Analyzes `prog` against the backend described by `fu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError`] if the program cannot be decoded into a CFG.
+    pub fn analyze(prog: &Program, fu: &FuCounts) -> Result<SiteAnalysis, CfgError> {
+        let cfg = Cfg::build(prog)?;
+        let mut static_mix = FuMix::default();
+        for inst in cfg.insts() {
+            static_mix.counts[inst.fu_type().index()] += 1;
+        }
+        let mut reachable_mix = FuMix::default();
+        let reachable = cfg.reachable();
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            if reachable[b] {
+                for i in blk.start..blk.end {
+                    reachable_mix.counts[cfg.insts()[i].fu_type().index()] += 1;
+                }
+            }
+        }
+        Ok(SiteAnalysis {
+            program: prog.name.clone(),
+            static_mix,
+            reachable_mix,
+            fu: *fu,
+        })
+    }
+
+    /// The backend configuration the analysis was run against.
+    pub fn fu_counts(&self) -> &FuCounts {
+        &self.fu
+    }
+
+    /// True if a fault at `site` is statically provably benign for this
+    /// program: the fault can never corrupt an executing uop, so the run
+    /// is guaranteed to match the golden run.
+    ///
+    /// Only backend sites are ever prunable; frontend ways and payload
+    /// RAM entries process instructions of every class.
+    pub fn prunable(&self, site: FaultSite) -> bool {
+        match site {
+            FaultSite::Backend { way } => {
+                let (t, _) = self.fu.way_type(way);
+                !self.static_mix.exercises(t)
+            }
+            FaultSite::Frontend { .. } | FaultSite::PayloadRam { .. } => false,
+        }
+    }
+
+    /// All prunable backend ways, in ascending global-way order.
+    pub fn prunable_backend_ways(&self) -> Vec<usize> {
+        (0..self.fu.total())
+            .filter(|&w| self.prunable(FaultSite::Backend { way: w }))
+            .collect()
+    }
+
+    /// FU classes the program can never exercise.
+    pub fn dead_classes(&self) -> Vec<FuType> {
+        FuType::ALL
+            .into_iter()
+            .filter(|&t| !self.static_mix.exercises(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    fn analyze(src: &str) -> SiteAnalysis {
+        let prog = assemble(src).unwrap();
+        SiteAnalysis::analyze(&prog, &FuCounts::default()).unwrap()
+    }
+
+    #[test]
+    fn integer_only_program_prunes_all_fp_and_muldiv_ways() {
+        let a = analyze(
+            ".text
+                li   x1, 4
+                li   x2, 0
+            loop:
+                addi x2, x2, 1
+                blt  x2, x1, loop
+                sd   x2, 0(x2)
+                halt
+            ",
+        );
+        assert!(a.static_mix.exercises(FuType::IntAlu));
+        assert!(a.static_mix.exercises(FuType::MemPort));
+        assert!(!a.static_mix.exercises(FuType::IntMul));
+        assert!(!a.static_mix.exercises(FuType::FpDiv));
+        // Default config: 4 IntAlu + 2 each of the rest = 16 ways; the
+        // 10 mul/div/FP ways are prunable, the 4+2 IntAlu/MemPort not.
+        assert_eq!(a.prunable_backend_ways().len(), 10);
+        assert_eq!(a.dead_classes().len(), 5);
+    }
+
+    #[test]
+    fn frontend_and_payload_never_prunable() {
+        let a = analyze(".text\n nop\n halt\n");
+        assert!(!a.prunable(FaultSite::Frontend { way: 0 }));
+        assert!(!a.prunable(FaultSite::PayloadRam { entry: 0 }));
+    }
+
+    #[test]
+    fn dead_code_still_counts_toward_static_mix() {
+        // The fmul is unreachable, but wrong-path fetch could still
+        // decode and execute it — the FpMul ways must not be pruned.
+        let a = analyze(
+            ".text
+                j    end
+                fmul f1, f2, f3    # statically dead
+            end:
+                halt
+            ",
+        );
+        assert!(a.static_mix.exercises(FuType::FpMul));
+        assert!(!a.reachable_mix.exercises(FuType::FpMul));
+        assert!(!a.prunable(FaultSite::Backend {
+            way: FuCounts::default().global_way(FuType::FpMul, 0)
+        }));
+    }
+
+    #[test]
+    fn fp_program_keeps_fp_ways() {
+        let a = analyze(
+            ".text
+                fcvt.d.l f1, x0
+                fadd f2, f1, f1
+                fmul f3, f2, f2
+                fdiv f4, f3, f2
+                fsd  f4, 0(x2)
+                halt
+            ",
+        );
+        for t in [FuType::FpAlu, FuType::FpMul, FuType::FpDiv, FuType::MemPort] {
+            assert!(a.static_mix.exercises(t), "{t} should be exercised");
+        }
+        // Only the integer mul/div ways are prunable.
+        assert_eq!(a.prunable_backend_ways().len(), 4);
+    }
+
+    #[test]
+    fn mix_totals_match() {
+        let a = analyze(".text\n nop\n mul x1, x2, x2\n halt\n");
+        assert_eq!(a.static_mix.total(), 3);
+        assert_eq!(a.reachable_mix.total(), 3);
+        assert_eq!(a.static_mix.of(FuType::IntMul), 1);
+    }
+}

@@ -1,0 +1,436 @@
+//! Static verification of the safe-shuffle schedule (§4.2.2).
+//!
+//! The paper's spatial-diversity claim — a trailing instruction never
+//! reuses its leading copy's frontend or backend way — is what makes a
+//! hard fault on a way detectable: the two copies of an instruction
+//! flow through different hardware, so a faulty way corrupts at most
+//! one copy and the DTQ comparison catches the mismatch.
+//!
+//! This module turns the claim into a machine-checked property. It
+//! enumerates every possible leading placement (each FU class × leading
+//! frontend way × leading backend instance), drives the *real* shuffle
+//! implementation in `blackjack-sim` over every singleton and every
+//! ordered pair of such placements, and checks each output packet:
+//!
+//! * no instruction is lost or duplicated,
+//! * no placement is `forced` (diversity abandoned),
+//! * every placed instruction has frontend diversity (output slot ≠
+//!   leading frontend way) and backend diversity (mapped way ≠ leading
+//!   backend way), and
+//! * each probe resolves within a bounded window of output packets.
+//!
+//! The achieved (leading way → trailing way) pairs are accumulated into
+//! a [`ShuffleProof`]; [`ShuffleProof::is_complete`] then demands that
+//! every (class, way) combination was actually paired with a different
+//! way. A degenerate configuration — e.g. a class with a single
+//! instance, where backend diversity is impossible — is rejected before
+//! any probe runs.
+
+use std::fmt;
+
+use blackjack_isa::FuType;
+use blackjack_sim::shuffle::{exhaustive_shuffle, safe_shuffle, ShuffleItem, ShuffleOutcome, Slot};
+use blackjack_sim::{FuCounts, ShuffleAlgo};
+
+/// A synthetic leading placement driven through the shuffle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Probe {
+    ty: FuType,
+    fe: usize,
+    be: usize,
+    tag: usize,
+}
+
+impl ShuffleItem for Probe {
+    fn fu_type(&self) -> FuType {
+        self.ty
+    }
+    fn lead_front_way(&self) -> usize {
+        self.fe
+    }
+    fn lead_back_way(&self) -> usize {
+        self.be
+    }
+}
+
+/// Why the schedule failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleCheckError {
+    /// A class has fewer than two instances: backend diversity is
+    /// impossible for it, so a hard fault on its only way is undetectable.
+    InsufficientInstances {
+        /// The degenerate class.
+        class: FuType,
+        /// How many instances the configuration provides.
+        have: usize,
+    },
+    /// The width is zero or smaller than 2 (frontend diversity needs a
+    /// second slot).
+    DegenerateWidth {
+        /// The configured width.
+        width: usize,
+    },
+    /// The shuffle lost or duplicated an instruction.
+    LostInstruction {
+        /// Description of the probe input.
+        probe: String,
+    },
+    /// The shuffle gave up on diversity (`forced > 0`) for a probe.
+    ForcedPlacement {
+        /// Description of the probe input.
+        probe: String,
+    },
+    /// A placed instruction reused its leading frontend way.
+    FrontendConflict {
+        /// Description of the probe input.
+        probe: String,
+        /// The conflicting slot / frontend way.
+        way: usize,
+    },
+    /// A placed instruction mapped back onto its leading backend way.
+    BackendConflict {
+        /// Description of the probe input.
+        probe: String,
+        /// The conflicting global backend way.
+        way: usize,
+    },
+    /// A probe needed more output packets than the bounded window allows.
+    WindowExceeded {
+        /// Description of the probe input.
+        probe: String,
+        /// Packets the shuffle produced.
+        packets: usize,
+        /// The configured bound.
+        window: usize,
+    },
+    /// All probes passed but some (class, way) was never paired with a
+    /// different way.
+    IncompleteCoverage {
+        /// The uncovered class.
+        class: FuType,
+        /// The class-local instance index never diversely paired.
+        instance: usize,
+    },
+}
+
+impl fmt::Display for ShuffleCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShuffleCheckError::InsufficientInstances { class, have } => write!(
+                f,
+                "class {class} has {have} instance(s); backend diversity needs at least 2"
+            ),
+            ShuffleCheckError::DegenerateWidth { width } => {
+                write!(f, "width {width} cannot provide frontend diversity (need >= 2)")
+            }
+            ShuffleCheckError::LostInstruction { probe } => {
+                write!(f, "shuffle lost or duplicated an instruction for probe [{probe}]")
+            }
+            ShuffleCheckError::ForcedPlacement { probe } => {
+                write!(f, "shuffle forced a non-diverse placement for probe [{probe}]")
+            }
+            ShuffleCheckError::FrontendConflict { probe, way } => {
+                write!(f, "probe [{probe}]: trailing copy reuses leading frontend way {way}")
+            }
+            ShuffleCheckError::BackendConflict { probe, way } => {
+                write!(f, "probe [{probe}]: trailing copy reuses leading backend way {way}")
+            }
+            ShuffleCheckError::WindowExceeded { probe, packets, window } => write!(
+                f,
+                "probe [{probe}]: {packets} output packets exceed the {window}-packet window"
+            ),
+            ShuffleCheckError::IncompleteCoverage { class, instance } => write!(
+                f,
+                "no probe paired {class} instance {instance} with a different way"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShuffleCheckError {}
+
+/// Evidence that the schedule pairs every (class, way) diversely.
+#[derive(Debug, Clone)]
+pub struct ShuffleProof {
+    /// The verified machine width.
+    pub width: usize,
+    /// The verified backend configuration.
+    pub fu: FuCounts,
+    /// The verified algorithm.
+    pub algo: ShuffleAlgo,
+    /// Probes driven through the shuffle.
+    pub probes: usize,
+    /// Achieved backend pairs, per class: `backend_pairs[t.index()]` is a
+    /// row-major `n×n` matrix (`n = fu.of(t)`) where `[lead][trail]` is
+    /// true when some probe with leading instance `lead` mapped its
+    /// trailing copy to instance `trail`.
+    pub backend_pairs: Vec<Vec<bool>>,
+    /// Achieved frontend pairs: `frontend_pairs[lead][trail]` over
+    /// `width × width` slots.
+    pub frontend_pairs: Vec<Vec<bool>>,
+    /// Largest output-packet count any probe needed.
+    pub max_packets: usize,
+}
+
+impl ShuffleProof {
+    /// True when every class instance and every frontend way was paired
+    /// with at least one *different* instance/way.
+    pub fn is_complete(&self) -> bool {
+        self.first_gap().is_none()
+    }
+
+    fn first_gap(&self) -> Option<(FuType, usize)> {
+        for t in FuType::ALL {
+            let n = self.fu.of(t);
+            let m = &self.backend_pairs[t.index()];
+            for lead in 0..n {
+                let covered =
+                    (0..n).any(|trail| trail != lead && m[lead * n + trail]);
+                if !covered {
+                    return Some((t, lead));
+                }
+            }
+        }
+        None
+    }
+
+    /// Diverse-pair count achieved for one class (off-diagonal trues).
+    pub fn backend_pair_count(&self, t: FuType) -> usize {
+        let n = self.fu.of(t);
+        let m = &self.backend_pairs[t.index()];
+        (0..n)
+            .flat_map(|l| (0..n).map(move |r| (l, r)))
+            .filter(|&(l, r)| l != r && m[l * n + r])
+            .count()
+    }
+}
+
+/// Statically verifies the shuffle schedule for one configuration.
+///
+/// `window` bounds how many output packets any single probe (one or two
+/// paired leading placements) may need; the default used by
+/// [`verify_default`] is 2, matching one split.
+///
+/// # Errors
+///
+/// Returns the first [`ShuffleCheckError`] encountered: a degenerate
+/// configuration, a diversity violation, a lost instruction, a window
+/// overflow, or incomplete pair coverage.
+pub fn verify_shuffle(
+    width: usize,
+    fu: &FuCounts,
+    algo: ShuffleAlgo,
+    window: usize,
+) -> Result<ShuffleProof, ShuffleCheckError> {
+    if width < 2 {
+        return Err(ShuffleCheckError::DegenerateWidth { width });
+    }
+    for t in FuType::ALL {
+        if fu.of(t) < 2 {
+            return Err(ShuffleCheckError::InsufficientInstances { class: t, have: fu.of(t) });
+        }
+    }
+
+    let mut proof = ShuffleProof {
+        width,
+        fu: *fu,
+        algo,
+        probes: 0,
+        backend_pairs: FuType::ALL
+            .iter()
+            .map(|&t| vec![false; fu.of(t) * fu.of(t)])
+            .collect(),
+        frontend_pairs: vec![vec![false; width]; width],
+        max_packets: 0,
+    };
+
+    // Every possible leading placement.
+    let mut placements: Vec<Probe> = Vec::new();
+    for t in FuType::ALL {
+        for fe in 0..width {
+            for idx in 0..fu.of(t) {
+                placements.push(Probe { ty: t, fe, be: fu.global_way(t, idx), tag: 0 });
+            }
+        }
+    }
+
+    // Singletons.
+    for &p in &placements {
+        check_probe(&[p], width, fu, algo, window, &mut proof)?;
+    }
+    // Ordered pairs: the DTQ pairing window can put any two leading
+    // placements (even identical ones, from different leading packets)
+    // into one trailing fetch window.
+    for &a in &placements {
+        for &b in &placements {
+            let b2 = Probe { tag: 1, ..b };
+            check_probe(&[a, b2], width, fu, algo, window, &mut proof)?;
+        }
+    }
+
+    if let Some((class, instance)) = proof.first_gap() {
+        return Err(ShuffleCheckError::IncompleteCoverage { class, instance });
+    }
+    Ok(proof)
+}
+
+/// Verifies the default machine (table 1 width and FU counts) under the
+/// greedy algorithm with a 2-packet window.
+///
+/// # Errors
+///
+/// Propagates any [`ShuffleCheckError`]; the default configuration is
+/// expected to verify cleanly (a unit test pins this).
+pub fn verify_default() -> Result<ShuffleProof, ShuffleCheckError> {
+    let cfg = blackjack_sim::CoreConfig::default();
+    verify_shuffle(cfg.width, &cfg.fu_counts, cfg.shuffle_algo, 2)
+}
+
+fn describe(input: &[Probe]) -> String {
+    input
+        .iter()
+        .map(|p| format!("{} fe{} be{}", p.ty, p.fe, p.be))
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+fn check_probe(
+    input: &[Probe],
+    width: usize,
+    fu: &FuCounts,
+    algo: ShuffleAlgo,
+    window: usize,
+    proof: &mut ShuffleProof,
+) -> Result<(), ShuffleCheckError> {
+    let out: ShuffleOutcome<Probe> = match algo {
+        ShuffleAlgo::Greedy => safe_shuffle(input.to_vec(), width, fu),
+        ShuffleAlgo::Exhaustive => exhaustive_shuffle(input.to_vec(), width, fu),
+    };
+    proof.probes += 1;
+
+    if out.forced > 0 {
+        return Err(ShuffleCheckError::ForcedPlacement { probe: describe(input) });
+    }
+    if out.packets.len() > window {
+        return Err(ShuffleCheckError::WindowExceeded {
+            probe: describe(input),
+            packets: out.packets.len(),
+            window,
+        });
+    }
+    proof.max_packets = proof.max_packets.max(out.packets.len());
+
+    let mut seen_tags: Vec<usize> = Vec::new();
+    for packet in &out.packets {
+        for (slot, s) in packet.iter().enumerate() {
+            let Slot::Inst(p) = s else { continue };
+            seen_tags.push(p.tag);
+            // Trailing frontend way is the slot index.
+            if slot == p.fe {
+                return Err(ShuffleCheckError::FrontendConflict {
+                    probe: describe(input),
+                    way: p.fe,
+                });
+            }
+            // Trailing backend way: positional same-class occupancy.
+            let be_idx = packet[..slot]
+                .iter()
+                .filter(|x| x.fu_type() == Some(p.ty))
+                .count();
+            let trail_way = fu.global_way(p.ty, be_idx);
+            if trail_way == p.be {
+                return Err(ShuffleCheckError::BackendConflict {
+                    probe: describe(input),
+                    way: p.be,
+                });
+            }
+            let (_, lead_idx) = fu.way_type(p.be);
+            let n = fu.of(p.ty);
+            proof.backend_pairs[p.ty.index()][lead_idx * n + be_idx] = true;
+            proof.frontend_pairs[p.fe][slot] = true;
+        }
+    }
+    seen_tags.sort_unstable();
+    let mut want_tags: Vec<usize> = input.iter().map(|p| p.tag).collect();
+    want_tags.sort_unstable();
+    if seen_tags != want_tags {
+        return Err(ShuffleCheckError::LostInstruction { probe: describe(input) });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_proves_complete_coverage() {
+        let proof = verify_default().expect("default schedule must verify");
+        assert!(proof.is_complete());
+        assert!(proof.max_packets <= 2);
+        // 16 ways × 4 frontend slots = 64 placements; 64 singletons +
+        // 64² ordered pairs.
+        assert_eq!(proof.probes, 64 + 64 * 64);
+        // Every class with n instances achieves at least one diverse
+        // pair per leading instance.
+        for t in FuType::ALL {
+            assert!(
+                proof.backend_pair_count(t) >= proof.fu.of(t),
+                "{t}: {} pairs",
+                proof.backend_pair_count(t)
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_algo_also_verifies() {
+        let cfg = blackjack_sim::CoreConfig::default();
+        let proof = verify_shuffle(cfg.width, &cfg.fu_counts, ShuffleAlgo::Exhaustive, 2)
+            .expect("exhaustive schedule must verify");
+        assert!(proof.is_complete());
+    }
+
+    #[test]
+    fn single_instance_class_rejected() {
+        // The deliberately-broken table: one mem port means a fault on
+        // that port can never be caught by spatial diversity.
+        let fu = FuCounts { mem_port: 1, ..Default::default() };
+        let err = verify_shuffle(4, &fu, ShuffleAlgo::Greedy, 2).unwrap_err();
+        assert_eq!(
+            err,
+            ShuffleCheckError::InsufficientInstances { class: FuType::MemPort, have: 1 }
+        );
+    }
+
+    #[test]
+    fn single_int_mul_rejected_too() {
+        let fu = FuCounts { int_mul: 1, ..Default::default() };
+        let err = verify_shuffle(4, &fu, ShuffleAlgo::Greedy, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            ShuffleCheckError::InsufficientInstances { class: FuType::IntMul, have: 1 }
+        ));
+    }
+
+    #[test]
+    fn degenerate_width_rejected() {
+        let err = verify_shuffle(1, &FuCounts::default(), ShuffleAlgo::Greedy, 2).unwrap_err();
+        assert_eq!(err, ShuffleCheckError::DegenerateWidth { width: 1 });
+    }
+
+    #[test]
+    fn too_tight_window_detected() {
+        // Pairs of same-class placements can split once, needing two
+        // packets; a 1-packet window must be rejected somewhere.
+        let err = verify_shuffle(4, &FuCounts::default(), ShuffleAlgo::Greedy, 1).unwrap_err();
+        assert!(matches!(err, ShuffleCheckError::WindowExceeded { window: 1, .. }));
+    }
+
+    #[test]
+    fn error_display_names_the_probe() {
+        let fu = FuCounts { fp_div: 0, ..Default::default() };
+        let err = verify_shuffle(4, &fu, ShuffleAlgo::Greedy, 2).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("fp-div"), "{text}");
+    }
+}

@@ -22,7 +22,7 @@ use blackjack::workloads::{build, Benchmark};
 use blackjack::{Campaign, CampaignStats};
 
 fn main() {
-    let campaign = Campaign::from_env();
+    let campaign = Campaign::from_env_or_exit();
     let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex, Benchmark::Apsi];
 
     let jobs: Vec<_> = benchmarks

@@ -1,0 +1,126 @@
+//! `bj-lint`: run the full static-analysis suite over the workload
+//! kernels and emit a machine-readable JSON report.
+//!
+//! Three checks, mirroring the three consumers of `blackjack-analysis`:
+//!
+//! 1. **Lints** — every kernel must be free of unreachable code,
+//!    uninitialized reads, dead definitions, unbounded loops, and
+//!    falls-off-end paths.
+//! 2. **Fault-site reachability** — each kernel's static FU mix and the
+//!    backend ways an injection campaign may skip for it.
+//! 3. **Safe-shuffle verification** — the default machine's shuffle
+//!    schedule must prove full (class, way) pair coverage.
+//!
+//! Exits 0 when everything is clean and proven; 1 otherwise. `BJ_SCALE`
+//! selects the workload scale (CFG shape is scale-invariant; the lint
+//! suite pins that separately).
+
+use blackjack::sim::{CoreConfig, FuCounts};
+use blackjack::workloads::{build, Benchmark};
+use blackjack::{envcfg, isa::FuType};
+use blackjack_analysis::{lint_program, verify_shuffle, SiteAnalysis};
+
+/// Minimal JSON string escaping (the report contains no exotic text,
+/// but lint messages embed register names and hex PCs).
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let scale = envcfg::positive_from_env::<u32>("BJ_SCALE")
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e))
+        .unwrap_or(1);
+    let counts = FuCounts::default();
+    let mut failed = false;
+    let mut out = String::new();
+
+    out.push_str("{\n  \"kernels\": [\n");
+    for (i, &bench) in Benchmark::ALL.iter().enumerate() {
+        let prog = build(bench, scale);
+        let sep = if i + 1 < Benchmark::ALL.len() { "," } else { "" };
+        match (lint_program(&prog), SiteAnalysis::analyze(&prog, &counts)) {
+            (Ok(report), Ok(analysis)) => {
+                if !report.is_clean() {
+                    failed = true;
+                }
+                let lints: Vec<String> = report
+                    .lints
+                    .iter()
+                    .map(|l| {
+                        format!(
+                            "{{\"kind\": \"{}\", \"pc\": {}, \"message\": \"{}\"}}",
+                            l.kind(),
+                            l.pc(),
+                            esc(&l.to_string())
+                        )
+                    })
+                    .collect();
+                let mix: Vec<String> = FuType::ALL
+                    .iter()
+                    .map(|&t| format!("\"{t}\": {}", analysis.static_mix.of(t)))
+                    .collect();
+                let pruned: Vec<String> = analysis
+                    .prunable_backend_ways()
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect();
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"insts\": {}, \"blocks\": {}, \
+                     \"clean\": {}, \"lints\": [{}], \
+                     \"static_mix\": {{{}}}, \"prunable_backend_ways\": [{}]}}{sep}\n",
+                    esc(&report.program),
+                    report.insts,
+                    report.blocks,
+                    report.is_clean(),
+                    lints.join(", "),
+                    mix.join(", "),
+                    pruned.join(", "),
+                ));
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                failed = true;
+                out.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"error\": \"{}\"}}{sep}\n",
+                    esc(bench.name()),
+                    esc(&e.to_string())
+                ));
+            }
+        }
+    }
+    out.push_str("  ],\n");
+
+    let cfg = CoreConfig::default();
+    match verify_shuffle(cfg.width, &cfg.fu_counts, cfg.shuffle_algo, 2) {
+        Ok(proof) => {
+            let pairs: Vec<String> = FuType::ALL
+                .iter()
+                .map(|&t| format!("\"{t}\": {}", proof.backend_pair_count(t)))
+                .collect();
+            out.push_str(&format!(
+                "  \"shuffle\": {{\"verified\": true, \"probes\": {}, \
+                 \"max_packets\": {}, \"complete\": {}, \"diverse_pairs\": {{{}}}}}\n",
+                proof.probes,
+                proof.max_packets,
+                proof.is_complete(),
+                pairs.join(", "),
+            ));
+            if !proof.is_complete() {
+                failed = true;
+            }
+        }
+        Err(e) => {
+            failed = true;
+            out.push_str(&format!(
+                "  \"shuffle\": {{\"verified\": false, \"error\": \"{}\"}}\n",
+                esc(&e.to_string())
+            ));
+        }
+    }
+    out.push('}');
+
+    println!("{out}");
+    if failed {
+        eprintln!("bj-lint: FAILED (see report above)");
+        std::process::exit(1);
+    }
+}

@@ -58,7 +58,7 @@ fn configs() -> Vec<(&'static str, CoreConfig)> {
 }
 
 fn main() {
-    let campaign = Campaign::from_env();
+    let campaign = Campaign::from_env_or_exit();
     let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex];
     let grid = configs();
     let t0 = Instant::now();

@@ -11,6 +11,15 @@
 //! reference run are computed once up front and shared read-only by all
 //! of that benchmark's injection runs across both modes. Tallies merge
 //! in job order, so the report is identical for any `BJ_THREADS`.
+//!
+//! **Static pruning:** before any simulation, each benchmark's text
+//! segment is analyzed (`blackjack-analysis`) for the FU classes it can
+//! exercise. A backend fault site whose class never appears in the text
+//! is statically provable benign — the fault can never corrupt an
+//! executing uop — so its runs are tallied as benign *without
+//! simulating* and counted in `pruned_sites`. Set `BJ_PRUNE=0` to
+//! disable and simulate every site; the per-mode table is byte-identical
+//! either way.
 
 use std::time::Instant;
 
@@ -20,10 +29,13 @@ use blackjack::faults::{
 use blackjack::isa::Interp;
 use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
 use blackjack::workloads::{build, Benchmark};
-use blackjack::Campaign;
+use blackjack::{envcfg, Campaign};
+use blackjack_analysis::SiteAnalysis;
 
 fn main() {
-    let campaign = Campaign::from_env();
+    let campaign = Campaign::from_env_or_exit();
+    let prune = envcfg::flag_from_env("BJ_PRUNE", true)
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let benchmarks = [Benchmark::Gzip, Benchmark::Fma3d, Benchmark::Vortex, Benchmark::Apsi];
     let counts = FuCounts::default();
     let mut sites: Vec<FaultSite> =
@@ -39,9 +51,9 @@ fn main() {
     );
     let t0 = Instant::now();
 
-    // Build each benchmark once and run its golden (fault-free,
-    // functional) reference once; both modes' injection runs compare
-    // against the same shared result.
+    // Build each benchmark once, run its golden (fault-free, functional)
+    // reference once, and analyze its static instruction mix once; both
+    // modes' injection runs share all three read-only.
     let goldens: Vec<_> = campaign.run(
         benchmarks
             .iter()
@@ -50,20 +62,27 @@ fn main() {
                     let prog = build(b, 1);
                     let mut golden = Interp::new(&prog);
                     golden.run(50_000_000).unwrap();
-                    (prog, golden)
+                    let analysis = SiteAnalysis::analyze(&prog, &counts)
+                        .expect("workload programs are analyzable");
+                    (prog, golden, analysis)
                 }
             })
             .collect(),
     );
 
-    // One job per (mode, benchmark, site) injection run.
+    // One job per (mode, benchmark, site) injection run. A statically
+    // pruned site keeps its job slot — the tally is known without
+    // simulating — so run counts and merge order are unchanged.
     let sites = &sites;
     let jobs: Vec<_> = [Mode::Srt, Mode::BlackJack]
         .iter()
         .flat_map(|&mode| {
-            goldens.iter().flat_map(move |(prog, golden)| {
+            goldens.iter().flat_map(move |(prog, golden, analysis)| {
                 sites.iter().map(move |&site| {
                     move || {
+                        if prune && analysis.prunable(site) {
+                            return (mode, DetectionTally::pruned_site());
+                        }
                         let bit = match site {
                             FaultSite::Frontend { .. } => 1, // immediate-field bit
                             _ => 5,
@@ -114,6 +133,35 @@ fn main() {
             t.stuck
         );
     }
+
+    if prune {
+        let per_mode: u32 = goldens
+            .iter()
+            .map(|(_, _, a)| a.prunable_backend_ways().len() as u32)
+            .sum();
+        println!(
+            "\npruned_sites: {} of {} runs per mode statically proven benign \
+             (BJ_PRUNE=0 to disable)",
+            per_mode,
+            benchmarks.len() * sites.len(),
+        );
+        for (_, _, a) in &goldens {
+            let dead: Vec<String> = a
+                .dead_classes()
+                .iter()
+                .map(|t| format!("{t} x{}", counts.of(*t)))
+                .collect();
+            println!(
+                "  {:8} {:2} ways pruned  [{}]",
+                a.program,
+                a.prunable_backend_ways().len(),
+                dead.join(", ")
+            );
+        }
+    } else {
+        println!("\npruned_sites: static pruning disabled (BJ_PRUNE=0)");
+    }
+
     println!("\n[{} injection runs in {:.1?}]", runs.len(), t0.elapsed());
     println!(
         "\nExpected shape: BlackJack converts SRT's silent corruptions into\n\

@@ -25,7 +25,7 @@ fn main() {
     );
     println!(
         "\n[64 simulations on {} workers in {elapsed:.1?}]",
-        blackjack::Campaign::from_env().workers()
+        blackjack::Campaign::from_env_or_exit().workers()
     );
 
     if write {

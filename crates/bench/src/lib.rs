@@ -19,13 +19,14 @@
 //! workloads. Self-timed microbenchmarks of the simulator's machinery
 //! live in `benches/`.
 
-use blackjack::Experiment;
+use blackjack::{envcfg, Experiment};
 
-/// Builds the standard experiment at the scale used by the harnesses.
+/// Builds the standard experiment at the scale used by the harnesses
+/// (`BJ_SCALE`, default 1), exiting with a clear message when the
+/// override is zero or non-numeric.
 pub fn standard_experiment() -> Experiment {
-    let scale = std::env::var("BJ_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<u32>().ok())
+    let scale = envcfg::positive_from_env::<u32>("BJ_SCALE")
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e))
         .unwrap_or(1);
     Experiment::new().scale(scale)
 }

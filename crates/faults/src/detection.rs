@@ -32,6 +32,11 @@ pub struct DetectionTally {
     pub benign: u32,
     /// Watchdog timeout.
     pub stuck: u32,
+    /// Of the `benign` runs, how many were *statically proven* benign
+    /// (the program's instruction mix can never exercise the faulty
+    /// structure) and therefore tallied without simulating. Always
+    /// `pruned <= benign`; [`DetectionTally::total`] is unaffected.
+    pub pruned: u32,
 }
 
 impl DetectionTally {
@@ -52,6 +57,14 @@ impl DetectionTally {
         t
     }
 
+    /// A tally for one fault site statically proven unexercisable: the
+    /// run counts as [`DetectionOutcome::Benign`] (its dynamic outcome
+    /// is certain) but is also marked pruned, so reports can state how
+    /// much simulation the static analysis saved.
+    pub fn pruned_site() -> DetectionTally {
+        DetectionTally { benign: 1, pruned: 1, ..DetectionTally::default() }
+    }
+
     /// Sums another tally into this one. Merging is commutative and
     /// associative, so any grouping of per-run tallies gives the same
     /// totals.
@@ -60,6 +73,7 @@ impl DetectionTally {
         self.corrupted += other.corrupted;
         self.benign += other.benign;
         self.stuck += other.stuck;
+        self.pruned += other.pruned;
     }
 
     /// Total runs recorded.
@@ -98,5 +112,16 @@ mod tests {
         assert_eq!(all.benign, 2);
         assert_eq!(all.stuck, 1);
         assert_eq!(all.total(), 6);
+    }
+
+    #[test]
+    fn pruned_sites_count_as_benign() {
+        let mut t = DetectionTally::of(DetectionOutcome::Detected);
+        t.merge(&DetectionTally::pruned_site());
+        t.merge(&DetectionTally::pruned_site());
+        assert_eq!(t.benign, 2);
+        assert_eq!(t.pruned, 2);
+        assert_eq!(t.total(), 3, "pruned is a subset of benign, not a fifth bucket");
+        assert!(t.pruned <= t.benign);
     }
 }

@@ -180,7 +180,7 @@ pub fn assemble_named(src: &str, name: &str) -> Result<Program, AsmError> {
                     if n == 0 || (n & (n - 1)) != 0 {
                         return err(line, format!("alignment {n} not a power of two"));
                     }
-                    while data.len() % n != 0 {
+                    while !data.len().is_multiple_of(n) {
                         data.push(0);
                     }
                 }

@@ -282,7 +282,7 @@ impl Interp {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
-        let word = if self.pc % 4 == 0 {
+        let word = if self.pc.is_multiple_of(4) {
             self.mem.read_u32(self.pc)
         } else {
             return Err(InterpError::BadFetch { pc: self.pc });

@@ -82,7 +82,7 @@ impl Program {
     /// The encoded instruction word at `pc`, or `None` outside the text
     /// segment.
     pub fn fetch(&self, pc: u64) -> Option<u32> {
-        if pc < self.text_base || pc % INST_BYTES != 0 {
+        if pc < self.text_base || !pc.is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = ((pc - self.text_base) / INST_BYTES) as usize;

@@ -24,7 +24,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         let set_bytes = self.line_bytes * self.assoc as u64;
         assert!(
-            set_bytes > 0 && self.size_bytes % set_bytes == 0,
+            set_bytes > 0 && self.size_bytes.is_multiple_of(set_bytes),
             "capacity {} not divisible by assoc*line {}",
             self.size_bytes,
             set_bytes

@@ -401,8 +401,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_config_panics() {
-        let mut c = CoreConfig::default();
-        c.phys_regs = 10;
+        let c = CoreConfig { phys_regs: 10, ..Default::default() };
         c.validate();
     }
 

@@ -94,16 +94,35 @@ struct StepScratch {
 /// replaces a `HashMap` without ever allocating after construction.
 struct PacketTotals {
     entries: Vec<(u64, usize)>,
+    fetch_queue: usize,
+    issue_queue: usize,
 }
 
 impl PacketTotals {
-    fn new(capacity: usize) -> PacketTotals {
-        PacketTotals { entries: Vec::with_capacity(capacity) }
+    fn new(fetch_queue: usize, issue_queue: usize) -> PacketTotals {
+        PacketTotals {
+            entries: Vec::with_capacity(fetch_queue + issue_queue),
+            fetch_queue,
+            issue_queue,
+        }
     }
 
     fn insert(&mut self, pid: u64, total: usize) {
         debug_assert!(self.entries.iter().all(|&(p, _)| p != pid));
-        debug_assert!(self.entries.len() < self.entries.capacity(), "live-packet bound exceeded");
+        // Always-on invariant (not a debug_assert): a config that lets
+        // more packets live than `fetch_queue + issue_queue` would make
+        // the push below reallocate and silently void the zero-alloc
+        // hot-loop guarantee, so fail loudly naming the offending config.
+        assert!(
+            self.entries.len() < self.fetch_queue + self.issue_queue,
+            "live-packet bound exceeded: {} packets live, but the config \
+             (fetch_queue={}, issue_queue={}) bounds them to {} — \
+             trailing packets must keep a member in one of those queues",
+            self.entries.len() + 1,
+            self.fetch_queue,
+            self.issue_queue,
+            self.fetch_queue + self.issue_queue,
+        );
         self.entries.push((pid, total));
     }
 
@@ -239,7 +258,7 @@ impl Core {
             done: false,
             lead_packets: 0,
             trail_packets: 0,
-            trail_packet_total: PacketTotals::new(cfg.fetch_queue + cfg.issue_queue),
+            trail_packet_total: PacketTotals::new(cfg.fetch_queue, cfg.issue_queue),
             scratch: StepScratch::default(),
             trail_expect_pc: prog.entry(),
             commit_rat: CommitRat::new(),
@@ -1776,5 +1795,77 @@ impl Core {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::PacketTotals;
+    use crate::{Core, CoreConfig, Mode, RunOutcome};
+    use blackjack_faults::FaultPlan;
+    use blackjack_isa::asm::assemble;
+
+    #[test]
+    fn packet_totals_fills_to_exactly_the_bound() {
+        let mut pt = PacketTotals::new(4, 4);
+        for pid in 0..8u64 {
+            pt.insert(pid, 3);
+        }
+        assert_eq!(pt.len(), 8);
+        assert_eq!(pt.get(5), Some(3));
+        // Removing frees a slot for a new packet at the bound.
+        pt.remove(0);
+        pt.insert(8, 2);
+        assert_eq!(pt.len(), 8);
+    }
+
+    #[test]
+    fn packet_totals_overflow_names_the_config() {
+        let err = std::panic::catch_unwind(|| {
+            let mut pt = PacketTotals::new(2, 3);
+            for pid in 0..6u64 {
+                pt.insert(pid, 1);
+            }
+        })
+        .expect_err("the sixth insert must violate the bound");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("live-packet bound exceeded"), "{msg}");
+        assert!(msg.contains("fetch_queue=2"), "{msg}");
+        assert!(msg.contains("issue_queue=3"), "{msg}");
+    }
+
+    #[test]
+    fn boundary_queue_config_runs_blackjack() {
+        // The tightest *workable* config for width 4: at
+        // issue_queue == width a whole trailing packet can never hold
+        // the shared issue queue alone (atomic packet issue livelocks),
+        // so width + 1 is the boundary. The live-packet bound is then
+        // fetch_queue + issue_queue = 9, the smallest that completes,
+        // which exercises the PacketTotals invariant hardest.
+        let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+        cfg.fetch_queue = cfg.width;
+        cfg.issue_queue = cfg.width + 1;
+        let prog = assemble(
+            ".text
+                li   x1, 64
+                li   x2, 0
+                li   x10, 0x200000
+            loop:
+                addi x2, x2, 1
+                mul  x3, x2, x2
+                sd   x3, 0(x10)
+                blt  x2, x1, loop
+                halt
+            ",
+        )
+        .unwrap();
+        let mut core = Core::new(cfg, &prog, FaultPlan::new());
+        let out = core.run(1_000_000);
+        assert_eq!(out, RunOutcome::Completed);
+        assert_eq!(core.arch_reg(2), 64);
     }
 }

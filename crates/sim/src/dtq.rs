@@ -147,9 +147,8 @@ impl Dtq {
     /// Panics if the entry is outside the window or already committed.
     pub fn squash(&mut self, index: u64) {
         let e = self.slot_mut(index);
-        assert_ne!(
-            matches!(e.state, EntryState::Committed(_)),
-            true,
+        assert!(
+            !matches!(e.state, EntryState::Committed(_)),
             "cannot squash a committed DTQ entry"
         );
         e.state = EntryState::Squashed;

@@ -101,7 +101,7 @@ impl ActiveList {
             })
             .collect();
         self.live -= squashed.len();
-        squashed.sort_by(|a, b| b.0.cmp(&a.0));
+        squashed.sort_by_key(|&(pos, _)| std::cmp::Reverse(pos));
         squashed.into_iter().map(|(_, id)| id).collect()
     }
 

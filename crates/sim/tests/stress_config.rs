@@ -133,8 +133,7 @@ fn single_instance_fu_classes_report_forced_placements() {
 #[test]
 fn narrow_machine() {
     // Width 2 with matching frontend: different fetch-group geometry.
-    let mut cfg = CoreConfig::default();
-    cfg.width = 2;
+    let cfg = CoreConfig { width: 2, ..Default::default() };
     for seed in 400..412 {
         let prog = random_program(seed, 10);
         differential(&cfg, &prog);
@@ -144,8 +143,7 @@ fn narrow_machine() {
 #[test]
 fn wide_slack_and_tiny_slack() {
     for slack in [1u64, 4, 2048] {
-        let mut cfg = CoreConfig::default();
-        cfg.slack = slack;
+        let cfg = CoreConfig { slack, ..Default::default() };
         for seed in 500..506 {
             let prog = random_program(seed, 8);
             differential(&cfg, &prog);
@@ -156,8 +154,7 @@ fn wide_slack_and_tiny_slack() {
 #[test]
 fn non_atomic_packet_issue_remains_correct() {
     // The ablation switch trades coverage, never correctness.
-    let mut cfg = CoreConfig::default();
-    cfg.trailing_packet_atomic = false;
+    let cfg = CoreConfig { trailing_packet_atomic: false, ..Default::default() };
     for seed in 600..612 {
         let prog = random_program(seed, 10);
         differential(&cfg, &prog);
@@ -166,8 +163,7 @@ fn non_atomic_packet_issue_remains_correct() {
 
 #[test]
 fn exhaustive_shuffle_remains_correct() {
-    let mut cfg = CoreConfig::default();
-    cfg.shuffle_algo = ShuffleAlgo::Exhaustive;
+    let cfg = CoreConfig { shuffle_algo: ShuffleAlgo::Exhaustive, ..Default::default() };
     for seed in 800..812 {
         let prog = random_program(seed, 10);
         differential(&cfg, &prog);
@@ -177,8 +173,7 @@ fn exhaustive_shuffle_remains_correct() {
 
 #[test]
 fn shared_payload_ram_remains_correct_fault_free() {
-    let mut cfg = CoreConfig::default();
-    cfg.split_payload_ram = false;
+    let cfg = CoreConfig { split_payload_ram: false, ..Default::default() };
     for seed in 700..708 {
         let prog = random_program(seed, 10);
         differential(&cfg, &prog);

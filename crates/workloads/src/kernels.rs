@@ -403,6 +403,7 @@ fn facerec(scale: u32) -> String {
             li   x20, {HEAP}
             li   x21, {iters}
             li   x22, 0
+            fcvt.d.l f0, x0
         loop:
             and  x6, x22, 511
             sll  x7, x6, 3

@@ -1,0 +1,48 @@
+//! Every kernel in the suite must be statically clean: no unreachable
+//! code, no reads of never-written registers, no dead register writes,
+//! no unbounded loops, and no path off the end of the text segment.
+//!
+//! This is the wiring the analysis crate exists for: a kernel bug of
+//! any of those kinds previously needed a (possibly silent) dynamic
+//! failure to surface.
+
+use blackjack_analysis::lint_program;
+use blackjack_workloads::{build, Benchmark};
+
+#[test]
+fn all_kernels_lint_clean_at_scale_1() {
+    for bench in Benchmark::ALL {
+        let prog = build(bench, 1);
+        let report = lint_program(&prog).unwrap_or_else(|e| {
+            panic!("{}: CFG construction failed: {e}", bench.name())
+        });
+        assert!(
+            report.is_clean(),
+            "{} is not lint-clean:\n{}",
+            bench.name(),
+            report
+                .lints
+                .iter()
+                .map(|l| format!("  {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn all_kernels_lint_clean_at_scale_3() {
+    // Scale only changes loop trip counts (immediates), never the CFG
+    // shape — but pin that assumption.
+    for bench in Benchmark::ALL {
+        let report = lint_program(&build(bench, 3)).unwrap();
+        assert!(report.is_clean(), "{} dirty at scale 3", bench.name());
+    }
+}
+
+#[test]
+fn lint_reports_cover_whole_programs() {
+    let report = lint_program(&build(Benchmark::Gzip, 1)).unwrap();
+    assert!(report.blocks > 1, "gzip should have a non-trivial CFG");
+    assert_eq!(report.program, "gzip");
+}

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: offline release build =="
 cargo build --release --offline
 
+echo "== tier-1: clippy (deny warnings) =="
+cargo clippy -q --workspace --offline --all-targets -- -D warnings
+
 echo "== tier-1: test suite =="
 cargo test -q --workspace --offline
 

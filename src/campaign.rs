@@ -40,24 +40,28 @@ pub struct Campaign {
     workers: usize,
 }
 
-impl Default for Campaign {
-    fn default() -> Campaign {
-        Campaign::from_env()
-    }
-}
-
 impl Campaign {
     /// A campaign sized from the environment: `BJ_THREADS` if set to a
     /// positive integer, otherwise the host's available parallelism.
-    pub fn from_env() -> Campaign {
-        let workers = std::env::var("BJ_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            });
-        Campaign { workers }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnvError`](crate::envcfg::EnvError) when `BJ_THREADS`
+    /// is set to `0` or to a non-numeric value — an explicit-but-broken
+    /// override should stop the campaign, not silently fall back to a
+    /// default worker count.
+    pub fn from_env() -> Result<Campaign, crate::envcfg::EnvError> {
+        let workers = match crate::envcfg::positive_from_env::<usize>("BJ_THREADS")? {
+            Some(n) => n,
+            None => thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        };
+        Ok(Campaign { workers })
+    }
+
+    /// [`Campaign::from_env`] for harness binaries: prints the error and
+    /// exits with status 2 instead of returning it.
+    pub fn from_env_or_exit() -> Campaign {
+        Campaign::from_env().unwrap_or_else(|e| crate::envcfg::exit_invalid(&e))
     }
 
     /// A campaign with an explicit worker count (tests use this to avoid
@@ -243,14 +247,15 @@ mod tests {
     fn workers_from_env_shape() {
         let c = Campaign::with_workers(3);
         assert_eq!(c.workers(), 3);
-        assert!(Campaign::from_env().workers() >= 1);
+        // BJ_THREADS is either unset or set to something valid when the
+        // suite runs; either way a campaign must materialize.
+        assert!(Campaign::from_env().expect("valid BJ_THREADS").workers() >= 1);
     }
 
     #[test]
     fn campaign_stats_tally_and_merge() {
         let mut a = CampaignStats::default();
-        let mut s = blackjack_sim::SimStats::default();
-        s.cycles = 100;
+        let mut s = blackjack_sim::SimStats { cycles: 100, ..Default::default() };
         s.committed[0] = 40;
         a.tally(&s);
         s.cycles = 50;

@@ -1,0 +1,181 @@
+//! Validated environment-variable configuration.
+//!
+//! The harnesses are steered by a handful of environment variables
+//! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`). Historically a typo like
+//! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
+//! back to a default) or surfaced as a panic deep inside a workload
+//! builder. This module centralizes parsing: every variable is either
+//! unset, valid, or a clear [`EnvError`] naming the variable and the
+//! offending value.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A malformed environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// The value does not parse as a number of the expected type.
+    NotANumber {
+        /// Variable name.
+        var: &'static str,
+        /// The raw value found.
+        value: String,
+    },
+    /// The value parsed but is zero where a positive number is required.
+    Zero {
+        /// Variable name.
+        var: &'static str,
+    },
+    /// The value is not a recognized boolean flag.
+    NotAFlag {
+        /// Variable name.
+        var: &'static str,
+        /// The raw value found.
+        value: String,
+    },
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::NotANumber { var, value } => {
+                write!(f, "{var}={value:?} is not a valid positive integer")
+            }
+            EnvError::Zero { var } => {
+                write!(f, "{var}=0 is invalid: the value must be at least 1")
+            }
+            EnvError::NotAFlag { var, value } => write!(
+                f,
+                "{var}={value:?} is not a valid flag (use 0/1, true/false, on/off)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Parses `raw` as a positive (non-zero) integer for variable `var`.
+///
+/// # Errors
+///
+/// [`EnvError::NotANumber`] when `raw` does not parse,
+/// [`EnvError::Zero`] when it parses to zero.
+pub fn parse_positive<T>(var: &'static str, raw: &str) -> Result<T, EnvError>
+where
+    T: FromStr + PartialEq + Default,
+{
+    let v: T = raw.trim().parse().map_err(|_| EnvError::NotANumber {
+        var,
+        value: raw.to_string(),
+    })?;
+    if v == T::default() {
+        return Err(EnvError::Zero { var });
+    }
+    Ok(v)
+}
+
+/// Reads `var` from the environment as a positive integer.
+///
+/// Returns `Ok(None)` when the variable is unset or empty.
+///
+/// # Errors
+///
+/// Propagates [`parse_positive`]'s errors for set, non-empty values.
+pub fn positive_from_env<T>(var: &'static str) -> Result<Option<T>, EnvError>
+where
+    T: FromStr + PartialEq + Default,
+{
+    match std::env::var(var) {
+        Ok(raw) if !raw.trim().is_empty() => parse_positive(var, &raw).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Parses `raw` as a boolean flag: `1`/`true`/`on`/`yes` or
+/// `0`/`false`/`off`/`no` (case-insensitive).
+///
+/// # Errors
+///
+/// [`EnvError::NotAFlag`] for anything else.
+pub fn parse_flag(var: &'static str, raw: &str) -> Result<bool, EnvError> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        _ => Err(EnvError::NotAFlag { var, value: raw.to_string() }),
+    }
+}
+
+/// Reads a boolean flag from the environment, with a default for the
+/// unset/empty case.
+///
+/// # Errors
+///
+/// Propagates [`parse_flag`]'s error for set, non-empty values.
+pub fn flag_from_env(var: &'static str, default: bool) -> Result<bool, EnvError> {
+    match std::env::var(var) {
+        Ok(raw) if !raw.trim().is_empty() => parse_flag(var, &raw),
+        _ => Ok(default),
+    }
+}
+
+/// Prints `err` to stderr (prefixed with the program's purpose) and
+/// exits with status 2 — the shared failure path for harness binaries,
+/// which have no caller to propagate to.
+pub fn exit_invalid(err: &EnvError) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_accepts_normal_values() {
+        assert_eq!(parse_positive::<usize>("BJ_THREADS", "8"), Ok(8));
+        assert_eq!(parse_positive::<u32>("BJ_SCALE", " 3 "), Ok(3));
+        assert_eq!(parse_positive::<u32>("BJ_SCALE", "1"), Ok(1));
+    }
+
+    #[test]
+    fn zero_rejected_with_named_variable() {
+        let err = parse_positive::<u32>("BJ_SCALE", "0").unwrap_err();
+        assert_eq!(err, EnvError::Zero { var: "BJ_SCALE" });
+        assert!(err.to_string().contains("BJ_SCALE=0"));
+    }
+
+    #[test]
+    fn non_numeric_rejected_with_value_echoed() {
+        for bad in ["eight", "-1", "3.5", "1e3", "0x10"] {
+            let err = parse_positive::<usize>("BJ_THREADS", bad).unwrap_err();
+            assert_eq!(
+                err,
+                EnvError::NotANumber { var: "BJ_THREADS", value: bad.to_string() },
+                "{bad}"
+            );
+            assert!(err.to_string().contains(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn flags_parse_both_polarities() {
+        for yes in ["1", "true", "ON", "Yes"] {
+            assert_eq!(parse_flag("BJ_PRUNE", yes), Ok(true), "{yes}");
+        }
+        for no in ["0", "false", "off", "NO"] {
+            assert_eq!(parse_flag("BJ_PRUNE", no), Ok(false), "{no}");
+        }
+        assert_eq!(
+            parse_flag("BJ_PRUNE", "maybe"),
+            Err(EnvError::NotAFlag { var: "BJ_PRUNE", value: "maybe".to_string() })
+        );
+    }
+
+    #[test]
+    fn unset_variables_are_none_or_default() {
+        // A variable name no test or harness ever sets.
+        assert_eq!(positive_from_env::<u32>("BJ_ENVCFG_TEST_UNSET"), Ok(None));
+        assert_eq!(flag_from_env("BJ_ENVCFG_TEST_UNSET", true), Ok(true));
+        assert_eq!(flag_from_env("BJ_ENVCFG_TEST_UNSET", false), Ok(false));
+    }
+}

@@ -92,9 +92,10 @@ impl Experiment {
     }
 
     /// Runs the whole evaluation (16 benchmarks × 4 modes) on a campaign
-    /// sized from the environment (`BJ_THREADS`).
+    /// sized from the environment (`BJ_THREADS`), exiting with a clear
+    /// message when the override is malformed.
     pub fn run_all(&self) -> ExperimentResult {
-        self.run_all_on(&Campaign::from_env())
+        self.run_all_on(&Campaign::from_env_or_exit())
     }
 
     /// Runs the whole evaluation on an explicit campaign. Every

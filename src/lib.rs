@@ -12,7 +12,9 @@ pub use blackjack_sim as sim;
 pub use blackjack_workloads as workloads;
 
 mod campaign;
+pub mod envcfg;
 mod experiment;
 
 pub use campaign::{Campaign, CampaignStats};
+pub use envcfg::EnvError;
 pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};
