@@ -3,13 +3,18 @@
 //!
 //! Two throughput views are reported:
 //!
-//! * **core cycles/sec** — simulated cycles per wall-clock second summed
-//!   over the time spent *inside* `Core::run` ([`SimStats::wall_nanos`]).
-//!   This isolates the hot loop (`Core::step`) and is the number the
-//!   zero-allocation work moves.
+//! * **core cycles/sec** — simulated cycles per worker-second spent
+//!   *inside* `Core::run` ([`SimStats::agg_wall_nanos`], which `merge`
+//!   sums across runs). This isolates the hot loop (`Core::step`) and is
+//!   the number the zero-allocation work moves.
 //! * **campaign cycles/sec** — simulated cycles per wall-clock second of
 //!   the whole campaign, including program builds and fan-out overhead.
 //!   This scales with `BJ_THREADS` on a multi-core host.
+//!
+//! The benchmark always runs with tracing **off** — the number it
+//! records is the throughput of the allocation-free hot loop, and the
+//! emitted JSON says so (`"trace": "off"`) so regressions can't hide
+//! behind an accidentally-traced run.
 //!
 //! Usage: `cargo run --release -p blackjack-bench --bin bench_campaign`
 //! (optionally under `BJ_THREADS=n`).
@@ -52,7 +57,8 @@ fn main() {
     agg.wall = wall;
 
     let json = format!(
-        "{{\n  \"workers\": {},\n  \"jobs\": {},\n  \"sim_cycles\": {},\n  \
+        "{{\n  \"workers\": {},\n  \"jobs\": {},\n  \"trace\": \"off\",\n  \
+         \"sim_cycles\": {},\n  \
          \"committed_insts\": {},\n  \"core_wall_seconds\": {:.3},\n  \
          \"core_cycles_per_sec\": {:.0},\n  \"campaign_wall_seconds\": {:.3},\n  \
          \"campaign_cycles_per_sec\": {:.0}\n}}\n",
@@ -60,7 +66,7 @@ fn main() {
         n_jobs,
         agg.sim_cycles,
         agg.committed,
-        merged.wall_nanos as f64 / 1e9,
+        merged.agg_wall_nanos as f64 / 1e9,
         merged.cycles_per_sec(),
         wall.as_secs_f64(),
         agg.cycles_per_sec(),

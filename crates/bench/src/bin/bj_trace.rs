@@ -1,0 +1,313 @@
+//! `bj-trace`: render a `BJ_TRACE` JSONL stream as human-readable text.
+//!
+//! Reads the telemetry file produced by the harnesses (`bjsim`,
+//! `fig_all`, `ext_detection`) — or stdin when invoked with `-` or no
+//! argument — and prints, for whichever line types are present:
+//!
+//! * **campaign** — job-latency percentiles (p50/p95/max, nearest-rank),
+//!   the slowest job's label, the largest queue wait, and each worker's
+//!   busy fraction.
+//! * **run** — one table row per simulator run: cycles, committed, IPC.
+//! * **heatmap** — per-`(class, way)` issue counts for the leading and
+//!   trailing contexts, with proportional bars.
+//! * **flight_event** — a gem5-pipeview-style ASCII timeline of the
+//!   flight recorder's final window: one row per uop, one column per
+//!   cycle, stage letters `F D I X C` (fetch, dispatch, issue,
+//!   complete, commit) and `!` for the detection stamp.
+//! * **detection** — the detection event's kind, cycle, seq, pc, ways.
+//!
+//! Exits 0 on success, 1 when the input is unreadable or contains no
+//! telemetry lines, 2 on bad usage.
+
+use std::io::Read as _;
+
+use blackjack::telemetry::{
+    json_str, json_str_array, json_u64, json_u64_array, summarize_campaign, SCHEMA_VERSION,
+};
+
+/// Cycle columns shown in the pipeline timeline (the tail of the
+/// recorded window).
+const TIMELINE_CYCLES: u64 = 64;
+
+fn usage() -> ! {
+    eprintln!("usage: bj-trace [trace.jsonl | -]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next();
+    if args.next().is_some() {
+        usage();
+    }
+    if path.as_deref() == Some("--help") || path.as_deref() == Some("-h") {
+        usage();
+    }
+    let text = match path.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("bj-trace: reading stdin: {e}");
+                std::process::exit(1);
+            }
+            buf
+        }
+        Some(p) => std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("bj-trace: {p}: {e}");
+            std::process::exit(1);
+        }),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        eprintln!("bj-trace: no telemetry lines in input");
+        std::process::exit(1);
+    }
+
+    let mut rendered = 0usize;
+    rendered += render_meta(&lines);
+    rendered += render_campaign(&lines);
+    rendered += render_runs(&lines);
+    rendered += render_heatmaps(&lines);
+    rendered += render_flight(&lines);
+    rendered += render_detections(&lines);
+    if rendered == 0 {
+        eprintln!("bj-trace: no recognized telemetry lines in input");
+        std::process::exit(1);
+    }
+}
+
+fn of_type<'a>(lines: &[&'a str], ty: &str) -> Vec<&'a str> {
+    lines
+        .iter()
+        .filter(|l| json_str(l, "type").as_deref() == Some(ty))
+        .copied()
+        .collect()
+}
+
+fn render_meta(lines: &[&str]) -> usize {
+    let metas = of_type(lines, "meta");
+    for m in &metas {
+        let tool = json_str(m, "tool").unwrap_or_default();
+        let schema = json_u64(m, "schema").unwrap_or(0);
+        println!("trace: tool={tool} schema={schema}");
+        if schema != SCHEMA_VERSION {
+            eprintln!(
+                "bj-trace: warning: schema {schema} != supported {SCHEMA_VERSION}; \
+                 rendering best-effort"
+            );
+        }
+    }
+    metas.len()
+}
+
+fn ms(nanos: u64) -> String {
+    format!("{:.3} ms", nanos as f64 / 1e6)
+}
+
+fn render_campaign(lines: &[&str]) -> usize {
+    let Some(s) = summarize_campaign(lines) else { return 0 };
+    println!();
+    println!("campaign: {} jobs on {} workers, wall {}", s.jobs, s.workers, ms(s.wall_nanos));
+    println!("  job latency: p50 {}  p95 {}  max {}", ms(s.p50_nanos), ms(s.p95_nanos), ms(s.max_nanos));
+    if !s.max_label.is_empty() {
+        println!("  slowest job: {}", s.max_label);
+    }
+    println!("  max queue wait: {}", ms(s.max_queue_wait_nanos));
+    let busy: Vec<String> =
+        s.busy.iter().enumerate().map(|(w, b)| format!("w{w} {:.0}%", b * 100.0)).collect();
+    println!("  worker busy: {}", busy.join("  "));
+    1
+}
+
+fn render_runs(lines: &[&str]) -> usize {
+    let runs = of_type(lines, "run");
+    if runs.is_empty() {
+        return 0;
+    }
+    println!();
+    println!("{:<28} {:>12} {:>12} {:>8}", "run", "cycles", "committed", "ipc");
+    for r in &runs {
+        let label = json_str(r, "label").unwrap_or_default();
+        let cycles = json_u64(r, "cycles").unwrap_or(0);
+        let committed = json_u64_array(r, "committed")
+            .map(|v| v.iter().sum::<u64>())
+            .unwrap_or(0);
+        let ipc = if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 };
+        println!("{label:<28} {cycles:>12} {committed:>12} {ipc:>8.3}");
+    }
+    runs.len()
+}
+
+fn render_heatmaps(lines: &[&str]) -> usize {
+    let maps = of_type(lines, "heatmap");
+    for m in &maps {
+        let label = json_str(m, "label").unwrap_or_default();
+        let ways = json_str_array(m, "ways").unwrap_or_default();
+        let lead = json_u64_array(m, "lead").unwrap_or_default();
+        let trail = json_u64_array(m, "trail").unwrap_or_default();
+        let max = lead.iter().chain(trail.iter()).copied().max().unwrap_or(0).max(1);
+        println!();
+        println!("way utilization: {label}");
+        println!("  {:<12} {:>4} {:>10} {:>10}  lead+trail", "class", "way", "lead", "trail");
+        for (w, name) in ways.iter().enumerate() {
+            let l = lead.get(w).copied().unwrap_or(0);
+            let t = trail.get(w).copied().unwrap_or(0);
+            let bar_len = (((l + t) as f64 / (2 * max) as f64) * 40.0).round() as usize;
+            println!(
+                "  {:<12} {:>4} {:>10} {:>10}  {}",
+                name,
+                w,
+                l,
+                t,
+                "#".repeat(bar_len)
+            );
+        }
+    }
+    maps.len()
+}
+
+/// One uop's row in the timeline, keyed by uid.
+struct UopRow {
+    uid: u64,
+    ctx: u64,
+    seq: Option<u64>,
+    pc: u64,
+    way: Option<u64>,
+    filler: bool,
+    /// `(cycle, stage char)` stamps.
+    stamps: Vec<(u64, char)>,
+}
+
+fn stage_char(kind: &str) -> char {
+    match kind {
+        "fetch" => 'F',
+        "dispatch" => 'D',
+        "issue" => 'I',
+        "complete" => 'X',
+        "commit" => 'C',
+        "detect" => '!',
+        _ => '?',
+    }
+}
+
+fn render_flight(lines: &[&str]) -> usize {
+    let events = of_type(lines, "flight_event");
+    if events.is_empty() {
+        return 0;
+    }
+    let mut rows: Vec<UopRow> = Vec::new();
+    let mut detect_stamps: Vec<(u64, u64)> = Vec::new(); // (cycle, pc)
+    let mut last_cycle = 0u64;
+    for e in &events {
+        let cycle = json_u64(e, "cycle").unwrap_or(0);
+        last_cycle = last_cycle.max(cycle);
+        let kind = json_str(e, "kind").unwrap_or_default();
+        let Some(uid) = json_u64(e, "uid") else {
+            // A `detect` stamp carries no uid; mark the cycle itself.
+            detect_stamps.push((cycle, json_u64(e, "pc").unwrap_or(0)));
+            continue;
+        };
+        let row = match rows.iter_mut().find(|r| r.uid == uid) {
+            Some(r) => r,
+            None => {
+                rows.push(UopRow {
+                    uid,
+                    ctx: json_u64(e, "ctx").unwrap_or(0),
+                    seq: None,
+                    pc: json_u64(e, "pc").unwrap_or(0),
+                    way: None,
+                    filler: e.contains("\"filler\":true"),
+                    stamps: Vec::new(),
+                });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(seq) = json_u64(e, "seq") {
+            row.seq = Some(seq);
+        }
+        if kind == "issue" {
+            row.way = json_u64(e, "way");
+        }
+        row.stamps.push((cycle, stage_char(&kind)));
+    }
+    let start = last_cycle.saturating_sub(TIMELINE_CYCLES.saturating_sub(1));
+    let width = (last_cycle - start + 1) as usize;
+
+    println!();
+    println!(
+        "flight recorder: {} events, {} uops, cycles {start}..{last_cycle}",
+        events.len(),
+        rows.len()
+    );
+    println!("  stages: F fetch  D dispatch  I issue  X complete  C commit  ! detect");
+    let header = format!("  {:<6} {:>3} {:>6} {:>6} {:>4} {:>3}", "uid", "ctx", "seq", "pc", "way", "fil");
+    println!("{header}  |cycle {start}");
+    for r in &rows {
+        // Skip uops whose every stamp predates the rendered window.
+        if r.stamps.iter().all(|&(c, _)| c < start) {
+            continue;
+        }
+        let mut lane = vec!['.'; width];
+        for &(c, ch) in &r.stamps {
+            if c >= start {
+                lane[(c - start) as usize] = ch;
+            }
+        }
+        let seq = r.seq.map_or("-".to_string(), |s| s.to_string());
+        let way = r.way.map_or("-".to_string(), |w| w.to_string());
+        println!(
+            "  {:<6} {:>3} {:>6} {:>6} {:>4} {:>3}  |{}|",
+            r.uid,
+            r.ctx,
+            seq,
+            format!("0x{:x}", r.pc),
+            way,
+            if r.filler { "f" } else { "-" },
+            lane.iter().collect::<String>()
+        );
+    }
+    for &(cycle, pc) in &detect_stamps {
+        if cycle < start {
+            continue;
+        }
+        let mut lane = vec![' '; width];
+        lane[(cycle - start) as usize] = '!';
+        println!(
+            "  {:<6} {:>3} {:>6} {:>6} {:>4} {:>3}  |{}|",
+            "detect",
+            "-",
+            "-",
+            format!("0x{pc:x}"),
+            "-",
+            "-",
+            lane.iter().collect::<String>()
+        );
+    }
+    events.len()
+}
+
+fn render_detections(lines: &[&str]) -> usize {
+    let dets = of_type(lines, "detection");
+    for d in &dets {
+        let opt = |key: &str| {
+            json_u64(d, key).map_or("-".to_string(), |v| v.to_string())
+        };
+        println!();
+        println!(
+            "detection: {} at cycle {} (seq {}, pc 0x{:x})",
+            json_str(d, "kind").unwrap_or_default(),
+            json_u64(d, "cycle").unwrap_or(0),
+            opt("seq"),
+            json_u64(d, "pc").unwrap_or(0)
+        );
+        let fronts = json_u64_array(d, "front_ways")
+            .map_or("-".to_string(), |v| format!("{v:?}"));
+        println!(
+            "  back ways: lead {} / trail {}   front ways [lead, trail]: {}",
+            opt("lead_back_way"),
+            opt("trail_back_way"),
+            fronts
+        );
+    }
+    dets.len()
+}

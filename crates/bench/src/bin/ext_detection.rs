@@ -20,6 +20,10 @@
 //! simulating* and counted in `pruned_sites`. Set `BJ_PRUNE=0` to
 //! disable and simulate every site; the per-mode table is byte-identical
 //! either way.
+//!
+//! With `BJ_TRACE=<path>` set, per-job scheduling telemetry and a
+//! flight-recorder pipetrace of the first detected injection are written
+//! to `<path>` (render with `bj-trace`); stdout stays byte-identical.
 
 use std::time::Instant;
 
@@ -28,11 +32,23 @@ use blackjack::faults::{
 };
 use blackjack::isa::Interp;
 use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
+use blackjack::telemetry::TraceWriter;
 use blackjack::workloads::{build, Benchmark};
 use blackjack::{envcfg, Campaign};
 use blackjack_analysis::SiteAnalysis;
 
+/// Compact job label for the telemetry stream: `mode/bench/site`.
+fn site_label(mode: Mode, bench: &str, site: FaultSite) -> String {
+    let s = match site {
+        FaultSite::Backend { way } => format!("backend:{way}"),
+        FaultSite::Frontend { way } => format!("frontend:{way}"),
+        FaultSite::PayloadRam { entry } => format!("payload:{entry}"),
+    };
+    format!("{mode}/{bench}/{s}")
+}
+
 fn main() {
+    let mut writer = TraceWriter::from_env_or_exit("ext_detection");
     let campaign = Campaign::from_env_or_exit();
     let prune = envcfg::flag_from_env("BJ_PRUNE", true)
         .unwrap_or_else(|e| envcfg::exit_invalid(&e));
@@ -111,7 +127,16 @@ fn main() {
             })
         })
         .collect();
-    let runs = campaign.run(jobs);
+    // The default path is `campaign.run` — `run_traced` only when the
+    // user asked for telemetry, and every extra byte goes to the trace
+    // file, so stdout stays byte-identical either way.
+    let (runs, sched) = match &writer {
+        Some(_) => {
+            let (runs, sched) = campaign.run_traced(jobs);
+            (runs, Some(sched))
+        }
+        None => (campaign.run(jobs), None),
+    };
 
     println!(
         "{:12} | {:>9} {:>18} {:>8} {:>6}",
@@ -160,6 +185,47 @@ fn main() {
         }
     } else {
         println!("\npruned_sites: static pruning disabled (BJ_PRUNE=0)");
+    }
+
+    if let (Some(w), Some(sched)) = (writer.as_mut(), sched.as_ref()) {
+        let labels: Vec<String> = [Mode::Srt, Mode::BlackJack]
+            .iter()
+            .flat_map(|&mode| {
+                goldens.iter().flat_map(move |(_, _, a)| {
+                    sites.iter().map(move |&site| site_label(mode, &a.program, site))
+                })
+            })
+            .collect();
+        w.emit_campaign(sched, &labels);
+        // Re-run the first detected injection with the flight recorder
+        // on — one extra cheap run buys a full pipetrace of the
+        // detection without perturbing any campaign job.
+        if let Some(i) = runs.iter().position(|(_, t)| t.detected > 0) {
+            let per_mode = goldens.len() * sites.len();
+            let mode = [Mode::Srt, Mode::BlackJack][i / per_mode];
+            let (prog, _, _) = &goldens[(i % per_mode) / sites.len()];
+            let site = sites[i % sites.len()];
+            let bit = match site {
+                FaultSite::Frontend { .. } => 1,
+                _ => 5,
+            };
+            let fault = HardFault {
+                site,
+                corruption: Corruption::FlipBit { bit },
+                trigger: Trigger::Always,
+            };
+            let mut core =
+                Core::new(CoreConfig::with_mode(mode), prog, FaultPlan::single(fault));
+            core.enable_trace();
+            let outcome = core.run(100_000_000);
+            let state = core.take_trace().expect("tracing was enabled");
+            w.emit_run(&labels[i], core.stats(), Some(&state));
+            w.emit_heatmap(&labels[i], &state.heat);
+            w.emit_flight(&state.flight.events());
+            if let RunOutcome::Detected(ev) = &outcome {
+                w.emit_detection(ev);
+            }
+        }
     }
 
     println!("\n[{} injection runs in {:.1?}]", runs.len(), t0.elapsed());

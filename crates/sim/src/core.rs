@@ -30,6 +30,7 @@ use crate::rob::ActiveList;
 use crate::shuffle::{exhaustive_shuffle, no_shuffle, safe_shuffle, ShuffleItem, Slot};
 use crate::srt::{Boq, BoqEntry, Lvq, LvqEntry, WayLog, WayRecord};
 use crate::stats::SimStats;
+use crate::trace::{FlightEvent, FlightKind, TraceState, Tracer};
 use crate::uop::{Stage, Uop, UopId, UopSlab};
 
 /// Leading/single context index.
@@ -39,6 +40,12 @@ pub const TRAILING: usize = 1;
 
 /// Watchdog: a run with no commit for this many cycles is declared stuck.
 const WATCHDOG_CYCLES: u64 = 200_000;
+
+/// Default flight-recorder depth: enough to cover the in-flight window of
+/// both contexts (each uop produces ~4 events and the machine holds at
+/// most ~60 uops live), so a dump reaches back past the fetch of
+/// everything in flight at the incident.
+pub const FLIGHT_CAPACITY: usize = 256;
 
 impl ShuffleItem for DtqPayload {
     fn fu_type(&self) -> FuType {
@@ -219,6 +226,9 @@ pub struct Core {
     tmap: LeadIndexedRat,
     last_commit_cycle: u64,
     oracle: Option<Interp>,
+    /// Observability hooks; `Tracer::Off` (the default) keeps every hook
+    /// a single discriminant branch — no allocation in the hot loop.
+    tracer: Tracer,
 }
 
 impl Core {
@@ -265,7 +275,33 @@ impl Core {
             tmap: LeadIndexedRat::new(cfg.phys_regs),
             last_commit_cycle: 0,
             oracle: None,
+            tracer: Tracer::Off,
             cfg,
+        }
+    }
+
+    /// Turns on the observability layer (occupancy histograms, the way
+    /// heatmap, and a [`FLIGHT_CAPACITY`]-event flight recorder). All
+    /// buffers are allocated here, once; recording never allocates.
+    pub fn enable_trace(&mut self) {
+        self.enable_trace_with_capacity(FLIGHT_CAPACITY);
+    }
+
+    /// [`Core::enable_trace`] with an explicit flight-recorder depth.
+    pub fn enable_trace_with_capacity(&mut self, flight_capacity: usize) {
+        self.tracer = Tracer::enabled(&self.cfg, flight_capacity);
+    }
+
+    /// The recorded trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceState> {
+        self.tracer.state()
+    }
+
+    /// Detaches and returns the recorded trace, turning tracing off.
+    pub fn take_trace(&mut self) -> Option<Box<TraceState>> {
+        match std::mem::take(&mut self.tracer) {
+            Tracer::Off => None,
+            Tracer::On(t) => Some(t),
         }
     }
 
@@ -388,7 +424,9 @@ impl Core {
                 break;
             }
         }
-        self.stats.wall_nanos += t0.elapsed().as_nanos() as u64;
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        self.stats.wall_nanos += elapsed;
+        self.stats.agg_wall_nanos += elapsed;
         if watchdog_fired {
             RunOutcome::CycleLimit
         } else if let Some(e) = self.detection {
@@ -407,6 +445,16 @@ impl Core {
         }
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        if self.tracer.is_on() {
+            // Start-of-cycle occupancy snapshot (last cycle's end state).
+            let lsq: usize = self.ctxs.iter().map(|c| c.lsq.len()).sum();
+            let al: usize = self.ctxs.iter().map(|c| c.al.len()).sum();
+            let slack = self.cfg.mode.is_redundant().then(|| {
+                self.stats.committed[LEADING]
+                    .saturating_sub(self.ctxs[TRAILING].fetched_real)
+            });
+            self.tracer.cycle_sample(self.iq.len(), self.dtq.len(), lsq, al, slack);
+        }
         self.commit();
         if self.done || self.detection.is_some() {
             return;
@@ -453,10 +501,50 @@ impl Core {
     }
 
     fn record_detection(&mut self, ev: DetectionEvent) {
+        if self.tracer.is_on() {
+            self.tracer.event(FlightEvent {
+                cycle: ev.cycle,
+                kind: FlightKind::Detect,
+                uid: u64::MAX,
+                ctx: if self.cfg.mode.is_redundant() { TRAILING } else { LEADING },
+                seq: ev.seq,
+                pc: ev.pc,
+                way: ev.trail_back_way.unwrap_or(usize::MAX),
+                packet: u64::MAX,
+                filler: false,
+            });
+        }
         if self.detection.is_none() {
             self.detection = Some(ev);
         }
         self.stats.detections.push(ev);
+    }
+
+    /// Flight-recorder hook: records `id` reaching pipeline stage `kind`.
+    /// A single branch when tracing is off; must run while the uop is
+    /// still in the slab.
+    #[inline]
+    fn trace_uop(&mut self, kind: FlightKind, id: UopId) {
+        if !self.tracer.is_on() {
+            return;
+        }
+        let u = self.slab.at(id);
+        let way = match kind {
+            FlightKind::Fetch | FlightKind::Dispatch => u.front_way,
+            _ => u.back_way.unwrap_or(usize::MAX),
+        };
+        let ev = FlightEvent {
+            cycle: self.cycle,
+            kind,
+            uid: u.uid,
+            ctx: u.ctx,
+            seq: u.seq,
+            pc: u.pc,
+            way,
+            packet: u.packet.unwrap_or(u64::MAX),
+            filler: u.filler,
+        };
+        self.tracer.event(ev);
     }
 
     // ----------------------------------------------------------------- commit
@@ -606,6 +694,7 @@ impl Core {
             self.halted[LEADING] = true;
         }
 
+        self.trace_uop(FlightKind::Commit, id);
         self.ctxs[LEADING].al.commit_head();
         self.slab.remove(id);
         self.stats.committed[LEADING] += 1;
@@ -766,6 +855,7 @@ impl Core {
         if matches!(inst, Inst::Halt) {
             self.halted[TRAILING] = true;
         }
+        self.trace_uop(FlightKind::Commit, id);
         self.ctxs[TRAILING].al.commit_head();
         self.slab.remove(id);
         self.stats.committed[TRAILING] += 1;
@@ -828,6 +918,7 @@ impl Core {
             if let Some(d) = dst {
                 self.ctxs[ctx].regs.write(d, result.unwrap_or(0));
             }
+            self.trace_uop(FlightKind::Complete, id);
             if filler {
                 self.slab.remove(id);
                 continue;
@@ -1063,9 +1154,14 @@ impl Core {
         self.inflight.push((self.cycle + latency, id));
         issued.push(id);
         let u = self.slab.at(id);
-        self.stats.issued[u.ctx] += 1;
-        if u.filler {
+        let (ctx, filler) = (u.ctx, u.filler);
+        self.stats.issued[ctx] += 1;
+        if filler {
             self.stats.filler_issued += 1;
+        }
+        if self.tracer.is_on() {
+            self.tracer.issue_way(ctx, way);
+            self.trace_uop(FlightKind::Issue, id);
         }
     }
 
@@ -1514,6 +1610,7 @@ impl Core {
         let entry = self.iq.insert(id).expect("checked is_full");
         let _ = entry;
         self.slab.at_mut(id).stage = Stage::InQueue;
+        self.trace_uop(FlightKind::Dispatch, id);
         true
     }
 
@@ -1715,6 +1812,7 @@ impl Core {
             self.ctxs[ctx].frontq.push_back(id);
             self.stats.fetched[ctx] += 1;
             self.ctxs[ctx].fetched_real += 1;
+            self.trace_uop(FlightKind::Fetch, id);
 
             if is_halt {
                 self.ctxs[ctx].fetch_halted = true;
@@ -1756,6 +1854,7 @@ impl Core {
                     u.packet = Some(packet_id);
                     let id = self.slab.insert(u);
                     self.ctxs[TRAILING].frontq.push_back(id);
+                    self.trace_uop(FlightKind::Fetch, id);
                 }
                 Slot::Inst(p) => {
                     let raw = self.plan.corrupt_frontend(slot, p.raw);
@@ -1792,6 +1891,7 @@ impl Core {
                     self.ctxs[TRAILING].frontq.push_back(id);
                     self.stats.fetched[TRAILING] += 1;
                     self.ctxs[TRAILING].fetched_real += 1;
+                    self.trace_uop(FlightKind::Fetch, id);
                 }
             }
         }

@@ -42,9 +42,10 @@ mod rob;
 pub mod shuffle;
 mod srt;
 mod stats;
+pub mod trace;
 mod uop;
 
-pub use crate::core::{Core, LEADING, TRAILING};
+pub use crate::core::{Core, FLIGHT_CAPACITY, LEADING, TRAILING};
 pub use config::{table1, CoreConfig, FuCounts, FuLatencies, Mode, ShuffleAlgo};
 pub use detect::{DetectionEvent, DetectionKind, RunOutcome};
 pub use dtq::{Dtq, DtqPayload};
@@ -56,4 +57,5 @@ pub use regfile::{CommitRat, LeadIndexedRat, RegFile};
 pub use rob::ActiveList;
 pub use srt::{Boq, BoqEntry, Lvq, LvqEntry, WayLog, WayRecord};
 pub use stats::{PairTrace, SimStats};
+pub use trace::{FlightEvent, FlightKind, FlightRecorder, Histogram, TraceState, Tracer, WayHeat};
 pub use uop::{PhysReg, Stage, Uop, UopId, UopSlab};

@@ -28,8 +28,20 @@ pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
     /// Wall-clock nanoseconds spent inside [`Core::run`](crate::Core::run)
-    /// — the simulator's own throughput denominator.
+    /// for **this run**. [`SimStats::merge`] leaves it untouched: summing
+    /// the wall-clock of runs that executed in parallel on different
+    /// campaign workers would not measure any real elapsed interval. For
+    /// campaign-level wall-clock throughput use
+    /// `CampaignStats::cycles_per_sec`, which divides by the campaign's
+    /// actual elapsed time.
     pub wall_nanos: u64,
+    /// *Aggregate* compute nanoseconds: the sum of `wall_nanos` over every
+    /// run merged into this record (equal to `wall_nanos` for a single
+    /// un-merged run). This is CPU-time, not elapsed time — the
+    /// denominator of [`SimStats::cycles_per_sec`], making that metric
+    /// "simulated cycles per worker-second" and therefore comparable
+    /// across worker counts.
+    pub agg_wall_nanos: u64,
     /// Architectural instructions committed, per context.
     pub committed: [u64; 2],
     /// Instructions fetched (including wrong-path), per context.
@@ -148,24 +160,31 @@ impl SimStats {
         self.coverage.frontend_coverage()
     }
 
-    /// Simulated cycles per wall-clock second — the simulator's own
+    /// Simulated cycles per *worker*-second — the simulator's own
     /// throughput, reported by the `bench_campaign` harness.
+    ///
+    /// The denominator is [`SimStats::agg_wall_nanos`], the summed
+    /// compute time of every merged run — **not** campaign elapsed time.
+    /// For a single run the two coincide; after a merge this metric stays
+    /// a per-worker efficiency number instead of silently conflating
+    /// parallel jobs' wall time (the pre-`agg_wall_nanos` bug).
     pub fn cycles_per_sec(&self) -> f64 {
-        if self.wall_nanos == 0 {
+        if self.agg_wall_nanos == 0 {
             0.0
         } else {
-            self.cycles as f64 * 1e9 / self.wall_nanos as f64
+            self.cycles as f64 * 1e9 / self.agg_wall_nanos as f64
         }
     }
 
-    /// Merges another run's statistics into this one. All counters (and
-    /// wall-clock) sum, coverage observations pool, and event traces
-    /// append, so campaign workers can measure runs independently and
-    /// combine afterwards; merging is order-insensitive for every derived
-    /// ratio.
+    /// Merges another run's statistics into this one. All counters sum,
+    /// coverage observations pool, and event traces append, so campaign
+    /// workers can measure runs independently and combine afterwards;
+    /// merging is order-insensitive for every derived ratio. Compute time
+    /// sums into [`SimStats::agg_wall_nanos`]; the per-run
+    /// [`SimStats::wall_nanos`] is deliberately left alone (see its doc).
     pub fn merge(&mut self, other: &SimStats) {
         self.cycles += other.cycles;
-        self.wall_nanos += other.wall_nanos;
+        self.agg_wall_nanos += other.agg_wall_nanos;
         for i in 0..2 {
             self.committed[i] += other.committed[i];
             self.fetched[i] += other.fetched[i];
@@ -195,6 +214,42 @@ impl SimStats {
         self.deadlocked |= other.deadlocked;
         self.trace_pairs |= other.trace_pairs;
         self.pair_trace.extend(other.pair_trace.iter().copied());
+    }
+
+    /// One-line JSON object with the run's headline counters, for the
+    /// `BJ_TRACE` telemetry stream. Same counter names as the fields.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cycles\":{},\"wall_nanos\":{},\"agg_wall_nanos\":{},\
+             \"committed\":[{},{}],\"fetched\":[{},{}],\"issued\":[{},{}],\
+             \"filler_issued\":{},\"squashed\":{},\"mispredicts\":{},\
+             \"branches\":{},\"issue_cycles\":{},\"single_ctx_issue_cycles\":{},\
+             \"lt_interference_cycles\":{},\"tt_interference_cycles\":{},\
+             \"shuffle_nops\":{},\"store_checks\":{},\"detections\":{},\
+             \"deadlocked\":{},\"ipc\":{:.6}}}",
+            self.cycles,
+            self.wall_nanos,
+            self.agg_wall_nanos,
+            self.committed[0],
+            self.committed[1],
+            self.fetched[0],
+            self.fetched[1],
+            self.issued[0],
+            self.issued[1],
+            self.filler_issued,
+            self.squashed,
+            self.mispredicts,
+            self.branches,
+            self.issue_cycles,
+            self.single_ctx_issue_cycles,
+            self.lt_interference_cycles,
+            self.tt_interference_cycles,
+            self.shuffle_nops,
+            self.store_checks,
+            self.detections.len(),
+            self.deadlocked,
+            self.ipc(),
+        )
     }
 }
 
@@ -235,8 +290,32 @@ mod tests {
     fn cycles_per_sec_accounting() {
         let s = SimStats::default();
         assert_eq!(s.cycles_per_sec(), 0.0, "no wall time yet");
-        let s = SimStats { cycles: 3_000_000, wall_nanos: 1_500_000_000, ..SimStats::default() };
+        let s = SimStats {
+            cycles: 3_000_000,
+            wall_nanos: 1_500_000_000,
+            agg_wall_nanos: 1_500_000_000,
+            ..SimStats::default()
+        };
         assert_eq!(s.cycles_per_sec(), 2_000_000.0);
+    }
+
+    #[test]
+    fn wall_nanos_is_per_run_and_agg_wall_nanos_pools() {
+        // Two runs of 100ns compute that executed *in parallel*: after a
+        // merge, per-run wall stays a single run's interval, aggregate
+        // compute sums, and cycles_per_sec divides by the aggregate — a
+        // per-worker number, not a bogus "parallel walls added" one.
+        let mk = |cycles| SimStats {
+            cycles,
+            wall_nanos: 100,
+            agg_wall_nanos: 100,
+            ..SimStats::default()
+        };
+        let mut a = mk(400);
+        a.merge(&mk(600));
+        assert_eq!(a.wall_nanos, 100, "merge must not sum per-run wall-clock");
+        assert_eq!(a.agg_wall_nanos, 200, "merge sums compute time");
+        assert_eq!(a.cycles_per_sec(), 1000.0 * 1e9 / 200.0);
     }
 
     #[test]
@@ -244,6 +323,7 @@ mod tests {
         let mut a = SimStats {
             cycles: 100,
             wall_nanos: 50,
+            agg_wall_nanos: 50,
             committed: [10, 9],
             issue_cycles: 40,
             single_ctx_issue_cycles: 30,
@@ -257,6 +337,7 @@ mod tests {
         let mut b = SimStats {
             cycles: 300,
             wall_nanos: 150,
+            agg_wall_nanos: 150,
             committed: [20, 21],
             issue_cycles: 60,
             single_ctx_issue_cycles: 40,
@@ -270,7 +351,8 @@ mod tests {
 
         a.merge(&b);
         assert_eq!(a.cycles, 400);
-        assert_eq!(a.wall_nanos, 200);
+        assert_eq!(a.wall_nanos, 50, "per-run wall is not summed");
+        assert_eq!(a.agg_wall_nanos, 200);
         assert_eq!(a.committed, [30, 30]);
         assert_eq!(a.issue_cycles, 100);
         assert_eq!(a.single_ctx_issue_cycles, 70);

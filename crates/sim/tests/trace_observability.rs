@@ -1,0 +1,183 @@
+//! The observability layer against a live core: tracing must be
+//! *truthful* (histogram totals tie out against `SimStats`), *inert*
+//! (enabling it cannot change simulation results), and *useful* (an
+//! injected fault leaves a flight dump ending in the detection).
+
+use blackjack_faults::{FaultPlan, FaultSite, HardFault};
+use blackjack_isa::asm::assemble;
+use blackjack_isa::Program;
+use blackjack_sim::{Core, CoreConfig, FlightKind, Mode, RunOutcome, LEADING, TRAILING};
+
+const MAX_CYCLES: u64 = 20_000_000;
+
+fn mul_chain() -> Program {
+    assemble(
+        r#"
+        .text
+            li   x20, 0x400000
+            li   x21, 50
+            li   x5, 3
+        loop:
+            mul  x5, x5, x5
+            andi x5, x5, 8191
+            ori  x5, x5, 3
+            sd   x5, 0(x20)
+            addi x20, x20, 8
+            addi x21, x21, -1
+            bnez x21, loop
+            halt
+        "#,
+    )
+    .unwrap()
+}
+
+/// Global way of integer-multiplier instance 0 (after the 4 ALUs).
+const INT_MUL_0: usize = 4;
+
+#[test]
+fn histogram_totals_tie_out_against_stats() {
+    let prog = mul_chain();
+    let mut core = Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, FaultPlan::new());
+    core.enable_trace();
+    let out = core.run(MAX_CYCLES);
+    assert_eq!(out, RunOutcome::Completed);
+
+    let cycles = core.stats().cycles;
+    let issued = core.stats().issued[LEADING] + core.stats().issued[TRAILING];
+    let t = core.trace().expect("tracing is on");
+    // One occupancy sample per simulated cycle, for every tracked queue.
+    assert_eq!(t.occ_iq.total(), cycles);
+    assert_eq!(t.occ_dtq.total(), cycles);
+    assert_eq!(t.occ_lsq.total(), cycles);
+    assert_eq!(t.occ_al.total(), cycles);
+    // Redundant mode: one slack sample per cycle too.
+    assert_eq!(t.slack.total(), cycles);
+    // Every issued uop (fillers included) hit the heatmap exactly once.
+    assert_eq!(t.heat.total(), issued);
+    // In BlackJack mode both contexts issued somewhere.
+    assert!(t.heat.of_ctx(LEADING).iter().sum::<u64>() > 0);
+    assert!(t.heat.of_ctx(TRAILING).iter().sum::<u64>() > 0);
+    // The recorder saw the whole run even though it only retains the tail.
+    assert!(t.flight.recorded() >= issued);
+    assert_eq!(t.flight.len(), t.flight.capacity().min(t.flight.recorded() as usize));
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let prog = mul_chain();
+    for mode in Mode::ALL {
+        let mut plain = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+        let out_plain = plain.run(MAX_CYCLES);
+
+        let mut traced = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+        traced.enable_trace();
+        let out_traced = traced.run(MAX_CYCLES);
+
+        assert_eq!(out_plain, out_traced, "{mode}");
+        let (a, b) = (plain.stats(), traced.stats());
+        assert_eq!(a.cycles, b.cycles, "{mode}");
+        assert_eq!(a.committed, b.committed, "{mode}");
+        assert_eq!(a.issued, b.issued, "{mode}");
+        assert_eq!(a.fetched, b.fetched, "{mode}");
+        assert_eq!(a.squashed, b.squashed, "{mode}");
+        assert_eq!(plain.arch_reg(5), traced.arch_reg(5), "{mode}");
+    }
+}
+
+#[test]
+fn injected_fault_leaves_a_flight_dump_ending_in_detect() {
+    let prog = mul_chain();
+    let fault = HardFault::stuck_bit(FaultSite::Backend { way: INT_MUL_0 }, 2);
+    let mut core =
+        Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, FaultPlan::single(fault));
+    core.enable_trace();
+    let out = core.run(MAX_CYCLES);
+    let ev = out.detection().expect("the multiplier fault must be detected");
+
+    let t = core.take_trace().expect("tracing was on");
+    assert!(core.trace().is_none(), "take_trace turns tracing off");
+    let events = t.flight.events();
+    assert!(!events.is_empty());
+
+    // The dump ends at the incident: a Detect event stamped with the
+    // detection's cycle and pc.
+    let detect = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == FlightKind::Detect)
+        .expect("flight dump contains the detection");
+    assert_eq!(detect.cycle, ev.cycle);
+    assert_eq!(detect.pc, ev.pc);
+    assert_eq!(detect.seq, ev.seq);
+
+    // The mismatching pair is reconstructible: both copies of the store's
+    // pc appear in the retained window (leading committed it, trailing
+    // re-executed it).
+    let lead_seen = events.iter().any(|e| e.ctx == LEADING && e.pc == ev.pc);
+    let trail_seen = events.iter().any(|e| e.ctx == TRAILING && e.pc == ev.pc);
+    assert!(lead_seen && trail_seen, "both copies of the mismatching uop in the dump");
+
+    // Cycle stamps are monotonically nondecreasing oldest→newest.
+    assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+}
+
+#[test]
+fn flight_recorder_stage_progression_per_uop() {
+    // A tiny program whose run fits entirely inside the recorder: each
+    // real uop's events appear in pipeline order.
+    let prog = assemble(
+        ".text\n li x5, 21\n add x5, x5, x5\n sd x5, 0(x10)\n halt\n",
+    )
+    .unwrap();
+    let mut core = Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, FaultPlan::new());
+    core.enable_trace_with_capacity(4096);
+    let out = core.run(MAX_CYCLES);
+    assert_eq!(out, RunOutcome::Completed);
+
+    let t = core.trace().unwrap();
+    let events = t.flight.events();
+    assert_eq!(t.flight.recorded() as usize, events.len(), "nothing was evicted");
+
+    let order = |k: FlightKind| match k {
+        FlightKind::Fetch => 0,
+        FlightKind::Dispatch => 1,
+        FlightKind::Issue => 2,
+        FlightKind::Complete => 3,
+        FlightKind::Commit => 4,
+        FlightKind::Detect => 5,
+    };
+    // Group by uid; stages must be strictly increasing per uop.
+    let mut uids: Vec<u64> = events.iter().map(|e| e.uid).collect();
+    uids.sort_unstable();
+    uids.dedup();
+    let mut committed_uops = 0;
+    for uid in uids {
+        let stages: Vec<u32> =
+            events.iter().filter(|e| e.uid == uid).map(|e| order(e.kind)).collect();
+        assert!(
+            stages.windows(2).all(|w| w[0] < w[1]),
+            "uop {uid} repeated or reordered stages: {stages:?}"
+        );
+        if stages.contains(&4) {
+            committed_uops += 1;
+            assert_eq!(stages, [0, 1, 2, 3, 4], "a committed uop passes every stage");
+        }
+    }
+    // Both contexts commit every architectural instruction.
+    let arch = core.stats().committed[LEADING] + core.stats().committed[TRAILING];
+    assert_eq!(committed_uops, arch);
+}
+
+#[test]
+fn occupancy_json_is_well_formed() {
+    let prog = mul_chain();
+    let mut core = Core::new(CoreConfig::with_mode(Mode::Srt), &prog, FaultPlan::new());
+    core.enable_trace();
+    assert_eq!(core.run(MAX_CYCLES), RunOutcome::Completed);
+    let j = core.trace().unwrap().occupancy_json();
+    for key in ["\"iq\":{", "\"dtq\":{", "\"lsq\":{", "\"al\":{", "\"slack\":{"] {
+        assert!(j.contains(key), "missing {key} in {j}");
+    }
+    assert_eq!(j.matches("\"width\":").count(), 5);
+    assert_eq!(j.matches("\"counts\":[").count(), 5);
+}

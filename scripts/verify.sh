@@ -17,4 +17,19 @@ cargo test -q --workspace --offline
 echo "== tier-1: fig_all smoke (BJ_SCALE=1) =="
 BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin fig_all >/dev/null
 
+echo "== tier-1: BJ_TRACE smoke (traced detection run through bj-trace) =="
+trace_file="$(mktemp /tmp/bj_trace_smoke.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+# A traced injection run must detect, leave schema-valid JSONL behind,
+# and bj-trace must render a non-empty report from it.
+BJ_TRACE="$trace_file" cargo run --release -q --offline --bin bjsim -- \
+  --quiet --fault backend:4:2 examples/programs/checksum.s | grep -q DETECTED
+grep -q '"type":"meta"' "$trace_file"
+grep -q '"type":"flight_event"' "$trace_file"
+grep -q '"type":"detection"' "$trace_file"
+rendered="$(cargo run --release -q --offline -p blackjack-bench --bin bj-trace -- "$trace_file")"
+[ -n "$rendered" ]
+echo "$rendered" | grep -q "flight recorder:"
+echo "$rendered" | grep -q "detection:"
+
 echo "verify: OK"

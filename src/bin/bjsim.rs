@@ -20,12 +20,19 @@
 //! ```text
 //! cargo run --release --bin bjsim -- --mode blackjack --fault backend:4:5 prog.s
 //! ```
+//!
+//! When `BJ_TRACE=<path>` is set the run is traced: occupancy
+//! histograms, the `(class, way)` issue heatmap, the flight recorder's
+//! final window, and any detection event are written to `<path>` as
+//! JSONL (render with `bj-trace`). The path is validated up front —
+//! empty or unwritable values exit with status 2.
 
 use std::process::exit;
 
 use blackjack::faults::{AreaModel, FaultPlan, FaultSite, HardFault};
 use blackjack::isa::asm::assemble_named;
 use blackjack::sim::{Core, CoreConfig, Mode, RunOutcome, ShuffleAlgo};
+use blackjack::telemetry::TraceWriter;
 
 fn usage() -> ! {
     eprintln!("usage: bjsim [--mode M] [--shuffle S] [--slack N] [--fault SITE:WAY[:BIT]] [--max-cycles N] [--oracle] [--quiet] <program.s>");
@@ -120,11 +127,25 @@ fn main() {
         exit(1);
     });
 
+    let mut writer = TraceWriter::from_env_or_exit("bjsim");
     let mut core = Core::new(cfg.clone(), &prog, plan);
     if oracle {
         core.enable_oracle(&prog);
     }
+    if writer.is_some() {
+        core.enable_trace();
+    }
     let outcome = core.run(max_cycles);
+
+    if let Some(w) = writer.as_mut() {
+        let state = core.take_trace().expect("tracing was enabled");
+        w.emit_run(&path, core.stats(), Some(&state));
+        w.emit_heatmap(&path, &state.heat);
+        w.emit_flight(&state.flight.events());
+        if let RunOutcome::Detected(ev) = &outcome {
+            w.emit_detection(ev);
+        }
+    }
 
     let s = core.stats();
     match outcome {

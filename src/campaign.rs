@@ -150,6 +150,129 @@ impl Campaign {
         let out = self.run(jobs);
         (out, t0.elapsed())
     }
+
+    /// [`Campaign::run`] plus per-job telemetry: which worker ran each
+    /// job, how long the job waited in the queue, and how long it ran.
+    ///
+    /// Queue-wait is measured from campaign start to the moment a worker
+    /// *claims* the job — with work-stealing there is no per-job enqueue
+    /// time, so this is exactly the latency the shared-index discipline
+    /// imposes on that job. Results (and timings) come back in job order,
+    /// same determinism contract as [`Campaign::run`]; only the timing
+    /// values themselves vary run to run.
+    pub fn run_traced<T, F>(&self, jobs: Vec<F>) -> (Vec<T>, CampaignTrace)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let t0 = Instant::now();
+        if n == 0 {
+            return (
+                Vec::new(),
+                CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings: Vec::new() },
+            );
+        }
+        if self.workers == 1 || n == 1 {
+            // Inline path: everything runs on "worker 0" sequentially.
+            let mut out = Vec::with_capacity(n);
+            let mut timings = Vec::with_capacity(n);
+            for (i, job) in jobs.into_iter().enumerate() {
+                let queue_wait = t0.elapsed();
+                let jt0 = Instant::now();
+                out.push(job());
+                timings.push(JobTiming { job: i, worker: 0, queue_wait, run: jt0.elapsed() });
+            }
+            return (out, CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings });
+        }
+
+        let slots: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<(T, JobTiming)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n);
+
+        let (slots_ref, results_ref, next_ref) = (&slots, &results, &next);
+        thread::scope(|s| {
+            for worker in 0..workers {
+                s.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let queue_wait = t0.elapsed();
+                    let job = slots_ref[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("each job claimed exactly once");
+                    let jt0 = Instant::now();
+                    let out = job();
+                    let timing = JobTiming { job: i, worker, queue_wait, run: jt0.elapsed() };
+                    *results_ref[i].lock().expect("result slot poisoned") = Some((out, timing));
+                });
+            }
+        });
+
+        let mut out = Vec::with_capacity(n);
+        let mut timings = Vec::with_capacity(n);
+        for m in results {
+            let (v, t) = m
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index below n was executed");
+            out.push(v);
+            timings.push(t);
+        }
+        (out, CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings })
+    }
+}
+
+/// One job's scheduling record from [`Campaign::run_traced`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobTiming {
+    /// Job index in the submitted list.
+    pub job: usize,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// Campaign start → claim: the queueing latency this job saw.
+    pub queue_wait: Duration,
+    /// Claim → completion: the job's own execution time.
+    pub run: Duration,
+}
+
+/// Per-job scheduling telemetry for one campaign, in job order.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignTrace {
+    /// Workers the campaign was configured with.
+    pub workers: usize,
+    /// Campaign wall-clock.
+    pub wall: Duration,
+    /// One record per job, indexed like the submitted job list.
+    pub timings: Vec<JobTiming>,
+}
+
+impl CampaignTrace {
+    /// Total execution time attributed to each worker (index = worker).
+    pub fn worker_busy(&self) -> Vec<Duration> {
+        let mut busy = vec![Duration::ZERO; self.workers];
+        for t in &self.timings {
+            busy[t.worker] += t.run;
+        }
+        busy
+    }
+
+    /// Fraction of the campaign wall-clock each worker spent running
+    /// jobs — the pool-imbalance observable (a healthy work-stealing
+    /// campaign keeps these near-equal and near 1.0).
+    pub fn busy_fractions(&self) -> Vec<f64> {
+        let wall = self.wall.as_secs_f64();
+        self.worker_busy()
+            .iter()
+            .map(|b| if wall == 0.0 { 0.0 } else { b.as_secs_f64() / wall })
+            .collect()
+    }
 }
 
 /// Aggregate throughput accounting for a campaign of simulator runs.
@@ -250,6 +373,36 @@ mod tests {
         // BJ_THREADS is either unset or set to something valid when the
         // suite runs; either way a campaign must materialize.
         assert!(Campaign::from_env().expect("valid BJ_THREADS").workers() >= 1);
+    }
+
+    #[test]
+    fn run_traced_matches_run_and_accounts_every_job() {
+        for workers in [1, 4] {
+            let jobs: Vec<_> = (0..23u64).map(|i| move || i * i).collect();
+            let (got, trace) = Campaign::with_workers(workers).run_traced(jobs);
+            let expect: Vec<u64> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, expect, "{workers} workers");
+            assert_eq!(trace.workers, workers);
+            assert_eq!(trace.timings.len(), 23);
+            for (i, t) in trace.timings.iter().enumerate() {
+                assert_eq!(t.job, i, "timings come back in job order");
+                assert!(t.worker < workers);
+                assert!(t.queue_wait <= trace.wall);
+            }
+            // Every worker's busy time fits inside the campaign wall.
+            let busy = trace.worker_busy();
+            assert_eq!(busy.len(), workers);
+            assert!(busy.iter().all(|b| *b <= trace.wall + Duration::from_millis(5)));
+            assert_eq!(trace.busy_fractions().len(), workers);
+        }
+    }
+
+    #[test]
+    fn run_traced_empty_job_list() {
+        let (out, trace) = Campaign::with_workers(2).run_traced(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+        assert!(trace.timings.is_empty());
+        assert!(trace.busy_fractions().iter().all(|f| *f == 0.0));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Validated environment-variable configuration.
 //!
 //! The harnesses are steered by a handful of environment variables
-//! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`). Historically a typo like
+//! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`). Historically a
+//! typo like
 //! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
 //! back to a default) or surfaced as a panic deep inside a workload
 //! builder. This module centralizes parsing: every variable is either
@@ -33,6 +34,21 @@ pub enum EnvError {
         /// The raw value found.
         value: String,
     },
+    /// A path variable was set to an empty (or all-whitespace) value.
+    EmptyPath {
+        /// Variable name.
+        var: &'static str,
+    },
+    /// A path variable points somewhere that cannot be opened for
+    /// writing.
+    Unwritable {
+        /// Variable name.
+        var: &'static str,
+        /// The offending path.
+        path: String,
+        /// The OS error that rejected it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -48,6 +64,12 @@ impl fmt::Display for EnvError {
                 f,
                 "{var}={value:?} is not a valid flag (use 0/1, true/false, on/off)"
             ),
+            EnvError::EmptyPath { var } => {
+                write!(f, "{var} is set but empty: provide a writable file path or unset it")
+            }
+            EnvError::Unwritable { var, path, reason } => {
+                write!(f, "{var}={path:?} is not writable: {reason}")
+            }
         }
     }
 }
@@ -118,6 +140,41 @@ pub fn flag_from_env(var: &'static str, default: bool) -> Result<bool, EnvError>
     }
 }
 
+/// Reads `var` from the environment as a path that must be writable
+/// (used by `BJ_TRACE`).
+///
+/// Returns `Ok(None)` when the variable is unset. A set-but-empty value
+/// is rejected rather than treated as unset: an empty `BJ_TRACE` is
+/// almost always a broken shell expansion, and silently dropping the
+/// telemetry the user asked for is worse than stopping. Writability is
+/// probed by opening the file in append mode (creating it if absent), so
+/// a bad directory or permission surfaces here, before any simulation
+/// work is done.
+///
+/// # Errors
+///
+/// [`EnvError::EmptyPath`] for set-but-empty values,
+/// [`EnvError::Unwritable`] when the open probe fails.
+pub fn writable_path_from_env(
+    var: &'static str,
+) -> Result<Option<std::path::PathBuf>, EnvError> {
+    let Ok(raw) = std::env::var(var) else { return Ok(None) };
+    if raw.trim().is_empty() {
+        return Err(EnvError::EmptyPath { var });
+    }
+    let path = std::path::PathBuf::from(raw);
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| EnvError::Unwritable {
+            var,
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+    Ok(Some(path))
+}
+
 /// Prints `err` to stderr (prefixed with the program's purpose) and
 /// exits with status 2 — the shared failure path for harness binaries,
 /// which have no caller to propagate to.
@@ -169,6 +226,44 @@ mod tests {
             parse_flag("BJ_PRUNE", "maybe"),
             Err(EnvError::NotAFlag { var: "BJ_PRUNE", value: "maybe".to_string() })
         );
+    }
+
+    #[test]
+    fn path_validation_rejects_unwritable_and_accepts_tempfile() {
+        // Unset → None (a name no harness sets, to avoid env races).
+        assert_eq!(writable_path_from_env("BJ_ENVCFG_TEST_UNSET"), Ok(None));
+
+        // Unwritable: a path under a directory that does not exist.
+        std::env::set_var("BJ_ENVCFG_TEST_BADPATH", "/nonexistent-dir-bj/trace.jsonl");
+        let err = writable_path_from_env("BJ_ENVCFG_TEST_BADPATH").unwrap_err();
+        match &err {
+            EnvError::Unwritable { var, path, .. } => {
+                assert_eq!(*var, "BJ_ENVCFG_TEST_BADPATH");
+                assert!(path.contains("nonexistent-dir-bj"));
+            }
+            other => panic!("expected Unwritable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("not writable"));
+        std::env::remove_var("BJ_ENVCFG_TEST_BADPATH");
+
+        // Writable: a file in the target dir.
+        let ok = std::env::temp_dir().join("bj_envcfg_test_trace.jsonl");
+        std::env::set_var("BJ_ENVCFG_TEST_GOODPATH", &ok);
+        assert_eq!(
+            writable_path_from_env("BJ_ENVCFG_TEST_GOODPATH"),
+            Ok(Some(ok.clone()))
+        );
+        std::env::remove_var("BJ_ENVCFG_TEST_GOODPATH");
+        let _ = std::fs::remove_file(ok);
+    }
+
+    #[test]
+    fn empty_path_is_an_error_not_unset() {
+        std::env::set_var("BJ_ENVCFG_TEST_EMPTYPATH", "  ");
+        let err = writable_path_from_env("BJ_ENVCFG_TEST_EMPTYPATH").unwrap_err();
+        assert_eq!(err, EnvError::EmptyPath { var: "BJ_ENVCFG_TEST_EMPTYPATH" });
+        assert!(err.to_string().contains("set but empty"));
+        std::env::remove_var("BJ_ENVCFG_TEST_EMPTYPATH");
     }
 
     #[test]

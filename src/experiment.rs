@@ -2,10 +2,10 @@
 //! and extracts the paper's figures.
 
 use blackjack_faults::{AreaModel, FaultPlan};
-use blackjack_sim::{Core, CoreConfig, Mode, RunOutcome, SimStats};
+use blackjack_sim::{Core, CoreConfig, Mode, RunOutcome, SimStats, TraceState};
 use blackjack_workloads::{build, Benchmark};
 
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, CampaignTrace};
 
 /// Default cycle budget per run — far above anything the kernels need.
 const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
@@ -25,6 +25,7 @@ pub struct Experiment {
     scale: u32,
     max_cycles: u64,
     base: CoreConfig,
+    trace: bool,
 }
 
 impl Default for Experiment {
@@ -37,7 +38,12 @@ impl Experiment {
     /// An experiment with the paper's Table 1 configuration at workload
     /// scale 1 (tens of thousands of dynamic instructions per benchmark).
     pub fn new() -> Experiment {
-        Experiment { scale: 1, max_cycles: DEFAULT_MAX_CYCLES, base: CoreConfig::default() }
+        Experiment {
+            scale: 1,
+            max_cycles: DEFAULT_MAX_CYCLES,
+            base: CoreConfig::default(),
+            trace: false,
+        }
     }
 
     /// Multiplies every benchmark's iteration count.
@@ -58,6 +64,14 @@ impl Experiment {
         self
     }
 
+    /// Enables per-run tracing: each [`ModeResult`] carries the run's
+    /// occupancy histograms, heatmap, and flight dump. Off by default —
+    /// the untraced hot loop stays allocation-free.
+    pub fn with_trace(mut self, trace: bool) -> Experiment {
+        self.trace = trace;
+        self
+    }
+
     /// The base configuration.
     pub fn base_config(&self) -> &CoreConfig {
         &self.base
@@ -73,13 +87,17 @@ impl Experiment {
         let mut cfg = self.base.clone();
         cfg.mode = mode;
         let mut core = Core::new(cfg, &prog, FaultPlan::new());
+        if self.trace {
+            core.enable_trace();
+        }
         let outcome = core.run(self.max_cycles);
         assert!(
             outcome.completed(),
             "{bench} in {mode} mode did not complete: {outcome:?}\n{}",
             core.debug_state()
         );
-        ModeResult { bench, mode, stats: core.stats().clone(), outcome }
+        let trace = core.take_trace();
+        ModeResult { bench, mode, stats: core.stats().clone(), outcome, trace }
     }
 
     /// Runs one benchmark in all four modes.
@@ -103,12 +121,37 @@ impl Experiment {
     /// at mode granularity; results reassemble in benchmark order and are
     /// identical for any worker count.
     pub fn run_all_on(&self, campaign: &Campaign) -> ExperimentResult {
-        let jobs: Vec<_> = Benchmark::ALL
+        self.assemble(campaign.run(self.jobs()))
+    }
+
+    /// [`Experiment::run_all_on`] plus the campaign's per-job scheduling
+    /// telemetry (for the `BJ_TRACE` JSONL stream). The experiment
+    /// tables are identical to [`Experiment::run_all_on`]'s — only the
+    /// timing side-channel is added.
+    pub fn run_all_traced_on(&self, campaign: &Campaign) -> (ExperimentResult, CampaignTrace) {
+        let (runs, trace) = campaign.run_traced(self.jobs());
+        (self.assemble(runs), trace)
+    }
+
+    /// `"bench/mode"` labels for the flat job list, in job order —
+    /// matches [`CampaignTrace::timings`] indices.
+    pub fn job_labels() -> Vec<String> {
+        Benchmark::ALL
+            .iter()
+            .flat_map(|&b| Mode::ALL.iter().map(move |&m| format!("{}/{m}", b.name())))
+            .collect()
+    }
+
+    fn jobs(&self) -> Vec<impl FnOnce() -> ModeResult + Send + use<'_>> {
+        Benchmark::ALL
             .iter()
             .flat_map(|&b| Mode::ALL.iter().map(move |&m| (b, m)))
             .map(|(b, m)| move || self.run_one(b, m))
-            .collect();
-        let mut runs = campaign.run(jobs).into_iter();
+            .collect()
+    }
+
+    fn assemble(&self, runs: Vec<ModeResult>) -> ExperimentResult {
+        let mut runs = runs.into_iter();
         let rows = Benchmark::ALL
             .iter()
             .map(|&bench| {
@@ -141,6 +184,9 @@ pub struct ModeResult {
     pub stats: SimStats,
     /// How the run ended.
     pub outcome: RunOutcome,
+    /// The run's observability record, when the experiment was built
+    /// [`Experiment::with_trace`].
+    pub trace: Option<Box<TraceState>>,
 }
 
 /// One benchmark across all four modes.

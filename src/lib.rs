@@ -14,7 +14,8 @@ pub use blackjack_workloads as workloads;
 mod campaign;
 pub mod envcfg;
 mod experiment;
+pub mod telemetry;
 
-pub use campaign::{Campaign, CampaignStats};
+pub use campaign::{Campaign, CampaignStats, CampaignTrace, JobTiming};
 pub use envcfg::EnvError;
 pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};

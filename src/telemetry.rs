@@ -1,0 +1,491 @@
+//! Structured campaign telemetry: the `BJ_TRACE` JSONL stream.
+//!
+//! When `BJ_TRACE=<path>` is set, the harnesses append one JSON object
+//! per line to `<path>`. Each line carries a `"type"` discriminator:
+//!
+//! | type           | one per            | payload                                     |
+//! |----------------|--------------------|---------------------------------------------|
+//! | `meta`         | file               | schema version, emitting tool               |
+//! | `campaign`     | campaign           | worker count, wall nanos, job count         |
+//! | `job`          | job                | worker, queue-wait nanos, run nanos, label  |
+//! | `run`          | simulator run      | [`SimStats::to_json`] + occupancy histograms|
+//! | `heatmap`      | traced run         | per-`(class, way)` issue counts, both ctxs  |
+//! | `flight_event` | flight-recorder ev | cycle, kind, uid, ctx, seq, pc, way, packet |
+//! | `detection`    | detection event    | kind, cycle, seq, pc, ways                  |
+//!
+//! Everything is hand-emitted and hand-parsed: the repo builds offline
+//! with no serde, and the schema is flat enough that a
+//! balanced-brace scanner ([`json_obj`]) plus typed field extractors
+//! ([`json_u64`], [`json_str`], [`json_u64_array`]) are all `bj-trace`
+//! needs. The emit path buffers through [`std::io::BufWriter`] and is
+//! only ever constructed when `BJ_TRACE` is set, so the default
+//! (untraced) harness path allocates nothing and writes nothing.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use blackjack_sim::{DetectionEvent, FlightEvent, SimStats, TraceState, WayHeat};
+
+use crate::campaign::CampaignTrace;
+use crate::envcfg::{self, EnvError};
+
+/// Telemetry schema version emitted in the `meta` line.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A JSONL telemetry sink.
+pub struct TraceWriter {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl TraceWriter {
+    /// Creates (truncating) the sink at `path` and writes the `meta`
+    /// line identifying `tool`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: &Path, tool: &str) -> std::io::Result<TraceWriter> {
+        let file = std::fs::File::create(path)?;
+        let mut w = TraceWriter { out: std::io::BufWriter::new(file) };
+        w.line(&format!(
+            "{{\"type\":\"meta\",\"schema\":{SCHEMA_VERSION},\"tool\":{}}}",
+            json_string(tool)
+        ));
+        Ok(w)
+    }
+
+    /// Builds the sink from `BJ_TRACE`: `Ok(None)` when unset, the
+    /// envcfg error when set but empty or unwritable.
+    ///
+    /// # Errors
+    ///
+    /// See [`envcfg::writable_path_from_env`]; file creation failures
+    /// surface as [`EnvError::Unwritable`] too.
+    pub fn from_env(tool: &str) -> Result<Option<TraceWriter>, EnvError> {
+        let Some(path) = envcfg::writable_path_from_env("BJ_TRACE")? else {
+            return Ok(None);
+        };
+        TraceWriter::create(&path, tool).map(Some).map_err(|e| EnvError::Unwritable {
+            var: "BJ_TRACE",
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// [`TraceWriter::from_env`] for harness binaries: prints the error
+    /// and exits with status 2 (same contract as `BJ_THREADS`).
+    pub fn from_env_or_exit(tool: &str) -> Option<TraceWriter> {
+        TraceWriter::from_env(tool).unwrap_or_else(|e| envcfg::exit_invalid(&e))
+    }
+
+    fn line(&mut self, s: &str) {
+        // Telemetry must never take the harness down mid-campaign; the
+        // final flush in `drop`/`flush` reports persistent disk trouble.
+        let _ = writeln!(self.out, "{s}");
+    }
+
+    /// One `campaign` line plus one `job` line per job.
+    pub fn emit_campaign(&mut self, trace: &CampaignTrace, labels: &[String]) {
+        self.line(&format!(
+            "{{\"type\":\"campaign\",\"workers\":{},\"wall_nanos\":{},\"jobs\":{}}}",
+            trace.workers,
+            trace.wall.as_nanos(),
+            trace.timings.len()
+        ));
+        for t in &trace.timings {
+            let label = labels.get(t.job).map(String::as_str).unwrap_or("");
+            self.line(&format!(
+                "{{\"type\":\"job\",\"job\":{},\"worker\":{},\"queue_wait_nanos\":{},\
+                 \"run_nanos\":{},\"label\":{}}}",
+                t.job,
+                t.worker,
+                t.queue_wait.as_nanos(),
+                t.run.as_nanos(),
+                json_string(label)
+            ));
+        }
+    }
+
+    /// One `run` line: headline counters plus (when traced) the
+    /// occupancy histograms.
+    pub fn emit_run(&mut self, label: &str, stats: &SimStats, trace: Option<&TraceState>) {
+        let occ = trace
+            .map(|t| format!(",\"occupancy\":{}", t.occupancy_json()))
+            .unwrap_or_default();
+        self.line(&format!(
+            "{{\"type\":\"run\",\"label\":{},\"stats\":{}{occ}}}",
+            json_string(label),
+            stats.to_json()
+        ));
+    }
+
+    /// One `heatmap` line: per-way issue counts for both contexts, with
+    /// each way annotated by its FU class and instance.
+    pub fn emit_heatmap(&mut self, label: &str, heat: &WayHeat) {
+        let fu = heat.fu_counts();
+        let mut classes = String::new();
+        for way in 0..fu.total() {
+            if way > 0 {
+                classes.push(',');
+            }
+            let (t, idx) = fu.way_type(way);
+            let _ = write!(classes, "{}", json_string(&format!("{t}{idx}")));
+        }
+        let fmt_counts = |c: &[u64]| {
+            c.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        };
+        self.line(&format!(
+            "{{\"type\":\"heatmap\",\"label\":{},\"ways\":[{classes}],\
+             \"lead\":[{}],\"trail\":[{}]}}",
+            json_string(label),
+            fmt_counts(heat.of_ctx(0)),
+            fmt_counts(heat.of_ctx(1)),
+        ));
+    }
+
+    /// One `flight_event` line per recorder event, oldest first.
+    pub fn emit_flight(&mut self, events: &[FlightEvent]) {
+        for e in events {
+            let way =
+                if e.way == usize::MAX { "null".to_string() } else { e.way.to_string() };
+            let packet =
+                if e.packet == u64::MAX { "null".to_string() } else { e.packet.to_string() };
+            let seq = if e.seq == u64::MAX { "null".to_string() } else { e.seq.to_string() };
+            let uid = if e.uid == u64::MAX { "null".to_string() } else { e.uid.to_string() };
+            self.line(&format!(
+                "{{\"type\":\"flight_event\",\"cycle\":{},\"kind\":\"{}\",\"uid\":{uid},\
+                 \"ctx\":{},\"seq\":{seq},\"pc\":{},\"way\":{way},\"packet\":{packet},\
+                 \"filler\":{}}}",
+                e.cycle,
+                e.kind.name(),
+                e.ctx,
+                e.pc,
+                e.filler
+            ));
+        }
+    }
+
+    /// One `detection` line.
+    pub fn emit_detection(&mut self, ev: &DetectionEvent) {
+        let opt = |v: Option<usize>| v.map_or("null".to_string(), |w| w.to_string());
+        let fronts = ev
+            .front_ways
+            .map_or("null".to_string(), |(l, t)| format!("[{l},{t}]"));
+        self.line(&format!(
+            "{{\"type\":\"detection\",\"kind\":{},\"cycle\":{},\"seq\":{},\"pc\":{},\
+             \"lead_back_way\":{},\"trail_back_way\":{},\"front_ways\":{fronts}}}",
+            json_string(&format!("{:?}", ev.kind)),
+            ev.cycle,
+            ev.seq,
+            ev.pc,
+            opt(ev.lead_back_way),
+            opt(ev.trail_back_way),
+        ));
+    }
+
+    /// Flushes buffered lines to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------- parsing
+//
+// `bj-trace` reads the stream back with these minimal extractors. They
+// assume the flat shapes this module emits (no nested objects under the
+// keys being extracted, except where `json_obj` is used to cut a nested
+// object out first).
+
+/// Extracts the raw value text following `"key":` in `obj`, or `None`.
+fn raw_value<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = obj.find(&needle)? + needle.len();
+    Some(obj[start..].trim_start())
+}
+
+/// Reads an unsigned integer field. `null` and absent both yield `None`.
+pub fn json_u64(obj: &str, key: &str) -> Option<u64> {
+    let rest = raw_value(obj, key)?;
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads a string field (no unescaping beyond `\"` and `\\` — the
+/// emitter only produces those for harness labels).
+pub fn json_str(obj: &str, key: &str) -> Option<String> {
+    let rest = raw_value(obj, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    out.push(esc);
+                }
+            }
+            '"' => return Some(out),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Reads a `[1,2,3]`-style array of unsigned integers.
+pub fn json_u64_array(obj: &str, key: &str) -> Option<Vec<u64>> {
+    let rest = raw_value(obj, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',').map(|v| v.trim().parse().ok()).collect()
+}
+
+/// Reads a `["a","b"]`-style array of strings.
+pub fn json_str_array(obj: &str, key: &str) -> Option<Vec<String>> {
+    let rest = raw_value(obj, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = &rest[..end];
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|v| {
+            let v = v.trim();
+            v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+        })
+        .collect()
+}
+
+/// Cuts the balanced-brace object following `"key":` out of `obj`.
+pub fn json_obj<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
+    let rest = raw_value(obj, key)?;
+    if !rest.starts_with('{') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// --------------------------------------------------------------- summary
+
+/// Aggregated job-latency and worker-utilization numbers from a
+/// campaign's `job` lines — what `bj-trace` prints for a campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignSummary {
+    /// Jobs observed.
+    pub jobs: u64,
+    /// Campaign workers (from the `campaign` line).
+    pub workers: u64,
+    /// Campaign wall-clock nanoseconds.
+    pub wall_nanos: u64,
+    /// p50 of per-job run nanoseconds (nearest-rank).
+    pub p50_nanos: u64,
+    /// p95 of per-job run nanoseconds (nearest-rank).
+    pub p95_nanos: u64,
+    /// Slowest job's run nanoseconds.
+    pub max_nanos: u64,
+    /// Slowest job's label.
+    pub max_label: String,
+    /// Per-worker busy fraction (run time / campaign wall).
+    pub busy: Vec<f64>,
+    /// Largest observed queue wait in nanoseconds.
+    pub max_queue_wait_nanos: u64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (p in 0..=100).
+pub fn percentile_nanos(samples: &mut [u64], p: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as u64 * p).div_ceil(100)).max(1) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+/// Builds the summary from raw JSONL lines (any non-`campaign`/`job`
+/// lines are ignored).
+pub fn summarize_campaign(lines: &[&str]) -> Option<CampaignSummary> {
+    let mut s = CampaignSummary::default();
+    let mut runs: Vec<u64> = Vec::new();
+    let mut per_worker: Vec<u64> = Vec::new();
+    let mut seen_campaign = false;
+    for line in lines {
+        match json_str(line, "type").as_deref() {
+            Some("campaign") => {
+                seen_campaign = true;
+                s.workers = json_u64(line, "workers").unwrap_or(0);
+                s.wall_nanos = json_u64(line, "wall_nanos").unwrap_or(0);
+            }
+            Some("job") => {
+                let run = json_u64(line, "run_nanos").unwrap_or(0);
+                let worker = json_u64(line, "worker").unwrap_or(0) as usize;
+                let wait = json_u64(line, "queue_wait_nanos").unwrap_or(0);
+                s.jobs += 1;
+                runs.push(run);
+                if per_worker.len() <= worker {
+                    per_worker.resize(worker + 1, 0);
+                }
+                per_worker[worker] += run;
+                s.max_queue_wait_nanos = s.max_queue_wait_nanos.max(wait);
+                if run >= s.max_nanos {
+                    s.max_nanos = run;
+                    s.max_label = json_str(line, "label").unwrap_or_default();
+                }
+            }
+            _ => {}
+        }
+    }
+    if !seen_campaign && runs.is_empty() {
+        return None;
+    }
+    s.p50_nanos = percentile_nanos(&mut runs.clone(), 50);
+    s.p95_nanos = percentile_nanos(&mut runs, 95);
+    s.busy = per_worker
+        .iter()
+        .map(|&b| if s.wall_nanos == 0 { 0.0 } else { b as f64 / s.wall_nanos as f64 })
+        .collect();
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+    }
+
+    #[test]
+    fn field_extractors_roundtrip() {
+        let line = "{\"type\":\"job\",\"job\":3,\"worker\":1,\"run_nanos\":12345,\
+                    \"label\":\"matmul/BlackJack\",\"arr\":[1,2,3],\
+                    \"nested\":{\"a\":{\"b\":7},\"c\":1}}";
+        assert_eq!(json_str(line, "type").as_deref(), Some("job"));
+        assert_eq!(json_u64(line, "job"), Some(3));
+        assert_eq!(json_u64(line, "run_nanos"), Some(12345));
+        assert_eq!(json_str(line, "label").as_deref(), Some("matmul/BlackJack"));
+        assert_eq!(json_u64_array(line, "arr"), Some(vec![1, 2, 3]));
+        assert_eq!(json_obj(line, "nested"), Some("{\"a\":{\"b\":7},\"c\":1}"));
+        assert_eq!(json_u64(line, "missing"), None);
+        assert_eq!(json_str_array("{\"w\":[\"a\",\"b\"]}", "w"), Some(vec!["a".into(), "b".into()]));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_nanos(&mut v.clone(), 50), 50);
+        assert_eq!(percentile_nanos(&mut v.clone(), 95), 95);
+        assert_eq!(percentile_nanos(&mut v, 100), 100);
+        assert_eq!(percentile_nanos(&mut [], 50), 0);
+        assert_eq!(percentile_nanos(&mut [7], 50), 7);
+    }
+
+    #[test]
+    fn summarize_campaign_from_lines() {
+        let lines = vec![
+            "{\"type\":\"meta\",\"schema\":1,\"tool\":\"t\"}",
+            "{\"type\":\"campaign\",\"workers\":2,\"wall_nanos\":1000,\"jobs\":3}",
+            "{\"type\":\"job\",\"job\":0,\"worker\":0,\"queue_wait_nanos\":10,\"run_nanos\":400,\"label\":\"a\"}",
+            "{\"type\":\"job\",\"job\":1,\"worker\":1,\"queue_wait_nanos\":20,\"run_nanos\":600,\"label\":\"b\"}",
+            "{\"type\":\"job\",\"job\":2,\"worker\":0,\"queue_wait_nanos\":410,\"run_nanos\":500,\"label\":\"c\"}",
+        ];
+        let s = summarize_campaign(&lines).unwrap();
+        assert_eq!(s.jobs, 3);
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.p50_nanos, 500);
+        assert_eq!(s.p95_nanos, 600);
+        assert_eq!(s.max_nanos, 600);
+        assert_eq!(s.max_label, "b");
+        assert_eq!(s.max_queue_wait_nanos, 410);
+        assert_eq!(s.busy, vec![0.9, 0.6]);
+        assert_eq!(summarize_campaign(&["{\"type\":\"meta\"}"]), None);
+    }
+
+    #[test]
+    fn writer_emits_schema_valid_lines() {
+        let path = std::env::temp_dir().join("bj_telemetry_writer_test.jsonl");
+        {
+            let mut w = TraceWriter::create(&path, "unit-test").unwrap();
+            let (_, trace) =
+                Campaign::with_workers(1).run_traced((0..3u64).map(|i| move || i).collect());
+            w.emit_campaign(&trace, &["a".into(), "b".into(), "c".into()]);
+            let stats = blackjack_sim::SimStats {
+                cycles: 10,
+                wall_nanos: 5,
+                agg_wall_nanos: 5,
+                ..Default::default()
+            };
+            w.emit_run("a", &stats, None);
+            w.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(json_str(lines[0], "type").as_deref(), Some("meta"));
+        assert_eq!(json_u64(lines[0], "schema"), Some(SCHEMA_VERSION));
+        assert_eq!(json_str(lines[1], "type").as_deref(), Some("campaign"));
+        assert_eq!(json_u64(lines[1], "jobs"), Some(3));
+        // 1 meta + 1 campaign + 3 jobs + 1 run.
+        assert_eq!(lines.len(), 6);
+        let run = lines[5];
+        assert_eq!(json_str(run, "type").as_deref(), Some("run"));
+        let stats_obj = json_obj(run, "stats").unwrap();
+        assert_eq!(json_u64(stats_obj, "cycles"), Some(10));
+        // Every line is a balanced object.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}
