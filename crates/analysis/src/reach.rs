@@ -116,6 +116,40 @@ impl SiteAnalysis {
         }
     }
 
+    /// True if BlackJack's checks *guarantee* detection (or architectural
+    /// masking) of a fault at `site` for this program — the strict
+    /// fault-soundness oracle used by the differential fuzzer.
+    ///
+    /// The guarantee holds for:
+    ///
+    /// * **Frontend ways** — the DTQ carries the pristine instruction
+    ///   word, so the two copies fetch independently; safe-shuffle keeps
+    ///   the copies on different frontend ways (forced placements are the
+    ///   exception — callers should check `shuffle_forced == 0`).
+    /// * **Backend ways of live, non-`MemPort` classes** — safe-shuffle
+    ///   guarantees backend-way diversity, so only one copy computes on
+    ///   the faulty unit and the commit-time checks compare the copies.
+    ///
+    /// Excluded, by construction of the microarchitecture:
+    ///
+    /// * **`MemPort` backend ways** — a corrupted leading load value
+    ///   enters the LVQ and is *forwarded* to the trailing copy (the SRT
+    ///   load-value replication the design inherits), so both copies can
+    ///   agree on the wrong value.
+    /// * **Payload-RAM entries** — payload corruption also reaches
+    ///   leading load values before LVQ capture, the same escape path.
+    /// * **Pruned (dead-class) backend ways** — never exercised at all.
+    pub fn detection_guaranteed(&self, site: FaultSite) -> bool {
+        match site {
+            FaultSite::Frontend { .. } => true,
+            FaultSite::Backend { way } => {
+                let (t, _) = self.fu.way_type(way);
+                t != FuType::MemPort && self.static_mix.exercises(t)
+            }
+            FaultSite::PayloadRam { .. } => false,
+        }
+    }
+
     /// All prunable backend ways, in ascending global-way order.
     pub fn prunable_backend_ways(&self) -> Vec<usize> {
         (0..self.fu.total())
@@ -208,6 +242,26 @@ mod tests {
         }
         // Only the integer mul/div ways are prunable.
         assert_eq!(a.prunable_backend_ways().len(), 4);
+    }
+
+    #[test]
+    fn detection_guarantee_partitions_sites() {
+        let a = analyze(".text\n li x1, 3\n mul x1, x1, x1\n sd x1, 0(x2)\n halt\n");
+        assert!(a.detection_guaranteed(FaultSite::Frontend { way: 0 }));
+        assert!(!a.detection_guaranteed(FaultSite::PayloadRam { entry: 0 }));
+        let fu = FuCounts::default();
+        // Live non-MemPort class: guaranteed.
+        assert!(a.detection_guaranteed(FaultSite::Backend {
+            way: fu.global_way(FuType::IntMul, 0)
+        }));
+        // MemPort: excluded (LVQ forwards the corrupted load value).
+        assert!(!a.detection_guaranteed(FaultSite::Backend {
+            way: fu.global_way(FuType::MemPort, 0)
+        }));
+        // Dead class: excluded (never exercised).
+        assert!(!a.detection_guaranteed(FaultSite::Backend {
+            way: fu.global_way(FuType::FpDiv, 0)
+        }));
     }
 
     #[test]

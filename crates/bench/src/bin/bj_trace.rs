@@ -16,8 +16,10 @@
 //!   complete, commit) and `!` for the detection stamp.
 //! * **detection** — the detection event's kind, cycle, seq, pc, ways.
 //!
-//! Exits 0 on success, 1 when the input is unreadable or contains no
-//! telemetry lines, 2 on bad usage.
+//! Exits 0 on success — including on empty or unrecognized input, which
+//! prints a note and renders nothing (an empty trace is not an error:
+//! a harness may legitimately produce no telemetry). Exits 1 when the
+//! input is unreadable, 2 on bad usage.
 
 use std::io::Read as _;
 
@@ -59,8 +61,8 @@ fn main() {
     };
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
-        eprintln!("bj-trace: no telemetry lines in input");
-        std::process::exit(1);
+        println!("bj-trace: no telemetry lines in input (nothing to render)");
+        return;
     }
 
     let mut rendered = 0usize;
@@ -71,8 +73,7 @@ fn main() {
     rendered += render_flight(&lines);
     rendered += render_detections(&lines);
     if rendered == 0 {
-        eprintln!("bj-trace: no recognized telemetry lines in input");
-        std::process::exit(1);
+        println!("bj-trace: no recognized telemetry lines in input (nothing to render)");
     }
 }
 

@@ -1,0 +1,61 @@
+//! CLI behavior of `bj-trace`: graceful handling of empty and
+//! truncated traces (exit 0 with a note — an empty trace is not an
+//! error), unreadable input (exit 1), bad usage (exit 2).
+
+use std::process::{Command, Stdio};
+
+fn bj_trace() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bj-trace"))
+}
+
+#[test]
+fn empty_input_is_graceful() {
+    let dir = std::env::temp_dir().join("bj-trace-cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.jsonl");
+    std::fs::write(&path, "").unwrap();
+    let out = bj_trace().arg(&path).output().unwrap();
+    assert!(out.status.success(), "empty trace must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no telemetry lines"), "must explain itself: {stdout}");
+}
+
+#[test]
+fn truncated_trace_with_no_recognized_lines_is_graceful() {
+    // Whitespace and a half-written (unrecognizable) line: the writer
+    // died mid-emit. Still exit 0 with a note.
+    let dir = std::env::temp_dir().join("bj-trace-cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("truncated.jsonl");
+    std::fs::write(&path, "\n  \n{\"type\":\"ru").unwrap();
+    let out = bj_trace().arg(&path).output().unwrap();
+    assert!(out.status.success(), "truncated trace must exit 0: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no recognized telemetry lines"), "{stdout}");
+}
+
+#[test]
+fn unreadable_file_fails_with_status_1() {
+    let out = bj_trace().arg("/nonexistent/definitely/missing.jsonl").output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn bad_usage_fails_with_status_2() {
+    let out = bj_trace().args(["a", "b"]).stdin(Stdio::null()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = bj_trace().arg("--help").stdin(Stdio::null()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn valid_meta_line_renders() {
+    let dir = std::env::temp_dir().join("bj-trace-cli");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("meta.jsonl");
+    std::fs::write(&path, "{\"type\":\"meta\",\"schema\":1,\"tool\":\"test\"}\n").unwrap();
+    let out = bj_trace().arg(&path).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tool=test"), "{stdout}");
+}

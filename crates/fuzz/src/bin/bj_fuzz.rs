@@ -1,0 +1,281 @@
+//! `bj-fuzz` — differential fuzzing of the OOO SMT core against the
+//! golden interpreter.
+//!
+//! ```text
+//! bj-fuzz [options]
+//!
+//! options:
+//!   --seed S          master seed, decimal or 0x-hex (default: 0xB1AC)
+//!   --iters N         iterations (default: 200)
+//!   --out DIR         where minimized failure cases are written
+//!                     (default: fuzz-failures)
+//!   --mine-corpus DIR additionally keep the 10 most microarchitecturally
+//!                     interesting cases (deepest IQ/DTQ occupancy,
+//!                     largest slack excursion) as .bjcase files
+//!   --quiet           print only the summary
+//! ```
+//!
+//! Environment: `BJ_FUZZ_SEED` and `BJ_FUZZ_ITERS` provide defaults for
+//! `--seed`/`--iters` (flags win); invalid values exit with status 2.
+//!
+//! Each iteration generates a lint-clean program, checks it
+//! differentially against the interpreter in all four modes, and
+//! injects a sample of hard faults whose outcome is judged against the
+//! static site classification. Output is fully deterministic for a
+//! given seed — no timestamps, no wall-clock. Exit status: 0 when every
+//! check passed, 1 when any failure was found (failures are minimized
+//! and saved for replay), 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use blackjack::envcfg;
+use blackjack_analysis::SiteAnalysis;
+use blackjack_faults::{FaultSite, HardFault};
+use blackjack_fuzz::diff::MAX_STEPS;
+use blackjack_fuzz::gen::{generate, GenConfig};
+use blackjack_fuzz::minimize::{live_instructions, minimize};
+use blackjack_fuzz::oracle::{check_fault, classify_sites, FaultVerdict, SiteClass};
+use blackjack_fuzz::{check_fault_free, Case, CaseKind};
+use blackjack_isa::{Interp, Program};
+use blackjack_rng::Rng;
+use blackjack_sim::{Core, CoreConfig, FuCounts, Mode};
+
+fn usage() -> ! {
+    eprintln!("usage: bj-fuzz [--seed S] [--iters N] [--out DIR] [--mine-corpus DIR] [--quiet]");
+    exit(2);
+}
+
+struct Tally {
+    detected: u64,
+    watchdog: u64,
+    masked: u64,
+    escaped: u64,
+}
+
+fn main() {
+    let mut seed: u64 = envcfg::seed_from_env("BJ_FUZZ_SEED")
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e))
+        .unwrap_or(0xB1AC);
+    let mut iters: u64 = envcfg::positive_from_env("BJ_FUZZ_ITERS")
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e))
+        .unwrap_or(200);
+    let mut out_dir = PathBuf::from("fuzz-failures");
+    let mut mine: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                seed = envcfg::parse_seed("--seed", &v).unwrap_or_else(|_| {
+                    eprintln!("bad --seed `{v}`");
+                    usage()
+                });
+            }
+            "--iters" => {
+                iters = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => out_dir = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--mine-corpus" => mine = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let fu = FuCounts::default();
+    let mut failures: u64 = 0;
+    let mut diff_runs: u64 = 0;
+    let mut fault_runs: u64 = 0;
+    let mut pruned_clean: u64 = 0;
+    let mut guaranteed = Tally { detected: 0, watchdog: 0, masked: 0, escaped: 0 };
+    let mut best_effort = Tally { detected: 0, watchdog: 0, masked: 0, escaped: 0 };
+    // (score, iteration, seed, segments) of the most interesting cases.
+    let mut interesting: Vec<(u64, u64, u64, usize)> = Vec::new();
+
+    for iter in 0..iters {
+        let sub_seed = rng.next_u64();
+        let segments = rng.random_range(4usize..=16);
+        let prog = generate(sub_seed, GenConfig { segments });
+
+        diff_runs += 1;
+        if let Err(fail) = check_fault_free(&prog) {
+            failures += 1;
+            println!("iter {iter}: DIFFERENTIAL FAILURE seed={sub_seed:#x} segments={segments}");
+            println!("  {fail}");
+            let kind = fail.kind;
+            let shrunk = minimize(&prog, |p| {
+                check_fault_free(p).err().is_some_and(|e| e.kind == kind)
+            });
+            println!(
+                "  minimized {} -> {} live instructions",
+                live_instructions(&prog),
+                live_instructions(&shrunk)
+            );
+            let case = Case {
+                name: format!("diff-{sub_seed:#x}"),
+                kind: CaseKind::Failure,
+                seed: Some(sub_seed),
+                program: shrunk,
+                fault: None,
+            };
+            match case.save(&out_dir) {
+                Ok(p) => println!("  saved {}", p.display()),
+                Err(e) => eprintln!("  could not save case: {e}"),
+            }
+            continue; // fault soundness on a diverging program is noise
+        }
+
+        // Fault-soundness sample: one frontend way, one backend way, one
+        // payload entry per iteration, with fault bits drawn from the
+        // corrupted structure's width.
+        let analysis = match SiteAnalysis::analyze(&prog, &fu) {
+            Ok(a) => a,
+            Err(e) => {
+                // Generated programs always build a CFG; treat anything
+                // else as a generator bug worth failing loudly on.
+                failures += 1;
+                println!("iter {iter}: CFG FAILURE seed={sub_seed:#x}: {e}");
+                continue;
+            }
+        };
+        let golden = {
+            let mut it = Interp::new(&prog);
+            let _ = it.run(MAX_STEPS);
+            it
+        };
+        let sites = [
+            (FaultSite::Frontend { way: rng.random_range(0usize..4) },
+             rng.random_range(0u8..32)),
+            (FaultSite::Backend { way: rng.random_range(0usize..fu.total()) },
+             rng.random_range(0u8..64)),
+            (FaultSite::PayloadRam { entry: rng.random_range(0usize..64) },
+             rng.random_range(0u8..32)),
+        ];
+        for (site, bit) in sites {
+            let fault = HardFault::stuck_bit(site, bit);
+            fault_runs += 1;
+            match check_fault(&prog, &analysis, fault, golden.mem()) {
+                Ok(verdict) => {
+                    let tally = match classify_sites(&analysis, site) {
+                        SiteClass::Pruned => {
+                            pruned_clean += 1;
+                            continue;
+                        }
+                        SiteClass::Guaranteed => &mut guaranteed,
+                        SiteClass::BestEffort => &mut best_effort,
+                    };
+                    match verdict {
+                        FaultVerdict::Detected => tally.detected += 1,
+                        FaultVerdict::Watchdog => tally.watchdog += 1,
+                        FaultVerdict::Masked => tally.masked += 1,
+                        FaultVerdict::Escaped => tally.escaped += 1,
+                    }
+                }
+                Err(unsound) => {
+                    failures += 1;
+                    println!("iter {iter}: FAULT-SOUNDNESS FAILURE seed={sub_seed:#x}");
+                    println!("  {unsound}");
+                    let shrunk = minimize(&prog, |p| fault_still_unsound(p, fault, &fu));
+                    println!(
+                        "  minimized {} -> {} live instructions",
+                        live_instructions(&prog),
+                        live_instructions(&shrunk)
+                    );
+                    let case = Case {
+                        name: format!("fault-{sub_seed:#x}-{bit}"),
+                        kind: CaseKind::Failure,
+                        seed: Some(sub_seed),
+                        program: shrunk,
+                        fault: Some(fault),
+                    };
+                    match case.save(&out_dir) {
+                        Ok(p) => println!("  saved {}", p.display()),
+                        Err(e) => eprintln!("  could not save case: {e}"),
+                    }
+                }
+            }
+        }
+
+        // Corpus mining: score by peak queue occupancy and slack excursion.
+        if mine.is_some() {
+            let mut core =
+                Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, Default::default());
+            core.enable_trace();
+            let _ = core.run(blackjack_fuzz::diff::MAX_CYCLES);
+            if let Some(state) = core.take_trace() {
+                let score = state.occ_iq.percentile(100)
+                    + state.occ_dtq.percentile(100)
+                    + state.slack.percentile(100);
+                interesting.push((score, iter, sub_seed, segments));
+            }
+        }
+
+        if !quiet && (iter + 1) % 50 == 0 {
+            println!("... {} iterations, {failures} failures", iter + 1);
+        }
+    }
+
+    if let Some(dir) = mine {
+        interesting.sort_by(|a, b| b.cmp(a)); // highest score first, then latest
+        for (rank, &(score, _iter, sub_seed, segments)) in interesting.iter().take(10).enumerate() {
+            let prog = generate(sub_seed, GenConfig { segments });
+            let case = Case {
+                name: format!("interesting-{:02}-{sub_seed:#x}", rank),
+                kind: CaseKind::Interesting,
+                seed: Some(sub_seed),
+                program: prog,
+                fault: None,
+            };
+            match case.save(&dir) {
+                Ok(p) => {
+                    if !quiet {
+                        println!("mined {} (score {score})", p.display());
+                    }
+                }
+                Err(e) => eprintln!("could not save mined case: {e}"),
+            }
+        }
+    }
+
+    println!("bj-fuzz: seed={seed:#x} iters={iters}");
+    println!("  differential: {diff_runs} programs x 4 modes, {failures} failures");
+    println!(
+        "  faults: {fault_runs} injected; pruned-clean {pruned_clean}; guaranteed \
+         [detected {} watchdog {} masked {} escaped {}]; best-effort \
+         [detected {} watchdog {} masked {} escaped {}]",
+        guaranteed.detected,
+        guaranteed.watchdog,
+        guaranteed.masked,
+        guaranteed.escaped,
+        best_effort.detected,
+        best_effort.watchdog,
+        best_effort.masked,
+        best_effort.escaped,
+    );
+    if failures > 0 {
+        println!("  FAILURES: {failures} (cases under {})", out_dir.display());
+        exit(1);
+    }
+    println!("  all checks passed");
+}
+
+/// Minimizer oracle for fault-soundness failures: does `fault` still
+/// violate its site contract on this mutant?
+fn fault_still_unsound(p: &Program, fault: HardFault, fu: &FuCounts) -> bool {
+    let mut it = Interp::new(p);
+    let _ = it.run(MAX_STEPS);
+    if !it.halted() {
+        return false;
+    }
+    let Ok(analysis) = SiteAnalysis::analyze(p, fu) else {
+        return false;
+    };
+    check_fault(p, &analysis, fault, it.mem()).is_err()
+}

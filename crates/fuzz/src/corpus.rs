@@ -1,0 +1,306 @@
+//! Replayable corpus cases: a tiny text format (`.bjcase`) holding one
+//! program image, an optional fault, and the reason the case was kept.
+//!
+//! The format is line-oriented and diff-friendly so cases live well in
+//! git:
+//!
+//! ```text
+//! # optional comments
+//! name frontend-stuck-17
+//! kind interesting
+//! seed 0xb1ac
+//! text_base 0x10000
+//! data_base 0x100000
+//! fault frontend:2:17
+//! text
+//! 0001a0b7
+//! ...
+//! data
+//! 00ff3a...        (hex, up to 32 bytes per line)
+//! end
+//! ```
+//!
+//! `entry` is implied (`text_base`); `fault` is `SITE:WAY[:BIT]` in the
+//! same spelling `bjsim --fault` accepts. Loading rebuilds the exact
+//! program via [`ProgramBuilder::push_raw`], so a case replays bit-for-
+//! bit with no assembler in the loop.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use blackjack_faults::{FaultSite, HardFault};
+use blackjack_isa::{Program, ProgramBuilder};
+
+/// Why a case is in the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    /// A (minimized) differential or soundness failure.
+    Failure,
+    /// A generator find with unusual microarchitectural behavior
+    /// (deep queue occupancy, extreme slack excursion).
+    Interesting,
+}
+
+impl CaseKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            CaseKind::Failure => "failure",
+            CaseKind::Interesting => "interesting",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CaseKind> {
+        match s {
+            "failure" => Some(CaseKind::Failure),
+            "interesting" => Some(CaseKind::Interesting),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Case name (also the suggested file stem).
+    pub name: String,
+    /// Why it was kept.
+    pub kind: CaseKind,
+    /// The generator seed it came from, if any.
+    pub seed: Option<u64>,
+    /// The program image.
+    pub program: Program,
+    /// A fault to inject on replay, if the case is about injection.
+    pub fault: Option<HardFault>,
+}
+
+impl Case {
+    /// Serializes the case to `.bjcase` text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# bj-fuzz corpus case (replay: cargo test -p blackjack-fuzz)");
+        let _ = writeln!(out, "name {}", self.name);
+        let _ = writeln!(out, "kind {}", self.kind.as_str());
+        if let Some(seed) = self.seed {
+            let _ = writeln!(out, "seed {seed:#x}");
+        }
+        let _ = writeln!(out, "text_base {:#x}", self.program.text_base());
+        let _ = writeln!(out, "data_base {:#x}", self.program.data_base());
+        if let Some(f) = self.fault {
+            let (site, way) = match f.site {
+                FaultSite::Frontend { way } => ("frontend", way),
+                FaultSite::Backend { way } => ("backend", way),
+                FaultSite::PayloadRam { entry } => ("payload", entry),
+            };
+            let bit = match f.corruption {
+                blackjack_faults::Corruption::StuckAt { bit, .. } => bit,
+                blackjack_faults::Corruption::FlipBit { bit } => bit,
+                blackjack_faults::Corruption::XorMask { .. } => 0,
+            };
+            let _ = writeln!(out, "fault {site}:{way}:{bit}");
+        }
+        let _ = writeln!(out, "text");
+        for w in self.program.text() {
+            let _ = writeln!(out, "{w:08x}");
+        }
+        if !self.program.data().is_empty() {
+            let _ = writeln!(out, "data");
+            for chunk in self.program.data().chunks(32) {
+                for b in chunk {
+                    let _ = write!(out, "{b:02x}");
+                }
+                let _ = writeln!(out);
+            }
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    /// Parses a `.bjcase` text back into a case.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message on any malformed line.
+    pub fn from_text(text: &str) -> Result<Case, String> {
+        let mut name = String::new();
+        let mut kind = CaseKind::Failure;
+        let mut seed = None;
+        let mut text_base = blackjack_isa::TEXT_BASE;
+        let mut data_base = blackjack_isa::DATA_BASE;
+        let mut fault = None;
+        let mut words: Vec<u32> = Vec::new();
+        let mut data: Vec<u8> = Vec::new();
+
+        #[derive(PartialEq)]
+        enum Section {
+            Header,
+            Text,
+            Data,
+            Done,
+        }
+        let mut section = Section::Header;
+
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |m: &str| Err(format!("line {}: {m}: `{line}`", ln + 1));
+            match section {
+                Section::Header => {
+                    let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+                    match key {
+                        "name" => name = rest.trim().to_string(),
+                        "kind" => {
+                            kind = match CaseKind::parse(rest.trim()) {
+                                Some(k) => k,
+                                None => return err("unknown kind"),
+                            }
+                        }
+                        "seed" => match parse_u64(rest.trim()) {
+                            Some(v) => seed = Some(v),
+                            None => return err("bad seed"),
+                        },
+                        "text_base" => match parse_u64(rest.trim()) {
+                            Some(v) => text_base = v,
+                            None => return err("bad text_base"),
+                        },
+                        "data_base" => match parse_u64(rest.trim()) {
+                            Some(v) => data_base = v,
+                            None => return err("bad data_base"),
+                        },
+                        "fault" => match parse_fault(rest.trim()) {
+                            Some(f) => fault = Some(f),
+                            None => return err("bad fault spec"),
+                        },
+                        "text" => section = Section::Text,
+                        _ => return err("unknown header key"),
+                    }
+                }
+                Section::Text => match line {
+                    "data" => section = Section::Data,
+                    "end" => section = Section::Done,
+                    hex => match u32::from_str_radix(hex, 16) {
+                        Ok(w) if hex.len() == 8 => words.push(w),
+                        _ => return err("bad text word"),
+                    },
+                },
+                Section::Data => match line {
+                    "end" => section = Section::Done,
+                    hex => {
+                        if hex.len() % 2 != 0 {
+                            return err("odd-length data line");
+                        }
+                        for i in (0..hex.len()).step_by(2) {
+                            match u8::from_str_radix(&hex[i..i + 2], 16) {
+                                Ok(b) => data.push(b),
+                                Err(_) => return err("bad data byte"),
+                            }
+                        }
+                    }
+                },
+                Section::Done => return err("content after `end`"),
+            }
+        }
+        if section != Section::Done {
+            return Err("missing `end`".into());
+        }
+        if words.is_empty() {
+            return Err("empty text section".into());
+        }
+
+        let mut b = ProgramBuilder::new(if name.is_empty() { "corpus-case" } else { &name });
+        b.text_base(text_base).data_base(data_base);
+        b.push_data(&data);
+        for w in words {
+            b.push_raw(w);
+        }
+        Ok(Case { name, kind, seed, program: b.build(), fault })
+    }
+
+    /// Writes the case to `dir/<name>.bjcase`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors as strings.
+    pub fn save(&self, dir: &Path) -> Result<std::path::PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = dir.join(format!("{}.bjcase", self.name));
+        std::fs::write(&path, self.to_text()).map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Loads a case from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O or parse error as a string.
+    pub fn load(path: &Path) -> Result<Case, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Case::from_text(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Parses `SITE:WAY[:BIT]`, the `bjsim --fault` spelling.
+fn parse_fault(s: &str) -> Option<HardFault> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return None;
+    }
+    let way: usize = parts[1].parse().ok()?;
+    let bit: u8 = parts.get(2).map_or(Some(0), |b| b.parse().ok())?;
+    let site = match parts[0] {
+        "frontend" => FaultSite::Frontend { way },
+        "backend" => FaultSite::Backend { way },
+        "payload" => FaultSite::PayloadRam { entry: way },
+        _ => return None,
+    };
+    Some(HardFault::stuck_bit(site, bit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn round_trips_a_generated_program() {
+        let prog = generate(42, GenConfig { segments: 4 });
+        let case = Case {
+            name: "rt".into(),
+            kind: CaseKind::Interesting,
+            seed: Some(42),
+            program: prog.clone(),
+            fault: Some(HardFault::stuck_bit(FaultSite::Frontend { way: 1 }, 9)),
+        };
+        let text = case.to_text();
+        let back = Case::from_text(&text).unwrap();
+        assert_eq!(back.name, "rt");
+        assert_eq!(back.kind, CaseKind::Interesting);
+        assert_eq!(back.seed, Some(42));
+        assert_eq!(back.program.text(), prog.text());
+        assert_eq!(back.program.data(), prog.data());
+        assert_eq!(back.program.text_base(), prog.text_base());
+        assert_eq!(back.program.data_base(), prog.data_base());
+        assert_eq!(back.program.entry(), prog.entry());
+        assert_eq!(back.fault, case.fault);
+        // Serialization is stable: a second trip is byte-identical.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn rejects_malformed_cases() {
+        assert!(Case::from_text("").is_err());
+        assert!(Case::from_text("name x\ntext\nzzzzzzzz\nend\n").is_err());
+        assert!(Case::from_text("name x\ntext\n00000013\n").is_err(), "missing end");
+        assert!(Case::from_text("bogus line\ntext\n00000013\nend\n").is_err());
+    }
+}

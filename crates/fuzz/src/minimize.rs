@@ -1,0 +1,148 @@
+//! Delta-debugging case minimization.
+//!
+//! Instructions are never *deleted* — deletion would shift every PC and
+//! invalidate every branch offset. Instead, candidates are replaced
+//! with `nop` (via [`Program::with_text`]), which preserves the layout
+//! exactly; the pipeline executes the NOP like any other `IntAlu` uop.
+//! `halt` words are protected so every mutant still terminates (or
+//! times out, which the oracle classifies rather than crashes on).
+//!
+//! The algorithm is classic ddmin over the candidate index set: try
+//! removing chunks at increasing granularity, restart whenever a
+//! smaller failing case is found, and finish with a one-at-a-time
+//! sweep. Deterministic: no randomness, candidates always visited in
+//! ascending index order.
+
+use blackjack_isa::{decode, encode, Inst, Program};
+
+/// Shrinks `prog` to a (locally) minimal program that still fails
+/// `oracle` (`true` = still fails). Returns the shrunk program; if the
+/// original does not fail the oracle it is returned unchanged.
+pub fn minimize(prog: &Program, oracle: impl Fn(&Program) -> bool) -> Program {
+    if !oracle(prog) {
+        return prog.clone();
+    }
+    let nop = encode(&Inst::Nop).expect("nop encodes");
+    let mut text: Vec<u32> = prog.text().to_vec();
+
+    // Candidate indices: everything that is not already a NOP and not a
+    // halt (removing halt would strip the termination guarantee).
+    let is_candidate = |w: u32| w != nop && !matches!(decode(w), Ok(Inst::Halt));
+    let mut candidates: Vec<usize> =
+        (0..text.len()).filter(|&i| is_candidate(text[i])).collect();
+
+    let still_fails = |text: &[u32]| oracle(&prog.with_text(text.to_vec()));
+
+    // ddmin over the candidate set.
+    let mut n = 2usize;
+    while candidates.len() >= 2 {
+        let chunk = candidates.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < candidates.len() {
+            let end = (start + chunk).min(candidates.len());
+            // Complement: NOP out candidates[start..end], keep the rest.
+            let mut trial = text.clone();
+            for &i in &candidates[start..end] {
+                trial[i] = nop;
+            }
+            if still_fails(&trial) {
+                text = trial;
+                candidates.drain(start..end);
+                reduced = true;
+                // Stay at the same start: the next chunk slid into place.
+            } else {
+                start = end;
+            }
+        }
+        if reduced {
+            n = 2.max(n.saturating_sub(1));
+        } else if n >= candidates.len() {
+            break;
+        } else {
+            n = (n * 2).min(candidates.len());
+        }
+    }
+
+    // Final one-at-a-time sweep (ddmin can leave single removable
+    // instructions behind when chunks interleave).
+    let mut i = 0;
+    while i < candidates.len() {
+        let mut trial = text.clone();
+        trial[candidates[i]] = nop;
+        if still_fails(&trial) {
+            text = trial;
+            candidates.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+
+    prog.with_text(text)
+}
+
+/// Counts the non-NOP, non-halt instructions in a program — the
+/// minimizer's size metric.
+pub fn live_instructions(prog: &Program) -> usize {
+    prog.text()
+        .iter()
+        .filter(|&&w| !matches!(decode(w), Ok(Inst::Nop) | Ok(Inst::Halt)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    /// The satellite self-test: a synthetic oracle ("the program still
+    /// contains an `add`") must shrink a many-instruction program to a
+    /// single-instruction witness, deterministically.
+    #[test]
+    fn shrinks_to_single_add_witness() {
+        let prog = assemble(
+            ".text
+                li   x5, 1
+                li   x6, 2
+                add  x7, x5, x6
+                sub  x8, x7, x5
+                mul  x9, x8, x8
+                add  x10, x9, x9
+                xor  x11, x10, x9
+                sd   x11, 0(x2)
+                halt
+            ",
+        )
+        .unwrap();
+        let contains_add = |p: &Program| {
+            p.decode_all()
+                .unwrap()
+                .iter()
+                .any(|i| matches!(i, Inst::Alu { op: blackjack_isa::AluOp::Add, .. }))
+        };
+        let min1 = minimize(&prog, contains_add);
+        assert_eq!(live_instructions(&min1), 1, "exactly one witness survives");
+        assert!(contains_add(&min1), "the witness is an add");
+        // Layout is untouched: same length, same PCs.
+        assert_eq!(min1.len(), prog.len());
+        // Deterministic: a second run produces the identical program.
+        let min2 = minimize(&prog, contains_add);
+        assert_eq!(min1.text(), min2.text());
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let prog = assemble(".text\n li x1, 1\n halt\n").unwrap();
+        let min = minimize(&prog, |_| false);
+        assert_eq!(min.text(), prog.text());
+    }
+
+    #[test]
+    fn halt_is_never_removed() {
+        let prog = assemble(".text\n li x1, 1\n li x2, 2\n halt\n").unwrap();
+        let min = minimize(&prog, |_| true); // everything "fails"
+        let insts = min.decode_all().unwrap();
+        assert!(matches!(insts.last(), Some(Inst::Halt)));
+        assert_eq!(live_instructions(&min), 0);
+    }
+}

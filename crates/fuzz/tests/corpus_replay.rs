@@ -1,0 +1,79 @@
+//! Replays every checked-in corpus case under `tests/corpus/` (repo
+//! root). Failure cases must still be handled soundly (they are kept
+//! only after the underlying bug is fixed, so they must pass);
+//! interesting cases are regression anchors for the differential
+//! surface. Runs offline as part of `cargo test --workspace`.
+
+use std::path::PathBuf;
+
+use blackjack_analysis::SiteAnalysis;
+use blackjack_fuzz::oracle::{check_fault, golden_memory};
+use blackjack_fuzz::{check_fault_free, Case};
+use blackjack_sim::FuCounts;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn corpus_cases() -> Vec<(PathBuf, Case)> {
+    let dir = corpus_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bjcase"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let case = Case::load(&p).unwrap_or_else(|e| panic!("{e}"));
+            (p, case)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_nonempty_and_well_formed() {
+    let cases = corpus_cases();
+    assert!(
+        cases.len() >= 10,
+        "expected the seeded corpus (10+ cases), found {}",
+        cases.len()
+    );
+    for (path, case) in &cases {
+        assert!(!case.name.is_empty(), "{}: unnamed case", path.display());
+        assert!(
+            case.program.decode_all().is_ok(),
+            "{}: text does not decode",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_cases_replay_clean() {
+    for (path, case) in corpus_cases() {
+        // Differential surface first: all four modes, commit-log replay.
+        check_fault_free(&case.program)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Cases that carry a fault spec must also replay soundly.
+        if let Some(fault) = case.fault {
+            let analysis = SiteAnalysis::analyze(&case.program, &FuCounts::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            let golden = golden_memory(&case.program);
+            check_fault(&case.program, &analysis, fault, &golden)
+                .unwrap_or_else(|s| panic!("{}: unsound replay: {s}", path.display()));
+        }
+    }
+}
+
+#[test]
+fn corpus_serialization_is_stable() {
+    // Re-serializing a loaded case reproduces the file byte-for-byte —
+    // corpus churn in diffs always means real content changes.
+    for (path, case) in corpus_cases() {
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(case.to_text(), on_disk, "{}: unstable serialization", path.display());
+    }
+}

@@ -1,0 +1,78 @@
+//! Telemetry JSONL round-trip property: every line the emitters write
+//! must survive `parse_line` → `emit_line` byte-identically. The trace
+//! content comes from real traced runs of fuzz-generated programs, so
+//! the property covers run, heatmap, flight-event (including the `null`
+//! sentinels and boolean fields), detection, and meta lines.
+
+use blackjack::telemetry::{emit_line, parse_line, TraceWriter};
+use blackjack_faults::{FaultPlan, FaultSite, HardFault};
+use blackjack_fuzz::gen::{generate, GenConfig};
+use blackjack_sim::{Core, CoreConfig, Mode};
+
+fn trace_one(path: &std::path::Path, seed: u64, fault: Option<HardFault>) {
+    let prog = generate(seed, GenConfig { segments: 8 });
+    let plan = fault.map_or_else(FaultPlan::new, FaultPlan::single);
+    let mut core = Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, plan);
+    core.enable_trace();
+    let outcome = core.run(20_000_000);
+    let mut w = TraceWriter::create(path, "fuzz-roundtrip").expect("create trace");
+    let state = core.take_trace().expect("trace enabled");
+    w.emit_run(&prog.name, core.stats(), Some(&state));
+    w.emit_heatmap(&prog.name, &state.heat);
+    w.emit_flight(&state.flight.events());
+    if let blackjack_sim::RunOutcome::Detected(ev) = &outcome {
+        w.emit_detection(ev);
+    }
+    w.flush().expect("flush");
+}
+
+fn assert_roundtrip(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("read trace");
+    assert!(!text.is_empty(), "trace must not be empty");
+    for (i, line) in text.lines().enumerate() {
+        let fields = parse_line(line)
+            .unwrap_or_else(|| panic!("line {} does not parse: {line}", i + 1));
+        let back = emit_line(&fields);
+        assert_eq!(back, line, "line {} does not round-trip", i + 1);
+    }
+}
+
+#[test]
+fn fault_free_traces_round_trip() {
+    let dir = std::env::temp_dir().join("bj-fuzz-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in [0u64, 11, 47] {
+        let path = dir.join(format!("clean-{seed}.jsonl"));
+        trace_one(&path, seed, None);
+        assert_roundtrip(&path);
+    }
+}
+
+#[test]
+fn detection_traces_round_trip() {
+    // A frontend stuck-at fault makes the run end in a detection, so the
+    // `detection` line shape is exercised too.
+    let dir = std::env::temp_dir().join("bj-fuzz-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("detected.jsonl");
+    trace_one(&path, 5, Some(HardFault::stuck_bit(FaultSite::Frontend { way: 1 }, 7)));
+    assert_roundtrip(&path);
+}
+
+#[test]
+fn parser_rejects_garbage() {
+    assert!(parse_line("").is_none());
+    assert!(parse_line("not json").is_none());
+    assert!(parse_line("[1,2,3]").is_none(), "top level must be an object");
+    assert!(parse_line("{\"a\":1} trailing").is_none());
+    assert!(parse_line("{\"a\":}").is_none());
+}
+
+#[test]
+fn parser_preserves_raw_number_tokens() {
+    // 1.50 and 1.5 are the same number but different tokens; raw
+    // preservation is what makes the round-trip byte-exact.
+    let line = r#"{"a":1.50,"b":null,"c":true,"d":[1,2],"e":{"f":"x\n"}}"#;
+    let fields = parse_line(line).unwrap();
+    assert_eq!(emit_line(&fields), line);
+}

@@ -1,6 +1,6 @@
 //! Program images: encoded text, initialized data, and an entry point.
 
-use crate::encode::{encode, EncodeError};
+use crate::encode::{decode, encode, DecodeError, EncodeError};
 use crate::inst::Inst;
 use crate::mem::PagedMem;
 use crate::INST_BYTES;
@@ -88,6 +88,26 @@ impl Program {
         let idx = ((pc - self.text_base) / INST_BYTES) as usize;
         self.text.get(idx).copied()
     }
+
+    /// Decodes the whole text segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`]; programs produced by the
+    /// assembler or [`ProgramBuilder`] always decode.
+    pub fn decode_all(&self) -> Result<Vec<Inst>, DecodeError> {
+        self.text.iter().map(|&w| decode(w)).collect()
+    }
+
+    /// A copy of this program with the text segment replaced, keeping the
+    /// name, layout, and data image.
+    ///
+    /// This is the minimizer's rebuild hook: case reduction replaces
+    /// instructions in place (rather than deleting them) so every PC and
+    /// branch offset stays valid.
+    pub fn with_text(&self, text: Vec<u32>) -> Program {
+        Program { text, ..self.clone() }
+    }
 }
 
 /// Builder for constructing [`Program`]s directly from decoded instructions.
@@ -164,6 +184,33 @@ impl ProgramBuilder {
             self.push(i)?;
         }
         Ok(())
+    }
+
+    /// Re-encodes the instruction at index `idx` (0-based, in push order).
+    ///
+    /// Program generators use this to backpatch forward branches: push a
+    /// placeholder, generate the body, then patch the real offset once the
+    /// target PC is known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if the new instruction cannot be encoded;
+    /// the old word is left in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn patch(&mut self, idx: usize, inst: Inst) -> Result<(), EncodeError> {
+        let word = encode(&inst)?;
+        self.text[idx] = word;
+        Ok(())
+    }
+
+    /// Appends a pre-encoded instruction word, returning its PC.
+    pub fn push_raw(&mut self, word: u32) -> u64 {
+        let pc = self.next_pc();
+        self.text.push(word);
+        pc
     }
 
     /// The PC the next pushed instruction will occupy.
@@ -266,6 +313,50 @@ mod tests {
         assert!(p.fetch(p.entry() + 8).is_none(), "past end");
         assert!(p.fetch(p.entry() - 4).is_none(), "before start");
         assert!(p.fetch(p.entry() + 2).is_none(), "misaligned");
+    }
+
+    #[test]
+    fn patch_rewrites_in_place() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Inst::Nop).unwrap();
+        b.push(Inst::Halt).unwrap();
+        b.patch(0, Inst::AluImm { op: AluOp::Add, rd: Reg::new(3), rs1: Reg::ZERO, imm: 9 })
+            .unwrap();
+        let p = b.build();
+        let insts = p.decode_all().unwrap();
+        assert_eq!(insts.len(), 2);
+        assert!(matches!(insts[0], Inst::AluImm { imm: 9, .. }));
+        assert!(matches!(insts[1], Inst::Halt));
+    }
+
+    #[test]
+    fn push_raw_round_trips() {
+        let mut b = ProgramBuilder::new("t");
+        let word = encode(&Inst::Halt).unwrap();
+        let pc = b.push_raw(word);
+        assert_eq!(pc, TEXT_BASE);
+        let p = b.build();
+        assert_eq!(p.text()[0], word);
+        assert!(matches!(p.decode_all().unwrap()[0], Inst::Halt));
+    }
+
+    #[test]
+    fn with_text_keeps_layout() {
+        let mut b = ProgramBuilder::new("t");
+        b.push_data_u64(42);
+        b.push(Inst::Nop).unwrap();
+        b.push(Inst::Halt).unwrap();
+        let p = b.build();
+        let halt = encode(&Inst::Halt).unwrap();
+        let q = p.with_text(vec![halt]);
+        assert_eq!(q.name, p.name);
+        assert_eq!(q.entry(), p.entry());
+        assert_eq!(q.data_base(), p.data_base());
+        assert_eq!(q.data(), p.data());
+        assert_eq!(q.len(), 1);
+        assert!(matches!(q.decode_all().unwrap()[0], Inst::Halt));
+        // The original is untouched.
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

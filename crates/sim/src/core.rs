@@ -15,7 +15,7 @@
 
 use blackjack_faults::FaultPlan;
 use blackjack_isa::exec::{effective_addr, exec_nonmem, finish_load, store_data};
-use blackjack_isa::{decode, initial_int_regs, FuType, Inst, Interp, PagedMem, Program};
+use blackjack_isa::{decode, initial_int_regs, FuType, Inst, Interp, LogReg, PagedMem, Program};
 use blackjack_mem::{MemSystem, StoreBuffer, StoreCheck, StoreRecord};
 
 use crate::config::{CoreConfig, Mode, ShuffleAlgo};
@@ -46,6 +46,50 @@ const WATCHDOG_CYCLES: u64 = 200_000;
 /// most ~60 uops live), so a dump reaches back past the fetch of
 /// everything in flight at the incident.
 pub const FLIGHT_CAPACITY: usize = 256;
+
+/// An architectural memory effect observed at leading commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEffect {
+    /// A committed load.
+    Load {
+        /// Effective address.
+        addr: u64,
+        /// Loaded (extended) value.
+        value: u64,
+    },
+    /// A committed store.
+    Store {
+        /// Effective address.
+        addr: u64,
+        /// Access size in bytes.
+        bytes: u64,
+        /// Stored value (width-truncated).
+        data: u64,
+    },
+}
+
+/// One committed leading-context instruction, as recorded by
+/// [`Core::enable_commit_log`].
+///
+/// This is the core's externally visible architectural trace — the
+/// differential-fuzzing harness compares it 1:1 against the golden
+/// interpreter's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Fetch PC.
+    pub pc: u64,
+    /// Committed next PC.
+    pub next_pc: u64,
+    /// Conditional-branch outcome.
+    pub taken: bool,
+    /// Destination logical register and the value written, if any
+    /// (writes to `x0` are architectural no-ops and appear as `None`).
+    pub dst: Option<(LogReg, u64)>,
+    /// Memory effect, for loads and stores.
+    pub mem: Option<MemEffect>,
+}
 
 impl ShuffleItem for DtqPayload {
     fn fu_type(&self) -> FuType {
@@ -226,6 +270,9 @@ pub struct Core {
     tmap: LeadIndexedRat,
     last_commit_cycle: u64,
     oracle: Option<Interp>,
+    /// Architectural commit trace ([`Core::enable_commit_log`]); `None`
+    /// (the default) keeps the commit path a single branch.
+    commit_log: Option<Vec<CommitRecord>>,
     /// Observability hooks; `Tracer::Off` (the default) keeps every hook
     /// a single discriminant branch — no allocation in the hot loop.
     tracer: Tracer,
@@ -275,6 +322,7 @@ impl Core {
             tmap: LeadIndexedRat::new(cfg.phys_regs),
             last_commit_cycle: 0,
             oracle: None,
+            commit_log: None,
             tracer: Tracer::Off,
             cfg,
         }
@@ -303,6 +351,26 @@ impl Core {
             Tracer::Off => None,
             Tracer::On(t) => Some(t),
         }
+    }
+
+    /// Turns on recording of every leading-context commit as a
+    /// [`CommitRecord`] (PC, destination write, memory effect). Works in
+    /// every mode and with faults injected — the record reflects what the
+    /// (possibly corrupted) pipeline actually did.
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// The recorded commit stream, if [`Core::enable_commit_log`] was
+    /// called.
+    pub fn commit_log(&self) -> Option<&[CommitRecord]> {
+        self.commit_log.as_deref()
+    }
+
+    /// Detaches and returns the recorded commit stream, turning recording
+    /// off.
+    pub fn take_commit_log(&mut self) -> Option<Vec<CommitRecord>> {
+        self.commit_log.take()
     }
 
     /// Attaches a lock-step golden-interpreter oracle that cross-checks
@@ -557,6 +625,17 @@ impl Core {
         // Run-completion check.
         if self.cfg.mode.is_redundant() {
             if self.halted[0] && self.halted[1] {
+                if !self.sb.is_empty() && !self.plan.is_empty() {
+                    // A fault that corrupts the trailing stream into an
+                    // early `halt` leaves leading stores unchecked; the
+                    // surplus is itself the divergence.
+                    self.detect(
+                        DetectionKind::UncheckedStores,
+                        self.stats.committed[TRAILING],
+                        self.trail_expect_pc,
+                    );
+                    return;
+                }
                 debug_assert!(self.sb.is_empty(), "stores unchecked at completion");
                 self.done = true;
             }
@@ -614,7 +693,8 @@ impl Core {
         let u = self.slab.at(id);
         let (seq, pc, next_pc, taken) = (u.seq, u.pc, u.next_pc, u.taken);
         let inst = u.inst;
-        let raw = u.raw;
+        let pristine = u.pristine;
+        let log_dst = u.log_dst;
         let (front_way, back_way) = (u.front_way, u.back_way.unwrap_or(usize::MAX));
         let (dst, old_dst) = (u.dst, u.old_dst);
         let (load_seq, store_seq, mem_seq) = (u.load_seq, u.store_seq, u.mem_seq);
@@ -672,7 +752,7 @@ impl Core {
         // Redundancy bookkeeping.
         if uses_dtq {
             let payload = DtqPayload {
-                raw,
+                raw: pristine,
                 pc,
                 next_pc,
                 seq,
@@ -692,6 +772,30 @@ impl Core {
 
         if matches!(inst, Inst::Halt) {
             self.halted[LEADING] = true;
+        }
+
+        if let Some(log) = self.commit_log.as_mut() {
+            let dst_write = match (log_dst, dst) {
+                (Some(l), Some(_)) => {
+                    Some((l, result.expect("committed writer has a result")))
+                }
+                _ => None,
+            };
+            let mem = if inst.is_store() {
+                Some(MemEffect::Store {
+                    addr: eff_addr.expect("committed store has an address"),
+                    bytes: inst.mem_bytes().expect("store width"),
+                    data: store_val.expect("committed store has data"),
+                })
+            } else if inst.is_load() {
+                Some(MemEffect::Load {
+                    addr: eff_addr.expect("committed load has an address"),
+                    value: result.expect("committed load has a value"),
+                })
+            } else {
+                None
+            };
+            log.push(CommitRecord { seq, pc, next_pc, taken, dst: dst_write, mem });
         }
 
         self.trace_uop(FlightKind::Commit, id);
@@ -1735,6 +1839,8 @@ impl Core {
             let word = self.mem.read_u32(pc);
             let raw = self.plan.corrupt_frontend(front_way, word);
             let inst = decode(raw).unwrap_or(Inst::Nop);
+            // `word` (not `raw`) is what the DTQ will carry: the trailing
+            // copy applies its own way's corruption to the pristine bits.
 
             // SRT trailing: control flow is predicted by the BOQ; stall at
             // a branch whose outcome has not arrived.
@@ -1748,6 +1854,7 @@ impl Core {
 
             let seq = self.ctxs[ctx].counters[0];
             let mut u = Uop::new(self.next_uid, ctx, seq, pc, raw, inst);
+            u.pristine = word;
             self.next_uid += 1;
 
             // Sequence counters (snapshot carried for squash recovery).

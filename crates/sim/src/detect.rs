@@ -25,6 +25,10 @@ pub enum DetectionKind {
     /// The committed PC chain broke: an instruction's PC was not its
     /// predecessor's computed next PC (§4.4 program-counter check).
     ProgramOrderMismatch,
+    /// Both threads halted with leading stores still unchecked in the
+    /// store buffer — a corrupted trailing stream reached `halt` without
+    /// consuming the leading thread's full output.
+    UncheckedStores,
 }
 
 impl fmt::Display for DetectionKind {
@@ -36,6 +40,7 @@ impl fmt::Display for DetectionKind {
             DetectionKind::BranchOutcomeMismatch => "branch outcome mismatch",
             DetectionKind::DependenceCheckMismatch => "dependence check mismatch",
             DetectionKind::ProgramOrderMismatch => "program-order (PC) check mismatch",
+            DetectionKind::UncheckedStores => "unchecked leading stores at completion",
         };
         f.write_str(s)
     }

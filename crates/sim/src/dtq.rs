@@ -16,7 +16,10 @@ use crate::uop::PhysReg;
 /// copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtqPayload {
-    /// The undecoded instruction word (as the *leading* frontend saw it).
+    /// The undecoded instruction word, pristine (as stored in memory).
+    /// The trailing frontend applies its *own* way's fault corruption to
+    /// this word at fetch, so a leading frontend fault cannot silently
+    /// replicate into both copies.
     pub raw: u32,
     /// Fetch PC.
     pub pc: u64,

@@ -40,6 +40,11 @@ pub struct Uop {
     /// The raw instruction word as seen by this copy (after any frontend
     /// fault corruption).
     pub raw: u32,
+    /// The pristine instruction word as stored in memory, before any
+    /// frontend corruption. The DTQ carries this copy so a leading
+    /// frontend fault cannot replicate into the trailing thread (each
+    /// copy's corruption is applied at its own fetch way).
+    pub pristine: u32,
     /// The decoded instruction.
     pub inst: Inst,
     /// FU class (normally `inst.fu_type()`; overridden for typed NOPs).
@@ -132,6 +137,7 @@ impl Uop {
             seq,
             pc,
             raw,
+            pristine: raw,
             inst,
             fu: inst.fu_type(),
             stage: Stage::Fetched,

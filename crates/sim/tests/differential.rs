@@ -4,7 +4,7 @@
 
 use blackjack_faults::FaultPlan;
 use blackjack_isa::{asm::assemble, Interp, PagedMem};
-use blackjack_sim::{Core, CoreConfig, Mode};
+use blackjack_sim::{Core, CoreConfig, MemEffect, Mode};
 use blackjack_workloads::random::random_program;
 use blackjack_workloads::{build, Benchmark};
 
@@ -240,6 +240,44 @@ fn function_calls_and_ras() {
     )
     .unwrap();
     differential(&prog);
+}
+
+#[test]
+fn commit_log_matches_interpreter_lockstep() {
+    // The commit log is the fuzzer's differential surface: replaying it
+    // against the interpreter step-by-step must agree on PC, next PC,
+    // destination writes, and memory effects in every mode.
+    for seed in [3u64, 17, 29] {
+        let prog = random_program(seed, 12);
+        for mode in Mode::ALL {
+            let mut core = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+            core.enable_commit_log();
+            assert!(core.run(MAX_CYCLES).completed());
+            let log = core.take_commit_log().expect("log enabled");
+            let mut it = Interp::new(&prog);
+            for (i, rec) in log.iter().enumerate() {
+                assert_eq!(rec.seq, i as u64, "{mode}: seq gap at record {i}");
+                assert_eq!(rec.pc, it.pc(), "{mode}: pc diverges at seq {i}");
+                it.step().expect("interpreter executes committed instruction");
+                assert_eq!(rec.next_pc, it.pc(), "{mode}: next_pc diverges at seq {i}");
+                if let Some((log_reg, v)) = rec.dst {
+                    let idx = log_reg.index() as usize;
+                    let want = if log_reg.is_fp() {
+                        it.freg_bits(idx - 32)
+                    } else {
+                        it.reg(idx)
+                    };
+                    assert_eq!(v, want, "{mode}: dst value diverges at seq {i}");
+                }
+                if let Some(MemEffect::Store { addr, bytes, data }) = rec.mem {
+                    let got = it.mem().read_sized(addr, bytes);
+                    assert_eq!(data, got, "{mode}: store diverges at seq {i} ({bytes}B @ {addr:#x})");
+                }
+            }
+            assert!(it.halted(), "{mode}: log must end at the interpreter's halt");
+            assert_eq!(log.len() as u64, it.icount(), "{mode}: log covers every commit");
+        }
+    }
 }
 
 #[test]

@@ -32,4 +32,11 @@ rendered="$(cargo run --release -q --offline -p blackjack-bench --bin bj-trace -
 echo "$rendered" | grep -q "flight recorder:"
 echo "$rendered" | grep -q "detection:"
 
+echo "== tier-1: bj-fuzz smoke (fixed seed, 50 iterations) =="
+# Differential fuzz of the core against the interpreter: zero
+# mismatches, zero fault-free false detections, all guaranteed-site
+# injections detected or masked. Deterministic for the fixed seed.
+BJ_FUZZ_ITERS=50 cargo run --release -q --offline -p blackjack-fuzz --bin bj-fuzz -- \
+  --seed 0xB1AC --quiet | grep -q "all checks passed"
+
 echo "verify: OK"

@@ -25,13 +25,17 @@
 //! histograms, the `(class, way)` issue heatmap, the flight recorder's
 //! final window, and any detection event are written to `<path>` as
 //! JSONL (render with `bj-trace`). The path is validated up front —
-//! empty or unwritable values exit with status 2.
+//! empty or unwritable values exit with status 2. `BJ_TRACE_DEPTH=<n>`
+//! overrides the flight recorder's event capacity (default 256) for
+//! deeper post-detection forensics; zero or non-numeric values exit
+//! with status 2.
 
 use std::process::exit;
 
+use blackjack::envcfg;
 use blackjack::faults::{AreaModel, FaultPlan, FaultSite, HardFault};
 use blackjack::isa::asm::assemble_named;
-use blackjack::sim::{Core, CoreConfig, Mode, RunOutcome, ShuffleAlgo};
+use blackjack::sim::{Core, CoreConfig, Mode, RunOutcome, ShuffleAlgo, FLIGHT_CAPACITY};
 use blackjack::telemetry::TraceWriter;
 
 fn usage() -> ! {
@@ -128,12 +132,15 @@ fn main() {
     });
 
     let mut writer = TraceWriter::from_env_or_exit("bjsim");
+    let trace_depth = envcfg::positive_from_env::<usize>("BJ_TRACE_DEPTH")
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e))
+        .unwrap_or(FLIGHT_CAPACITY);
     let mut core = Core::new(cfg.clone(), &prog, plan);
     if oracle {
         core.enable_oracle(&prog);
     }
     if writer.is_some() {
-        core.enable_trace();
+        core.enable_trace_with_capacity(trace_depth);
     }
     let outcome = core.run(max_cycles);
 

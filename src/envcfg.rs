@@ -1,8 +1,8 @@
 //! Validated environment-variable configuration.
 //!
 //! The harnesses are steered by a handful of environment variables
-//! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`). Historically a
-//! typo like
+//! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`, `BJ_TRACE_DEPTH`,
+//! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`). Historically a typo like
 //! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
 //! back to a default) or surfaced as a panic deep inside a workload
 //! builder. This module centralizes parsing: every variable is either
@@ -113,6 +113,39 @@ where
     }
 }
 
+/// Parses `raw` as a `u64` seed, accepting decimal or `0x`-prefixed hex
+/// (case-insensitive prefix and digits). Unlike [`parse_positive`], zero
+/// is a valid seed.
+///
+/// # Errors
+///
+/// [`EnvError::NotANumber`] when `raw` parses as neither form.
+pub fn parse_seed(var: &'static str, raw: &str) -> Result<u64, EnvError> {
+    let s = raw.trim();
+    let parsed = if let Some(hex) =
+        s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| EnvError::NotANumber { var, value: raw.to_string() })
+}
+
+/// Reads `var` from the environment as a seed ([`parse_seed`] syntax).
+///
+/// Returns `Ok(None)` when the variable is unset or empty.
+///
+/// # Errors
+///
+/// Propagates [`parse_seed`]'s error for set, non-empty values.
+pub fn seed_from_env(var: &'static str) -> Result<Option<u64>, EnvError> {
+    match std::env::var(var) {
+        Ok(raw) if !raw.trim().is_empty() => parse_seed(var, &raw).map(Some),
+        _ => Ok(None),
+    }
+}
+
 /// Parses `raw` as a boolean flag: `1`/`true`/`on`/`yes` or
 /// `0`/`false`/`off`/`no` (case-insensitive).
 ///
@@ -212,6 +245,23 @@ mod tests {
             );
             assert!(err.to_string().contains(bad), "{bad}");
         }
+    }
+
+    #[test]
+    fn seeds_accept_decimal_and_hex_including_zero() {
+        assert_eq!(parse_seed("BJ_FUZZ_SEED", "12345"), Ok(12345));
+        assert_eq!(parse_seed("BJ_FUZZ_SEED", "0"), Ok(0));
+        assert_eq!(parse_seed("BJ_FUZZ_SEED", " 0xB1AC "), Ok(0xB1AC));
+        assert_eq!(parse_seed("BJ_FUZZ_SEED", "0Xdead_beef".replace('_', "").as_str()), Ok(0xdead_beef));
+        for bad in ["", "seed", "0x", "0xZZ", "-1", "1.5"] {
+            let err = parse_seed("BJ_FUZZ_SEED", bad).unwrap_err();
+            assert_eq!(
+                err,
+                EnvError::NotANumber { var: "BJ_FUZZ_SEED", value: bad.to_string() },
+                "{bad:?}"
+            );
+        }
+        assert_eq!(seed_from_env("BJ_ENVCFG_TEST_UNSET"), Ok(None));
     }
 
     #[test]

@@ -314,6 +314,204 @@ pub fn json_obj<'a>(obj: &'a str, key: &str) -> Option<&'a str> {
     None
 }
 
+// ------------------------------------------------------------ round-trip
+
+/// A parsed JSON value from a telemetry line.
+///
+/// Number, boolean, and `null` tokens keep their raw text
+/// ([`JsonValue::Raw`]) so [`emit_value`] reproduces them byte-for-byte
+/// — the round-trip property the fuzzer's telemetry tests pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A number, boolean, or `null`, as raw token text.
+    Raw(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Parses one telemetry JSONL line into its field list, or `None` when
+/// the line is not a single well-formed flat-ish JSON object (the only
+/// shape the emitters produce). Field order is preserved.
+pub fn parse_line(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut p = JsonParser { s: line.as_bytes(), i: 0 };
+    p.skip_ws();
+    let JsonValue::Obj(fields) = p.value()? else { return None };
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return None; // trailing garbage
+    }
+    Some(fields)
+}
+
+/// Re-emits a parsed line ([`parse_line`]'s output) as JSON text.
+/// `emit_line(&parse_line(l)?) == l` for every line this module emits.
+pub fn emit_line(fields: &[(String, JsonValue)]) -> String {
+    emit_value(&JsonValue::Obj(fields.to_vec()))
+}
+
+/// Re-emits one parsed value as JSON text.
+pub fn emit_value(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Raw(t) => t.clone(),
+        JsonValue::Str(s) => json_string(s),
+        JsonValue::Array(items) => {
+            let body: Vec<String> = items.iter().map(emit_value).collect();
+            format!("[{}]", body.join(","))
+        }
+        JsonValue::Obj(fields) => {
+            let body: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), emit_value(v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.s.get(self.i).is_some_and(|c| c.is_ascii_whitespace()) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        match self.s.get(self.i)? {
+            b'{' => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.s.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Some(JsonValue::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let JsonValue::Str(key) = self.string()? else { return None };
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.s.get(self.i)? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Some(JsonValue::Obj(fields));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.s.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Some(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.s.get(self.i)? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Some(JsonValue::Array(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => self.string(),
+            _ => {
+                // Raw scalar: number, true/false, null — everything up to
+                // a structural delimiter, kept verbatim.
+                let start = self.i;
+                while self
+                    .s
+                    .get(self.i)
+                    .is_some_and(|c| !matches!(c, b',' | b'}' | b']') && !c.is_ascii_whitespace())
+                {
+                    self.i += 1;
+                }
+                if self.i == start {
+                    return None;
+                }
+                Some(JsonValue::Raw(
+                    String::from_utf8_lossy(&self.s[start..self.i]).into_owned(),
+                ))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<JsonValue> {
+        if self.s.get(self.i) != Some(&b'"') {
+            return None;
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(JsonValue::Str(out));
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.s.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self.s.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                &c => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let ch_len = match c {
+                        c if c < 0x80 => 1,
+                        c if c >= 0xf0 => 4,
+                        c if c >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self.s.get(self.i..self.i + ch_len)?;
+                    out.push_str(std::str::from_utf8(chunk).ok()?);
+                    self.i += ch_len;
+                }
+            }
+        }
+    }
+}
+
 // --------------------------------------------------------------- summary
 
 /// Aggregated job-latency and worker-utilization numbers from a
