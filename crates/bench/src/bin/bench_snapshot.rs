@@ -1,0 +1,54 @@
+//! Fork-at-injection speedup benchmark: runs the full `ext_detection`
+//! campaign twice — replay-from-zero (`BJ_SNAPSHOT=0` semantics) and
+//! snapshot-fork (`BJ_SNAPSHOT=1`, the default) — verifies the reports
+//! are byte-identical, and writes the wall-time ratio to
+//! `BENCH_snapshot.json`.
+//!
+//! The replay path runs first so the snapshot path cannot borrow its
+//! warmed caches' advantage away; both runs use the same worker pool, the
+//! standard benchmark set, and workload scale 1, so the recorded speedup
+//! is exactly what `BJ_SNAPSHOT` buys a default `ext_detection` run.
+//!
+//! Usage: `cargo run --release -p blackjack-bench --bin bench_snapshot`
+//! (optionally under `BJ_THREADS=n`).
+
+use std::time::Instant;
+
+use blackjack::{envcfg, Campaign};
+use blackjack_bench::detection::{default_benchmarks, run_detection};
+
+fn main() {
+    let campaign = Campaign::from_env_or_exit();
+    let prune =
+        envcfg::flag_from_env("BJ_PRUNE", true).unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let benchmarks = default_benchmarks();
+
+    let t0 = Instant::now();
+    let replay = run_detection(&campaign, prune, false, &benchmarks, false);
+    let replay_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let forked = run_detection(&campaign, prune, true, &benchmarks, false);
+    let snapshot_wall = t1.elapsed();
+
+    assert_eq!(
+        replay.text, forked.text,
+        "the snapshot-fork path must reproduce the replay report byte for byte"
+    );
+
+    let speedup = replay_wall.as_secs_f64() / snapshot_wall.as_secs_f64().max(1e-9);
+    let json = format!(
+        "{{\n  \"campaign\": \"ext_detection\",\n  \"scale\": 1,\n  \"workers\": {},\n  \
+         \"jobs\": {},\n  \"reports_identical\": true,\n  \
+         \"replay_wall_seconds\": {:.3},\n  \"snapshot_wall_seconds\": {:.3},\n  \
+         \"speedup\": {:.2}\n}}\n",
+        campaign.workers(),
+        replay.tallies.len(),
+        replay_wall.as_secs_f64(),
+        snapshot_wall.as_secs_f64(),
+        speedup,
+    );
+    std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_snapshot.json");
+}

@@ -1,226 +1,56 @@
 //! Extension experiment (not a paper figure): empirical detection rate
-//! under injected hard faults, per fault site, for SRT and BlackJack.
+//! under injected wear-out faults, per fault site, for SRT and BlackJack.
 //!
-//! For every backend way and frontend way, inject a stuck-at fault and
-//! run a benchmark to completion or detection. Reports, per mode:
-//! detected / silently-corrupted / benign (fault never exercised or
-//! masked).
+//! Thin shell over [`blackjack_bench::detection`]: each (mode, benchmark)
+//! group runs its fault-free prefix once to fix the wear-out arming
+//! schedule, then fans one injection job per fault site over the campaign
+//! pool. With `BJ_SNAPSHOT=1` (the default) the jobs fork from snapshots
+//! of the shared prefix instead of replaying from cycle 0; the report is
+//! byte-identical either way, and for any `BJ_THREADS`.
 //!
-//! Every injection run is an independent campaign job (see
-//! [`blackjack::Campaign`]); each benchmark's program and golden
-//! reference run are computed once up front and shared read-only by all
-//! of that benchmark's injection runs across both modes. Tallies merge
-//! in job order, so the report is identical for any `BJ_THREADS`.
-//!
-//! **Static pruning:** before any simulation, each benchmark's text
-//! segment is analyzed (`blackjack-analysis`) for the FU classes it can
-//! exercise. A backend fault site whose class never appears in the text
-//! is statically provable benign — the fault can never corrupt an
-//! executing uop — so its runs are tallied as benign *without
-//! simulating* and counted in `pruned_sites`. Set `BJ_PRUNE=0` to
-//! disable and simulate every site; the per-mode table is byte-identical
-//! either way.
-//!
+//! `--bench <name>` restricts the sweep to one benchmark (used by the
+//! `verify.sh` equivalence smoke). `BJ_PRUNE=0` disables static pruning.
 //! With `BJ_TRACE=<path>` set, per-job scheduling telemetry and a
 //! flight-recorder pipetrace of the first detected injection are written
 //! to `<path>` (render with `bj-trace`); stdout stays byte-identical.
+//! Wall-clock goes to stderr so stdout is fully deterministic.
 
 use std::time::Instant;
 
-use blackjack::faults::{
-    Corruption, DetectionOutcome, DetectionTally, FaultPlan, FaultSite, HardFault, Trigger,
-};
-use blackjack::isa::Interp;
-use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
+use blackjack::sim::{Core, CoreConfig, RunOutcome};
 use blackjack::telemetry::TraceWriter;
-use blackjack::workloads::{build, Benchmark};
+use blackjack::workloads::build;
 use blackjack::{envcfg, Campaign};
-use blackjack_analysis::SiteAnalysis;
-
-/// Compact job label for the telemetry stream: `mode/bench/site`.
-fn site_label(mode: Mode, bench: &str, site: FaultSite) -> String {
-    let s = match site {
-        FaultSite::Backend { way } => format!("backend:{way}"),
-        FaultSite::Frontend { way } => format!("frontend:{way}"),
-        FaultSite::PayloadRam { entry } => format!("payload:{entry}"),
-    };
-    format!("{mode}/{bench}/{s}")
-}
+use blackjack_bench::detection::{armed_plan, benchmarks_from_args, run_detection, MAX_CYCLES};
 
 fn main() {
     let mut writer = TraceWriter::from_env_or_exit("ext_detection");
     let campaign = Campaign::from_env_or_exit();
-    let prune = envcfg::flag_from_env("BJ_PRUNE", true)
-        .unwrap_or_else(|e| envcfg::exit_invalid(&e));
-    let benchmarks = [Benchmark::Gzip, Benchmark::Fma3d, Benchmark::Vortex, Benchmark::Apsi];
-    let counts = FuCounts::default();
-    let mut sites: Vec<FaultSite> =
-        (0..counts.total()).map(|w| FaultSite::Backend { way: w }).collect();
-    sites.extend((0..4).map(|w| FaultSite::Frontend { way: w }));
+    let prune =
+        envcfg::flag_from_env("BJ_PRUNE", true).unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let snapshot = envcfg::snapshot_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benchmarks = benchmarks_from_args(&args);
 
-    println!("extension: detection outcomes per injected hard fault");
-    println!(
-        "(one stuck-at fault per run; {} sites x {} benchmarks per mode; {} workers)\n",
-        sites.len(),
-        benchmarks.len(),
-        campaign.workers()
-    );
     let t0 = Instant::now();
+    let report = run_detection(&campaign, prune, snapshot, &benchmarks, writer.is_some());
+    print!("{}", report.text);
 
-    // Build each benchmark once, run its golden (fault-free, functional)
-    // reference once, and analyze its static instruction mix once; both
-    // modes' injection runs share all three read-only.
-    let goldens: Vec<_> = campaign.run(
-        benchmarks
-            .iter()
-            .map(|&b| {
-                move || {
-                    let prog = build(b, 1);
-                    let mut golden = Interp::new(&prog);
-                    golden.run(50_000_000).unwrap();
-                    let analysis = SiteAnalysis::analyze(&prog, &counts)
-                        .expect("workload programs are analyzable");
-                    (prog, golden, analysis)
-                }
-            })
-            .collect(),
-    );
-
-    // One job per (mode, benchmark, site) injection run. A statically
-    // pruned site keeps its job slot — the tally is known without
-    // simulating — so run counts and merge order are unchanged.
-    let sites = &sites;
-    let jobs: Vec<_> = [Mode::Srt, Mode::BlackJack]
-        .iter()
-        .flat_map(|&mode| {
-            goldens.iter().flat_map(move |(prog, golden, analysis)| {
-                sites.iter().map(move |&site| {
-                    move || {
-                        if prune && analysis.prunable(site) {
-                            return (mode, DetectionTally::pruned_site());
-                        }
-                        let bit = match site {
-                            FaultSite::Frontend { .. } => 1, // immediate-field bit
-                            _ => 5,
-                        };
-                        let fault = HardFault {
-                            site,
-                            corruption: Corruption::FlipBit { bit },
-                            trigger: Trigger::Always,
-                        };
-                        let mut core =
-                            Core::new(CoreConfig::with_mode(mode), prog, FaultPlan::single(fault));
-                        let outcome = match core.run(100_000_000) {
-                            RunOutcome::Detected(_) => DetectionOutcome::Detected,
-                            RunOutcome::Completed => {
-                                if core.mem().first_difference(golden.mem()).is_some() {
-                                    DetectionOutcome::SilentCorruption
-                                } else {
-                                    DetectionOutcome::Benign
-                                }
-                            }
-                            RunOutcome::CycleLimit => DetectionOutcome::Stuck,
-                        };
-                        (mode, DetectionTally::of(outcome))
-                    }
-                })
-            })
-        })
-        .collect();
-    // The default path is `campaign.run` — `run_traced` only when the
-    // user asked for telemetry, and every extra byte goes to the trace
-    // file, so stdout stays byte-identical either way.
-    let (runs, sched) = match &writer {
-        Some(_) => {
-            let (runs, sched) = campaign.run_traced(jobs);
-            (runs, Some(sched))
-        }
-        None => (campaign.run(jobs), None),
-    };
-
-    println!(
-        "{:12} | {:>9} {:>18} {:>8} {:>6}",
-        "mode", "detected", "silent corruption", "benign", "stuck"
-    );
-    for mode in [Mode::Srt, Mode::BlackJack] {
-        let mut t = DetectionTally::default();
-        for (m, tally) in &runs {
-            if *m == mode {
-                t.merge(tally);
-            }
-        }
-        println!(
-            "{:12} | {:>9} {:>18} {:>8} {:>6}",
-            mode.to_string(),
-            t.detected,
-            t.corrupted,
-            t.benign,
-            t.stuck
-        );
-    }
-
-    if prune {
-        let per_mode: u32 = goldens
-            .iter()
-            .map(|(_, _, a)| a.prunable_backend_ways().len() as u32)
-            .sum();
-        println!(
-            "\npruned_sites: {} of {} runs per mode statically proven benign \
-             (BJ_PRUNE=0 to disable)",
-            per_mode,
-            benchmarks.len() * sites.len(),
-        );
-        for (_, _, a) in &goldens {
-            let dead: Vec<String> = a
-                .dead_classes()
-                .iter()
-                .map(|t| format!("{t} x{}", counts.of(*t)))
-                .collect();
-            println!(
-                "  {:8} {:2} ways pruned  [{}]",
-                a.program,
-                a.prunable_backend_ways().len(),
-                dead.join(", ")
-            );
-        }
-    } else {
-        println!("\npruned_sites: static pruning disabled (BJ_PRUNE=0)");
-    }
-
-    if let (Some(w), Some(sched)) = (writer.as_mut(), sched.as_ref()) {
-        let labels: Vec<String> = [Mode::Srt, Mode::BlackJack]
-            .iter()
-            .flat_map(|&mode| {
-                goldens.iter().flat_map(move |(_, _, a)| {
-                    sites.iter().map(move |&site| site_label(mode, &a.program, site))
-                })
-            })
-            .collect();
-        w.emit_campaign(sched, &labels);
+    if let (Some(w), Some(sched)) = (writer.as_mut(), report.trace.as_ref()) {
+        w.emit_campaign(sched, &report.labels);
         // Re-run the first detected injection with the flight recorder
         // on — one extra cheap run buys a full pipetrace of the
         // detection without perturbing any campaign job.
-        if let Some(i) = runs.iter().position(|(_, t)| t.detected > 0) {
-            let per_mode = goldens.len() * sites.len();
-            let mode = [Mode::Srt, Mode::BlackJack][i / per_mode];
-            let (prog, _, _) = &goldens[(i % per_mode) / sites.len()];
-            let site = sites[i % sites.len()];
-            let bit = match site {
-                FaultSite::Frontend { .. } => 1,
-                _ => 5,
-            };
-            let fault = HardFault {
-                site,
-                corruption: Corruption::FlipBit { bit },
-                trigger: Trigger::Always,
-            };
+        if let Some(i) = report.tallies.iter().position(|(_, t)| t.detected > 0) {
+            let m = report.meta[i];
+            let prog = build(m.bench, 1);
             let mut core =
-                Core::new(CoreConfig::with_mode(mode), prog, FaultPlan::single(fault));
+                Core::new(CoreConfig::with_mode(m.mode), &prog, armed_plan(m.site, m.arm));
             core.enable_trace();
-            let outcome = core.run(100_000_000);
+            let outcome = core.run(MAX_CYCLES);
             let state = core.take_trace().expect("tracing was enabled");
-            w.emit_run(&labels[i], core.stats(), Some(&state));
-            w.emit_heatmap(&labels[i], &state.heat);
+            w.emit_run(&report.labels[i], core.stats(), Some(&state));
+            w.emit_heatmap(&report.labels[i], &state.heat);
             w.emit_flight(&state.flight.events());
             if let RunOutcome::Detected(ev) = &outcome {
                 w.emit_detection(ev);
@@ -228,12 +58,18 @@ fn main() {
         }
     }
 
-    println!("\n[{} injection runs in {:.1?}]", runs.len(), t0.elapsed());
     println!(
         "\nExpected shape: BlackJack converts SRT's silent corruptions into\n\
          detections. `benign` counts faults the program never exercised —\n\
          the same reason manufacturing test misses them. A `stuck` run is a\n\
          fault that wedged a thread; the watchdog reported it (in hardware,\n\
          a timeout is itself a detection)."
+    );
+    eprintln!(
+        "[{} injection runs in {:.1?}; {} workers; snapshot {}]",
+        report.tallies.len(),
+        t0.elapsed(),
+        campaign.workers(),
+        if snapshot { "on" } else { "off" },
     );
 }

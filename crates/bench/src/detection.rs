@@ -1,0 +1,375 @@
+//! The detection-rate campaign as a library: empirical detection outcomes
+//! under injected wear-out faults, per fault site, for SRT and BlackJack.
+//!
+//! Extracted from the `ext_detection` binary so the harness, the
+//! `bench_snapshot` measurement, and the equivalence tests all drive one
+//! implementation. The report text is fully deterministic — byte-identical
+//! for any worker count and for either value of `BJ_SNAPSHOT` — which is
+//! the campaign's testable contract.
+//!
+//! **Fault model.** Each site gets a stuck-at-style bit flip that *arms*
+//! partway through the run ([`blackjack::arming_schedule`]): the hardware
+//! is healthy for the first half of the benchmark and the defect develops
+//! in the field, exactly the wear-out scenario the paper argues escapes
+//! manufacturing test. Arming cycles are derived from the (benchmark,
+//! mode) pair's fault-free cycle count, so every injection run sharing a
+//! (benchmark, mode) is identical up to its arming point.
+//!
+//! **Two execution paths.** With `snapshot` off, every injection run
+//! replays from cycle 0. With it on (the default), each (mode, benchmark)
+//! group simulates the fault-free prefix once, snapshotting one cycle
+//! before each distinct arming point ([`blackjack::SnapshotChain`]), and
+//! every injection job forks from its snapshot. Both paths compute the
+//! arming schedule from the same fault-free pass, so their reports match
+//! byte for byte.
+
+use blackjack::faults::{
+    Corruption, DetectionOutcome, DetectionTally, FaultPlan, FaultSite, HardFault, Trigger,
+};
+use blackjack::isa::{Interp, Program};
+use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
+use blackjack::workloads::{build, Benchmark};
+use blackjack::{arming_schedule, Campaign, CampaignTrace, SnapshotChain};
+use blackjack_analysis::SiteAnalysis;
+
+/// Cycle budget per injection run — far above anything the kernels need.
+pub const MAX_CYCLES: u64 = 100_000_000;
+
+/// The modes under test, in report order.
+pub const MODES: [Mode; 2] = [Mode::Srt, Mode::BlackJack];
+
+/// The benchmarks the detection sweep injects into, in report order.
+pub fn default_benchmarks() -> Vec<Benchmark> {
+    vec![Benchmark::Gzip, Benchmark::Fma3d, Benchmark::Vortex, Benchmark::Apsi]
+}
+
+/// Every injected fault site: one per backend way, plus the four frontend
+/// ways.
+pub fn sites() -> Vec<FaultSite> {
+    let counts = FuCounts::default();
+    let mut sites: Vec<FaultSite> =
+        (0..counts.total()).map(|w| FaultSite::Backend { way: w }).collect();
+    sites.extend((0..4).map(|w| FaultSite::Frontend { way: w }));
+    sites
+}
+
+/// The campaign's standard fault for `site`, armed at cycle `arm`: a bit
+/// flip in the immediate field for frontend sites (so the corrupted word
+/// still decodes) and in a low value bit for everything else.
+pub fn armed_plan(site: FaultSite, arm: u64) -> FaultPlan {
+    let bit = match site {
+        FaultSite::Frontend { .. } => 1, // immediate-field bit
+        _ => 5,
+    };
+    let fault = HardFault { site, corruption: Corruption::FlipBit { bit }, trigger: Trigger::Always };
+    FaultPlan::single(fault).arm_at(arm)
+}
+
+/// One (mode, benchmark) group's shared read-only state, built once per
+/// campaign and borrowed by every one of the group's injection jobs.
+pub struct DetectionGroup {
+    /// The mode every job in the group runs in.
+    pub mode: Mode,
+    /// The benchmark program.
+    pub prog: Program,
+    /// The completed golden (fault-free, functional) reference run.
+    pub golden: Interp,
+    /// Static instruction-mix analysis, for pruning.
+    pub analysis: SiteAnalysis,
+    /// Cycles of the fault-free run in this mode — the arming-schedule
+    /// denominator.
+    pub fault_free_cycles: u64,
+    /// Per-site arming cycles, indexed like [`sites`].
+    pub arms: Vec<u64>,
+    /// Snapshots one cycle before each distinct live arming point, when
+    /// the fork path is enabled.
+    pub chain: Option<SnapshotChain>,
+}
+
+impl DetectionGroup {
+    /// Builds the group: program + golden + analysis, then the fault-free
+    /// pass that fixes the arming schedule, then (fork path only) the
+    /// incremental snapshot chain over the non-pruned sites' arms.
+    pub fn build(mode: Mode, bench: Benchmark, prune: bool, snapshot: bool) -> DetectionGroup {
+        let prog = build(bench, 1);
+        let mut golden = Interp::new(&prog);
+        golden.run(50_000_000).expect("golden runs are fault-free");
+        let analysis = SiteAnalysis::analyze(&prog, &FuCounts::default())
+            .expect("workload programs are analyzable");
+
+        // Both paths run the fault-free pass: the arming schedule is
+        // derived from its cycle count, and identical arms are what make
+        // the replay and fork reports byte-identical.
+        let mut ff = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+        assert!(ff.run(MAX_CYCLES).completed(), "fault-free runs must complete");
+        let fault_free_cycles = ff.cycle();
+
+        let all = sites();
+        let arms = arming_schedule(fault_free_cycles, all.len());
+        let chain = snapshot.then(|| {
+            // Pruned sites never simulate, so they contribute no
+            // snapshot; the chain pauses only at live arming points.
+            let live: Vec<u64> = all
+                .iter()
+                .zip(&arms)
+                .filter(|&(&s, _)| !(prune && analysis.prunable(s)))
+                .map(|(_, &a)| a)
+                .collect();
+            SnapshotChain::build(
+                Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new()),
+                &live,
+            )
+        });
+        DetectionGroup { mode, prog, golden, analysis, fault_free_cycles, arms, chain }
+    }
+
+    /// One injection run: site `site_idx` of [`sites`], tallied. A pruned
+    /// site is tallied benign without simulating; otherwise the core
+    /// either forks from the group's chain or replays from cycle 0.
+    pub fn injection_tally(&self, site_idx: usize, prune: bool) -> DetectionTally {
+        let site = sites()[site_idx];
+        if prune && self.analysis.prunable(site) {
+            return DetectionTally::pruned_site();
+        }
+        let arm = self.arms[site_idx];
+        let plan = armed_plan(site, arm);
+        let mut core = match &self.chain {
+            Some(chain) => chain.fork(arm, plan),
+            None => Core::new(CoreConfig::with_mode(self.mode), &self.prog, plan),
+        };
+        DetectionTally::of(outcome_of(&mut core, &self.golden))
+    }
+}
+
+/// Drives `core` to its end and classifies the run against the golden
+/// memory image.
+pub fn outcome_of(core: &mut Core, golden: &Interp) -> DetectionOutcome {
+    match core.run(MAX_CYCLES) {
+        RunOutcome::Detected(_) => DetectionOutcome::Detected,
+        RunOutcome::Completed => {
+            if core.mem().first_difference(golden.mem()).is_some() {
+                DetectionOutcome::SilentCorruption
+            } else {
+                DetectionOutcome::Benign
+            }
+        }
+        RunOutcome::CycleLimit => DetectionOutcome::Stuck,
+    }
+}
+
+/// Where one injection job pointed — enough to reproduce it standalone
+/// (the telemetry flight re-run rebuilds the program and replays cold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Mode of the run.
+    pub mode: Mode,
+    /// Benchmark injected into.
+    pub bench: Benchmark,
+    /// The injected site.
+    pub site: FaultSite,
+    /// The fault's arming cycle.
+    pub arm: u64,
+}
+
+/// The campaign's complete result: per-job tallies (in job order), the
+/// deterministic report text, and reproduction metadata.
+pub struct DetectionReport {
+    /// `(mode, tally)` per job, in job order.
+    pub tallies: Vec<(Mode, DetectionTally)>,
+    /// `mode/bench/site` label per job, in job order.
+    pub labels: Vec<String>,
+    /// Reproduction metadata per job, in job order.
+    pub meta: Vec<JobMeta>,
+    /// The full report text (everything the harness prints to stdout).
+    /// Byte-identical for any worker count and either execution path.
+    pub text: String,
+    /// Per-job scheduling telemetry, when requested.
+    pub trace: Option<CampaignTrace>,
+}
+
+/// Compact job label for the telemetry stream: `mode/bench/site`.
+pub fn site_label(mode: Mode, bench: &str, site: FaultSite) -> String {
+    let s = match site {
+        FaultSite::Backend { way } => format!("backend:{way}"),
+        FaultSite::Frontend { way } => format!("frontend:{way}"),
+        FaultSite::PayloadRam { entry } => format!("payload:{entry}"),
+    };
+    format!("{mode}/{bench}/{s}")
+}
+
+/// Runs the whole detection campaign: one setup per (mode, benchmark)
+/// group, then one job per (mode, benchmark, site), all through
+/// `campaign` so the report is identical for any worker count. With
+/// `traced`, per-job scheduling telemetry rides along (stdout-identical).
+pub fn run_detection(
+    campaign: &Campaign,
+    prune: bool,
+    snapshot: bool,
+    benchmarks: &[Benchmark],
+    traced: bool,
+) -> DetectionReport {
+    let all_sites = sites();
+    let nb = benchmarks.len();
+    let ns = all_sites.len();
+
+    // Group setups, one per (mode, benchmark) — group index
+    // g = mode_idx * nb + bench_idx, matching job order.
+    let setups: Vec<_> = MODES
+        .iter()
+        .flat_map(|&mode| {
+            benchmarks
+                .iter()
+                .map(move |&bench| move || DetectionGroup::build(mode, bench, prune, snapshot))
+        })
+        .collect();
+
+    let jobs: Vec<(usize, _)> = (0..MODES.len() * nb * ns)
+        .map(|i| {
+            let g = i / ns;
+            let site_idx = i % ns;
+            (g, move |group: &DetectionGroup| (group.mode, group.injection_tally(site_idx, prune)))
+        })
+        .collect();
+
+    // The traced path stages manually so the fan-out goes through
+    // `run_traced`; the plain path is exactly `Campaign::run_staged`.
+    let (groups, tallies, trace) = if traced {
+        let groups = campaign.run(setups);
+        let groups_ref = &groups;
+        let bound: Vec<_> =
+            jobs.into_iter().map(|(g, f)| move || f(&groups_ref[g])).collect();
+        let (tallies, trace) = campaign.run_traced(bound);
+        (groups, tallies, Some(trace))
+    } else {
+        let (groups, tallies) = campaign.run_staged(setups, jobs);
+        (groups, tallies, None)
+    };
+
+    let labels: Vec<String> = MODES
+        .iter()
+        .flat_map(|&mode| {
+            benchmarks.iter().flat_map(move |&b| {
+                let sites = sites();
+                sites.into_iter().map(move |site| site_label(mode, b.name(), site))
+            })
+        })
+        .collect();
+    let meta: Vec<JobMeta> = (0..MODES.len() * nb * ns)
+        .map(|i| {
+            let g = i / ns;
+            JobMeta {
+                mode: MODES[g / nb],
+                bench: benchmarks[g % nb],
+                site: all_sites[i % ns],
+                arm: groups[g].arms[i % ns],
+            }
+        })
+        .collect();
+
+    let text = report_text(prune, benchmarks, &groups[..nb], &tallies);
+    DetectionReport { tallies, labels, meta, text, trace }
+}
+
+/// Renders the deterministic report. `bench_groups` must be the per-
+/// benchmark groups of one mode (the analysis and pruning facts are
+/// mode-independent), in benchmark order. Worker counts and wall-clock
+/// are deliberately absent — the report is byte-identical for any
+/// `BJ_THREADS` and either `BJ_SNAPSHOT` path.
+fn report_text(
+    prune: bool,
+    benchmarks: &[Benchmark],
+    bench_groups: &[DetectionGroup],
+    tallies: &[(Mode, DetectionTally)],
+) -> String {
+    let counts = FuCounts::default();
+    let n_sites = sites().len();
+    let mut s = String::new();
+    s.push_str("extension: detection outcomes per injected hard fault\n");
+    s.push_str(&format!(
+        "(one wear-out bit flip per run, arming in the late half of the \
+         fault-free run;\n {} sites x {} benchmarks per mode)\n\n",
+        n_sites,
+        benchmarks.len(),
+    ));
+    s.push_str(&format!(
+        "{:12} | {:>9} {:>18} {:>8} {:>6}\n",
+        "mode", "detected", "silent corruption", "benign", "stuck"
+    ));
+    for mode in MODES {
+        let mut t = DetectionTally::default();
+        for (m, tally) in tallies {
+            if *m == mode {
+                t.merge(tally);
+            }
+        }
+        s.push_str(&format!(
+            "{:12} | {:>9} {:>18} {:>8} {:>6}\n",
+            mode.to_string(),
+            t.detected,
+            t.corrupted,
+            t.benign,
+            t.stuck
+        ));
+    }
+
+    if prune {
+        let per_mode: u32 =
+            bench_groups.iter().map(|g| g.analysis.prunable_backend_ways().len() as u32).sum();
+        s.push_str(&format!(
+            "\npruned_sites: {} of {} runs per mode statically proven benign \
+             (BJ_PRUNE=0 to disable)\n",
+            per_mode,
+            benchmarks.len() * n_sites,
+        ));
+        for g in bench_groups {
+            let dead: Vec<String> =
+                g.analysis.dead_classes().iter().map(|t| format!("{t} x{}", counts.of(*t))).collect();
+            s.push_str(&format!(
+                "  {:8} {:2} ways pruned  [{}]\n",
+                g.analysis.program,
+                g.analysis.prunable_backend_ways().len(),
+                dead.join(", ")
+            ));
+        }
+    } else {
+        s.push_str("\npruned_sites: static pruning disabled (BJ_PRUNE=0)\n");
+    }
+    s
+}
+
+/// Parses harness arguments: `--bench <name>` restricts the sweep to one
+/// benchmark (the `verify.sh` equivalence smoke uses this). Unknown
+/// arguments or benchmarks exit with status 2.
+pub fn benchmarks_from_args(args: &[String]) -> Vec<Benchmark> {
+    let mut benchmarks = default_benchmarks();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => {
+                let name = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --bench needs a benchmark name");
+                    std::process::exit(2);
+                });
+                benchmarks = vec![*default_benchmarks()
+                    .iter()
+                    .find(|b| b.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "error: unknown benchmark `{name}` (expected one of: {})",
+                            default_benchmarks()
+                                .iter()
+                                .map(|b| b.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    })];
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (supported: --bench <name>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    benchmarks
+}

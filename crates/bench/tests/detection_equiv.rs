@@ -1,0 +1,44 @@
+//! Detection-campaign equivalence: the `ext_detection` report must be
+//! byte-identical with the snapshot-fork path on or off, and for any
+//! worker count — the hard requirement on the fork-at-injection
+//! optimization. One benchmark keeps the test fast; the full sweep's
+//! equivalence is re-checked by `verify.sh` and `bench_snapshot`.
+
+use blackjack::workloads::Benchmark;
+use blackjack::Campaign;
+use blackjack_bench::detection::run_detection;
+
+#[test]
+fn report_identical_across_snapshot_and_worker_counts() {
+    let benches = [Benchmark::Gzip];
+    let base = run_detection(&Campaign::with_workers(1), true, false, &benches, false);
+    assert!(!base.text.is_empty());
+    for (snapshot, workers) in [(false, 8), (true, 1), (true, 8)] {
+        let got = run_detection(&Campaign::with_workers(workers), true, snapshot, &benches, false);
+        assert_eq!(
+            got.text, base.text,
+            "snapshot={snapshot} workers={workers} changed the report"
+        );
+        assert_eq!(got.tallies, base.tallies, "snapshot={snapshot} workers={workers}");
+        assert_eq!(got.meta, base.meta, "arming schedules must not depend on the path");
+    }
+}
+
+#[test]
+fn pruning_does_not_change_the_tally_table() {
+    // Pruned sites are tallied benign without simulating; the per-mode
+    // table must match the fully simulated sweep on both paths.
+    let benches = [Benchmark::Gzip];
+    let c = Campaign::with_workers(8);
+    let full = run_detection(&c, false, true, &benches, false);
+    let pruned = run_detection(&c, true, true, &benches, false);
+    for ((fm, f), (pm, p)) in full.tallies.iter().zip(&pruned.tallies) {
+        assert_eq!(fm, pm);
+        // The `pruned` marker legitimately differs; the outcome must not.
+        assert_eq!(
+            (f.detected, f.corrupted, f.benign, f.stuck),
+            (p.detected, p.corrupted, p.benign, p.stuck),
+            "a pruned site's outcome diverged from its simulated run"
+        );
+    }
+}

@@ -151,9 +151,16 @@ impl fmt::Display for HardFault {
 
 /// The set of faults active in one simulation, with per-site lookups used
 /// by the pipeline's decode and execute hooks.
+///
+/// A plan can be *armed* at a cycle: before `arm_cycle` the hardware is
+/// healthy and every corruption hook is inert. This models wear-out
+/// defects that develop mid-run, and it is what makes the fault-free
+/// prefix of an injection run shareable — every plan for the same
+/// workload is identical (empty, effectively) until its arming point.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     faults: Vec<HardFault>,
+    arm_cycle: u64,
 }
 
 impl FaultPlan {
@@ -164,7 +171,19 @@ impl FaultPlan {
 
     /// A plan with a single fault.
     pub fn single(fault: HardFault) -> FaultPlan {
-        FaultPlan { faults: vec![fault] }
+        FaultPlan { faults: vec![fault], arm_cycle: 0 }
+    }
+
+    /// Defers the plan's faults until simulation cycle `cycle` (a wear-out
+    /// fault). The default arming cycle is 0: faulty from power-on.
+    pub fn arm_at(mut self, cycle: u64) -> FaultPlan {
+        self.arm_cycle = cycle;
+        self
+    }
+
+    /// The cycle at which the faults begin to manifest.
+    pub fn arm_cycle(&self) -> u64 {
+        self.arm_cycle
     }
 
     /// Adds a fault.
@@ -307,6 +326,16 @@ mod tests {
         assert!(plan.is_empty());
         assert_eq!(plan.corrupt_backend(0, 42), 42);
         assert_eq!(plan.corrupt_frontend(0, 42), 42);
+    }
+
+    #[test]
+    fn arming_defaults_to_power_on() {
+        assert_eq!(FaultPlan::new().arm_cycle(), 0);
+        let f = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 0);
+        assert_eq!(FaultPlan::single(f).arm_cycle(), 0);
+        let armed = FaultPlan::single(f).arm_at(12_345);
+        assert_eq!(armed.arm_cycle(), 12_345);
+        assert!(!armed.is_empty(), "arming does not change the fault set");
     }
 
     #[test]

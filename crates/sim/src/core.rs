@@ -109,7 +109,7 @@ impl ShuffleItem for DtqPayload {
 /// buffers are taken (`std::mem::take`), cleared, filled, and put back
 /// each cycle, so the steady-state hot path performs no heap allocation —
 /// every buffer retains its high-water-mark capacity across cycles.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct StepScratch {
     /// Completions due this cycle.
     due: Vec<(u64, UopId)>,
@@ -147,6 +147,17 @@ struct PacketTotals {
     entries: Vec<(u64, usize)>,
     fetch_queue: usize,
     issue_queue: usize,
+}
+
+/// Hand-written so a snapshot restore keeps the full pre-reserved
+/// capacity (`Vec::clone` only reserves `len`, which would make the first
+/// post-restore cycles reallocate and void the zero-alloc guarantee).
+impl Clone for PacketTotals {
+    fn clone(&self) -> PacketTotals {
+        let mut entries = Vec::with_capacity(self.fetch_queue + self.issue_queue);
+        entries.extend_from_slice(&self.entries);
+        PacketTotals { entries, fetch_queue: self.fetch_queue, issue_queue: self.issue_queue }
+    }
 }
 
 impl PacketTotals {
@@ -193,6 +204,7 @@ impl PacketTotals {
 }
 
 /// Per-context (per-SMT-thread) machine state.
+#[derive(Clone)]
 struct Context {
     regs: RegFile,
     al: ActiveList,
@@ -229,6 +241,12 @@ impl Context {
 /// The simulated core. Construct with [`Core::new`], drive with
 /// [`Core::run`], inspect with [`Core::stats`] and the architectural-state
 /// accessors.
+///
+/// `Clone` is derived over the *entire* ownership tree (contexts, queues,
+/// predictors, memory hierarchy, statistics), which is what makes
+/// [`Core::snapshot`] exact: a clone is indistinguishable from the
+/// original under every subsequent `step()`.
+#[derive(Clone)]
 pub struct Core {
     cfg: CoreConfig,
     cycle: u64,
@@ -481,6 +499,19 @@ impl Core {
     /// Runs until completion, detection, or `max_cycles`. Wall-clock time
     /// spent here accumulates into [`SimStats::wall_nanos`] for
     /// throughput accounting ([`SimStats::cycles_per_sec`]).
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Freezes the complete simulation state — contexts, queues,
+    /// predictors, the memory hierarchy, and statistics — into a
+    /// restore-exact [`CoreSnapshot`]. The original core is untouched and
+    /// both copies evolve identically under subsequent [`Core::step`]s.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot { core: self.clone() }
+    }
+
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let t0 = std::time::Instant::now();
         let mut watchdog_fired = false;
@@ -1309,8 +1340,18 @@ impl Core {
     /// split payload RAMs (the paper's fix, §4.5) only the leading thread's
     /// RAM is modeled as defective, so the two copies can never be corrupted
     /// identically.
+    /// Frontend corruption hook; inert before the plan's arming cycle
+    /// (wear-out faults develop mid-run).
+    fn corrupt_fetch(&self, way: usize, word: u32) -> u32 {
+        if self.cycle < self.plan.arm_cycle() {
+            word
+        } else {
+            self.plan.corrupt_frontend(way, word)
+        }
+    }
+
     fn fault_value(&self, ctx: usize, way: usize, payload_slot: usize, v: u64) -> u64 {
-        if self.plan.is_empty() {
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
             return v;
         }
         let v = self.plan.corrupt_backend(way, v);
@@ -1837,7 +1878,7 @@ impl Core {
             }
             let front_way = ((pc >> 2) % width) as usize;
             let word = self.mem.read_u32(pc);
-            let raw = self.plan.corrupt_frontend(front_way, word);
+            let raw = self.corrupt_fetch(front_way, word);
             let inst = decode(raw).unwrap_or(Inst::Nop);
             // `word` (not `raw`) is what the DTQ will carry: the trailing
             // copy applies its own way's corruption to the pristine bits.
@@ -1964,7 +2005,7 @@ impl Core {
                     self.trace_uop(FlightKind::Fetch, id);
                 }
                 Slot::Inst(p) => {
-                    let raw = self.plan.corrupt_frontend(slot, p.raw);
+                    let raw = self.corrupt_fetch(slot, p.raw);
                     let inst = decode(raw).ok();
                     // A decode that disagrees with the leading structure
                     // (class or memory behaviour) would derail the virtual
@@ -2002,6 +2043,59 @@ impl Core {
                 }
             }
         }
+    }
+}
+
+/// A frozen, restore-exact copy of a [`Core`] mid-simulation, taken with
+/// [`Core::snapshot`].
+///
+/// The snapshot owns a deep copy of the entire simulation state, so it
+/// outlives the core it came from and can mint any number of independent
+/// continuations. Two uses:
+///
+/// - [`CoreSnapshot::restore`] resumes the *same* run — stepping the
+///   restored core is bit-identical to stepping the original.
+/// - [`CoreSnapshot::fork`] substitutes a fault plan armed *after* the
+///   snapshot point — the fork-at-injection path. Because every fault
+///   hook is inert before the plan's arming cycle, a run forked at cycle
+///   `C` with a plan armed at `C+1` is bit-identical to a cold run from
+///   cycle 0 with the same armed plan: both simulate cycles `1..=C`
+///   fault-free and first corrupt at `C+1`.
+#[derive(Clone)]
+pub struct CoreSnapshot {
+    core: Core,
+}
+
+impl CoreSnapshot {
+    /// The cycle the snapshot was taken at.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// A fresh core continuing the snapshotted run, fault plan unchanged.
+    pub fn restore(&self) -> Core {
+        self.core.clone()
+    }
+
+    /// A fresh core continuing from the snapshot point under `plan` — the
+    /// injection fork.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan would already have fired inside the simulated
+    /// prefix (non-empty plan with `arm_cycle() <= cycle()` on a snapshot
+    /// past cycle 0) — such a fork could not be equivalent to a
+    /// replay-from-zero run.
+    pub fn fork(&self, plan: FaultPlan) -> Core {
+        assert!(
+            self.core.cycle == 0 || plan.is_empty() || plan.arm_cycle() > self.core.cycle,
+            "fault plan arms at cycle {} but the snapshot already simulated {} fault-free cycles",
+            plan.arm_cycle(),
+            self.core.cycle,
+        );
+        let mut core = self.core.clone();
+        core.plan = plan;
+        core
     }
 }
 

@@ -66,7 +66,7 @@ struct DtqEntry {
 ///
 /// Allocation returns a stable index used to record or squash the entry
 /// later; indices are never reused while the entry is resident.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dtq {
     entries: std::collections::VecDeque<DtqEntry>,
     /// Allocation index of the current front entry.

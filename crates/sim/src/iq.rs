@@ -14,7 +14,7 @@
 use crate::uop::UopId;
 
 /// The unified issue queue shared by both SMT contexts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IssueQueue {
     capacity: usize,
     /// Resident uops in dispatch (age) order, oldest first.

@@ -45,7 +45,7 @@ mod stats;
 pub mod trace;
 mod uop;
 
-pub use crate::core::{CommitRecord, Core, MemEffect, FLIGHT_CAPACITY, LEADING, TRAILING};
+pub use crate::core::{CommitRecord, Core, CoreSnapshot, MemEffect, FLIGHT_CAPACITY, LEADING, TRAILING};
 pub use config::{table1, CoreConfig, FuCounts, FuLatencies, Mode, ShuffleAlgo};
 pub use detect::{DetectionEvent, DetectionKind, RunOutcome};
 pub use dtq::{Dtq, DtqPayload};

@@ -25,7 +25,7 @@ pub struct LsqEntry {
 /// Disambiguation is conservative: a load may issue only when every older
 /// store in the queue has executed (address and data known). Forwarding is
 /// byte-granular across all older stores.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Lsq {
     entries: std::collections::VecDeque<LsqEntry>,
     capacity: usize,

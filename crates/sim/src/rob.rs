@@ -8,7 +8,7 @@ use crate::uop::UopId;
 /// (leading issue order), so its entries are allocated by *virtual index*
 /// (§4.3.1): the DTQ's program-order sequence number is translated to a
 /// ring slot, leaving holes for not-yet-fetched older instructions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ActiveList {
     slots: Vec<Option<(u64, UopId)>>, // (seq, uop)
     capacity: usize,

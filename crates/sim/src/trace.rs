@@ -413,7 +413,7 @@ impl TraceState {
 /// `Off` (the default) makes every hook a single discriminant branch;
 /// `On` carries the pre-allocated [`TraceState`] behind a `Box` so the
 /// disabled core pays no size cost either.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub enum Tracer {
     /// No recording: every hook is a no-op.
     #[default]

@@ -183,7 +183,7 @@ impl Uop {
 ///
 /// Handles ([`UopId`]) are invalidated on removal, so a stale id from a
 /// squashed instruction can never silently alias a new one.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct UopSlab {
     slots: Vec<Option<Uop>>,
     gens: Vec<u32>,

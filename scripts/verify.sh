@@ -32,6 +32,22 @@ rendered="$(cargo run --release -q --offline -p blackjack-bench --bin bj-trace -
 echo "$rendered" | grep -q "flight recorder:"
 echo "$rendered" | grep -q "detection:"
 
+echo "== tier-1: BJ_SNAPSHOT equivalence smoke (ext_detection, gzip) =="
+# The fork-at-injection path must be invisible in the report: stdout is
+# byte-identical with snapshots off (replay from cycle 0) and on.
+snap_off="$(BJ_SCALE=1 BJ_SNAPSHOT=0 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+snap_on="$(BJ_SCALE=1 BJ_SNAPSHOT=1 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+[ -n "$snap_on" ]
+diff <(printf '%s' "$snap_off") <(printf '%s' "$snap_on")
+
+echo "== tier-1: bench_snapshot (refreshes BENCH_snapshot.json) =="
+# Full-sweep replay-vs-fork timing; asserts the reports match and
+# requires the measured speedup recorded in BENCH_snapshot.json.
+BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin bench_snapshot >/dev/null
+grep -q '"reports_identical": true' BENCH_snapshot.json
+
 echo "== tier-1: bj-fuzz smoke (fixed seed, 50 iterations) =="
 # Differential fuzz of the core against the interpreter: zero
 # mismatches, zero fault-free false detections, all guaranteed-site

@@ -139,6 +139,49 @@ impl Campaign {
             .collect()
     }
 
+    /// Two-phase campaign: build shared per-group state in parallel, then
+    /// fan out jobs that borrow it read-only.
+    ///
+    /// `setups[g]` produces group `g`'s shared state (a program + golden
+    /// run, a snapshot chain, …); each `(g, job)` in `jobs` then runs with
+    /// `&` access to that state. Both phases go through [`Campaign::run`],
+    /// so results come back in job order and are bit-identical for any
+    /// worker count. The setup phase is a barrier — no job starts until
+    /// every group's state exists — which is what lets jobs index any
+    /// group, not just their own.
+    ///
+    /// Returns the group states alongside the job results — reports often
+    /// need facts computed during setup (schedules, analyses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job names a group index with no setup.
+    pub fn run_staged<G, S, T, F>(&self, setups: Vec<S>, jobs: Vec<(usize, F)>) -> (Vec<G>, Vec<T>)
+    where
+        G: Send + Sync,
+        S: FnOnce() -> G + Send,
+        T: Send,
+        F: FnOnce(&G) -> T + Send,
+    {
+        let groups = self.run(setups);
+        let groups_ref = &groups;
+        let results = self.run(
+            jobs.into_iter()
+                .map(|(g, f)| {
+                    move || {
+                        f(groups_ref.get(g).unwrap_or_else(|| {
+                            panic!(
+                                "job references group {g} but only {} setups ran",
+                                groups_ref.len()
+                            )
+                        }))
+                    }
+                })
+                .collect(),
+        );
+        (groups, results)
+    }
+
     /// [`Campaign::run`] plus wall-clock timing, for throughput
     /// accounting.
     pub fn run_timed<T, F>(&self, jobs: Vec<F>) -> (Vec<T>, Duration)
@@ -363,6 +406,19 @@ mod tests {
         assert_eq!(got.len(), 40);
         for (slot, (i, _)) in got.iter().enumerate() {
             assert_eq!(slot as u64, *i, "result landed in the wrong slot");
+        }
+    }
+
+    #[test]
+    fn run_staged_shares_group_state_in_job_order() {
+        for workers in [1, 4] {
+            let setups: Vec<_> = (0..3u64).map(|g| move || g * 100).collect();
+            let jobs: Vec<(usize, _)> =
+                (0..12u64).map(|i| ((i % 3) as usize, move |base: &u64| base + i)).collect();
+            let (groups, got) = Campaign::with_workers(workers).run_staged(setups, jobs);
+            assert_eq!(groups, vec![0, 100, 200], "{workers} workers: setups in group order");
+            let expect: Vec<u64> = (0..12).map(|i| (i % 3) * 100 + i).collect();
+            assert_eq!(got, expect, "{workers} workers");
         }
     }
 

@@ -173,6 +173,18 @@ pub fn flag_from_env(var: &'static str, default: bool) -> Result<bool, EnvError>
     }
 }
 
+/// Reads the `BJ_SNAPSHOT` flag: whether injection campaigns share the
+/// fault-free prefix through snapshot forks (default) or replay every run
+/// from cycle 0. The two paths produce byte-identical reports; the flag
+/// exists so the equivalence is checkable and the old path benchmarkable.
+///
+/// # Errors
+///
+/// [`EnvError::NotAFlag`] for set, non-empty, non-flag values.
+pub fn snapshot_from_env() -> Result<bool, EnvError> {
+    flag_from_env("BJ_SNAPSHOT", true)
+}
+
 /// Reads `var` from the environment as a path that must be writable
 /// (used by `BJ_TRACE`).
 ///
@@ -322,5 +334,21 @@ mod tests {
         assert_eq!(positive_from_env::<u32>("BJ_ENVCFG_TEST_UNSET"), Ok(None));
         assert_eq!(flag_from_env("BJ_ENVCFG_TEST_UNSET", true), Ok(true));
         assert_eq!(flag_from_env("BJ_ENVCFG_TEST_UNSET", false), Ok(false));
+    }
+
+    #[test]
+    fn snapshot_flag_accepts_and_rejects_like_prune() {
+        // BJ_SNAPSHOT goes through the same flag grammar as BJ_PRUNE.
+        assert_eq!(parse_flag("BJ_SNAPSHOT", "1"), Ok(true));
+        assert_eq!(parse_flag("BJ_SNAPSHOT", "0"), Ok(false));
+        let err = parse_flag("BJ_SNAPSHOT", "fork").unwrap_err();
+        assert_eq!(err, EnvError::NotAFlag { var: "BJ_SNAPSHOT", value: "fork".to_string() });
+        assert!(err.to_string().contains("BJ_SNAPSHOT"));
+        // Unset defaults to on (the optimized path); the harness-facing
+        // wrapper only consults the real variable, so it can only be
+        // exercised here when the suite's environment leaves it unset.
+        if std::env::var("BJ_SNAPSHOT").is_err() {
+            assert_eq!(snapshot_from_env(), Ok(true));
+        }
     }
 }

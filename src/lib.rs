@@ -14,8 +14,10 @@ pub use blackjack_workloads as workloads;
 mod campaign;
 pub mod envcfg;
 mod experiment;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use campaign::{Campaign, CampaignStats, CampaignTrace, JobTiming};
 pub use envcfg::EnvError;
 pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};
+pub use snapshot::{arming_schedule, SnapshotChain};

@@ -1,0 +1,167 @@
+//! # Fork-at-injection: sharing the fault-free prefix of injection runs
+//!
+//! Every injection run in a campaign sharing a (benchmark, config, mode)
+//! triple is identical up to its fault's arming cycle — the hardware is
+//! healthy until the wear-out defect develops. Replaying that common
+//! prefix from cycle 0 for every fault site dominates campaign wall time.
+//! This module simulates the prefix *once*: a fault-free core is driven
+//! forward, pausing one cycle before each distinct arming point to take a
+//! [`CoreSnapshot`], and each injection job is handed a cheap
+//! [`SnapshotChain::fork`] instead of a cold `Core::new`.
+//!
+//! **Why the fork is exact.** Every fault hook in the core is inert
+//! before the plan's arming cycle, so a faulted run's state at cycle
+//! `arm - 1` equals the fault-free state at `arm - 1` — which is exactly
+//! what the snapshot holds. `Core::run` compares against absolute cycle
+//! numbers, so the continuation simulates the same cycles the cold run
+//! would. The only difference is wall-clock telemetry
+//! (`SimStats::wall_nanos`), which no report includes.
+//!
+//! The chain is *incremental*: snapshots are taken in ascending arm order
+//! from one continuously advancing core, so building `k` snapshots costs
+//! one fault-free prefix, not `k`.
+
+use blackjack_faults::FaultPlan;
+use blackjack_sim::{Core, CoreSnapshot};
+
+/// Arming cycles for `sites` injection runs over a workload whose
+/// fault-free run lasts `fault_free_cycles` cycles: evenly spaced across
+/// the *late half* of the run, `arm_i = N/2 + i·N/(2·sites)`.
+///
+/// The late-half bias models wear-out (a defect present from power-on is
+/// what manufacturing test catches; the paper's target is faults that
+/// develop in the field) and maximizes the shared prefix. Arms are
+/// strictly within `[N/2, N)`, ascending, never 0 — site `i` keeps the
+/// `i`-th slot, so a site list and its schedule index identically.
+pub fn arming_schedule(fault_free_cycles: u64, sites: usize) -> Vec<u64> {
+    let n = fault_free_cycles;
+    (0..sites as u64).map(|i| (n / 2 + i * n / (2 * sites.max(1) as u64)).max(1)).collect()
+}
+
+/// Snapshots of one fault-free run, taken one cycle before each distinct
+/// arming point, ready to mint per-site injection cores.
+pub struct SnapshotChain {
+    /// `(arm_cycle, snapshot at arm_cycle - 1)`, ascending by arm.
+    snaps: Vec<(u64, CoreSnapshot)>,
+}
+
+impl SnapshotChain {
+    /// Builds the chain by driving `core` (which must be fault-free)
+    /// forward once, pausing at `arm - 1` for every distinct cycle in
+    /// `arms`. Duplicate and unsorted arms are fine — the chain stores
+    /// each distinct arm once, in ascending order.
+    ///
+    /// An arm past the run's completion still gets a snapshot (of the
+    /// completed state): forking it reproduces the cold run in which the
+    /// fault never fires.
+    pub fn build(mut core: Core, arms: &[u64]) -> SnapshotChain {
+        let mut distinct: Vec<u64> = arms.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut snaps = Vec::with_capacity(distinct.len());
+        for arm in distinct {
+            // Incremental: continues from the previous pause, never from
+            // cycle 0. `run` is a no-op once the core is done.
+            core.run(arm.saturating_sub(1));
+            snaps.push((arm, core.snapshot()));
+        }
+        SnapshotChain { snaps }
+    }
+
+    /// A core continuing from the snapshot for `arm` under `plan` — the
+    /// per-site injection fork. `plan` must be armed at `arm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arm` was not in the arms the chain was built with, or
+    /// if `plan.arm_cycle() != arm`.
+    pub fn fork(&self, arm: u64, plan: FaultPlan) -> Core {
+        assert_eq!(plan.arm_cycle(), arm, "plan must be armed at the requested snapshot");
+        let i = self
+            .snaps
+            .binary_search_by_key(&arm, |&(a, _)| a)
+            .unwrap_or_else(|_| panic!("no snapshot for arming cycle {arm}"));
+        self.snaps[i].1.fork(plan)
+    }
+
+    /// Number of distinct snapshots held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True if the chain holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// The distinct arming cycles, ascending.
+    pub fn arms(&self) -> Vec<u64> {
+        self.snaps.iter().map(|&(a, _)| a).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_faults::{FaultSite, HardFault};
+    use blackjack_sim::{CoreConfig, Mode};
+    use blackjack_workloads::{build, Benchmark};
+
+    #[test]
+    fn schedule_is_late_ascending_and_indexable() {
+        let arms = arming_schedule(10_000, 8);
+        assert_eq!(arms.len(), 8);
+        assert_eq!(arms[0], 5_000);
+        for w in arms.windows(2) {
+            assert!(w[0] <= w[1], "schedule must ascend");
+        }
+        assert!(*arms.last().unwrap() < 10_000, "arms stay inside the run");
+        // Degenerate inputs stay usable.
+        assert_eq!(arming_schedule(10, 0), Vec::<u64>::new());
+        assert!(arming_schedule(0, 3).iter().all(|&a| a == 1), "arms never hit cycle 0");
+    }
+
+    #[test]
+    fn chain_dedups_and_forks_exactly() {
+        let prog = build(Benchmark::Gzip, 1);
+        let cfg = CoreConfig::with_mode(Mode::Srt);
+
+        // Fault-free length for a meaningful schedule.
+        let mut probe = Core::new(cfg.clone(), &prog, FaultPlan::new());
+        assert!(probe.run(10_000_000).completed());
+        let n = probe.cycle();
+
+        let arms = vec![n / 2, n / 2, n * 3 / 4];
+        let chain = SnapshotChain::build(Core::new(cfg.clone(), &prog, FaultPlan::new()), &arms);
+        assert_eq!(chain.len(), 2, "duplicate arms collapse");
+        assert_eq!(chain.arms(), vec![n / 2, n * 3 / 4]);
+
+        let fault = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 3);
+        for &arm in &[n / 2, n * 3 / 4] {
+            let plan = FaultPlan::single(fault).arm_at(arm);
+            let mut forked = chain.fork(arm, plan.clone());
+            let forked_out = forked.run(10_000_000);
+            let mut cold = Core::new(cfg.clone(), &prog, plan);
+            let cold_out = cold.run(10_000_000);
+            assert_eq!(forked_out, cold_out, "arm {arm}: outcome must match cold run");
+            assert_eq!(forked.cycle(), cold.cycle(), "arm {arm}: cycle count must match");
+            assert_eq!(
+                forked.mem().first_difference(cold.mem()),
+                None,
+                "arm {arm}: memory must match"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshot for arming cycle")]
+    fn fork_of_unknown_arm_panics() {
+        let prog = build(Benchmark::Gzip, 1);
+        let chain = SnapshotChain::build(
+            Core::new(CoreConfig::with_mode(Mode::Single), &prog, FaultPlan::new()),
+            &[100],
+        );
+        let fault = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 3);
+        chain.fork(200, FaultPlan::single(fault).arm_at(200));
+    }
+}

@@ -540,12 +540,18 @@ pub struct CampaignSummary {
 
 /// Nearest-rank percentile of an unsorted sample (p in 0..=100).
 pub fn percentile_nanos(samples: &mut [u64], p: u64) -> u64 {
-    if samples.is_empty() {
+    samples.sort_unstable();
+    sorted_percentile(samples, p)
+}
+
+/// Nearest-rank percentile of an already-sorted sample — callers taking
+/// several percentiles of one sample sort once and index repeatedly.
+pub fn sorted_percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
         return 0;
     }
-    samples.sort_unstable();
-    let rank = ((samples.len() as u64 * p).div_ceil(100)).max(1) as usize;
-    samples[rank.min(samples.len()) - 1]
+    let rank = ((sorted.len() as u64 * p).div_ceil(100)).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// Builds the summary from raw JSONL lines (any non-`campaign`/`job`
@@ -584,8 +590,9 @@ pub fn summarize_campaign(lines: &[&str]) -> Option<CampaignSummary> {
     if !seen_campaign && runs.is_empty() {
         return None;
     }
-    s.p50_nanos = percentile_nanos(&mut runs.clone(), 50);
-    s.p95_nanos = percentile_nanos(&mut runs, 95);
+    runs.sort_unstable();
+    s.p50_nanos = sorted_percentile(&runs, 50);
+    s.p95_nanos = sorted_percentile(&runs, 95);
     s.busy = per_worker
         .iter()
         .map(|&b| if s.wall_nanos == 0 { 0.0 } else { b as f64 / s.wall_nanos as f64 })
@@ -627,6 +634,12 @@ mod tests {
         assert_eq!(percentile_nanos(&mut v.clone(), 95), 95);
         assert_eq!(percentile_nanos(&mut v, 100), 100);
         assert_eq!(percentile_nanos(&mut [], 50), 0);
+        // The sorted-input fast path agrees with the sorting wrapper.
+        let sorted: Vec<u64> = (1..=100).collect();
+        for p in [0, 1, 50, 95, 100] {
+            assert_eq!(sorted_percentile(&sorted, p), percentile_nanos(&mut sorted.clone(), p));
+        }
+        assert_eq!(sorted_percentile(&[], 50), 0);
         assert_eq!(percentile_nanos(&mut [7], 50), 7);
     }
 
