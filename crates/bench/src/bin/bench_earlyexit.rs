@@ -1,0 +1,87 @@
+//! Early-exit speedup benchmark: runs the full `ext_detection` campaign
+//! under the PR-6-era snapshot baseline (`BJ_EARLYEXIT=0` semantics:
+//! fork-at-injection, every run simulated to its natural end) and under
+//! the early-exit path (`BJ_EARLYEXIT=1`, the default), verifies the
+//! reports are byte-identical, and writes the wall-time ratio to
+//! `BENCH_earlyexit.json` together with the per-mechanism attribution
+//! (how many runs each of activation / convergence / watchdog cut
+//! short).
+//!
+//! The two legs are *interleaved* and each leg's wall time is the
+//! minimum over the repetitions: on a thermally-throttling single-CPU
+//! host, back-to-back legs can differ 20% on clock drift alone, and the
+//! min-of-interleaved estimator is what makes the recorded ratio
+//! reproducible rather than an artifact of which leg drew the hot
+//! interval.
+//!
+//! Usage: `cargo run --release -p blackjack-bench --bin bench_earlyexit`
+//! (optionally under `BJ_THREADS=n`).
+
+use std::time::Instant;
+
+use blackjack::{envcfg, Campaign};
+use blackjack_bench::detection::{
+    default_benchmarks, run_detection, DetectionConfig, EarlyExitKind,
+};
+
+const REPS: usize = 5;
+
+fn main() {
+    let campaign = Campaign::from_env_or_exit();
+    let prune =
+        envcfg::flag_from_env("BJ_PRUNE", true).unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let benchmarks = default_benchmarks();
+    let base = DetectionConfig { prune, snapshot: true, ..DetectionConfig::default() };
+    let baseline_cfg = DetectionConfig { early_exit: false, ..base };
+    let earlyexit_cfg = DetectionConfig { early_exit: true, ..base };
+
+    let mut baseline_wall = f64::MAX;
+    let mut earlyexit_wall = f64::MAX;
+    let mut baseline_text = String::new();
+    let mut report = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let r = run_detection(&campaign, baseline_cfg, &benchmarks, false);
+        baseline_wall = baseline_wall.min(t.elapsed().as_secs_f64());
+        baseline_text = r.text;
+
+        let t = Instant::now();
+        let r = run_detection(&campaign, earlyexit_cfg, &benchmarks, false);
+        earlyexit_wall = earlyexit_wall.min(t.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one repetition ran");
+
+    assert_eq!(
+        baseline_text, report.text,
+        "the early-exit path must reproduce the baseline report byte for byte"
+    );
+
+    let count = |k: EarlyExitKind| {
+        report.early_exits.iter().filter(|e| **e == Some(k)).count()
+    };
+    let activation = count(EarlyExitKind::Activation);
+    let convergence = count(EarlyExitKind::Convergence);
+    let watchdog = count(EarlyExitKind::Watchdog);
+
+    let speedup = baseline_wall / earlyexit_wall.max(1e-9);
+    let json = format!(
+        "{{\n  \"campaign\": \"ext_detection\",\n  \"scale\": 1,\n  \"workers\": {},\n  \
+         \"jobs\": {},\n  \"reps\": {REPS},\n  \"reports_identical\": true,\n  \
+         \"baseline_wall_seconds\": {:.3},\n  \"earlyexit_wall_seconds\": {:.3},\n  \
+         \"speedup\": {:.2},\n  \"early_exits\": {{\n    \"activation\": {},\n    \
+         \"convergence\": {},\n    \"watchdog\": {},\n    \"total\": {}\n  }}\n}}\n",
+        campaign.workers(),
+        report.tallies.len(),
+        baseline_wall,
+        earlyexit_wall,
+        speedup,
+        activation,
+        convergence,
+        watchdog,
+        activation + convergence + watchdog,
+    );
+    std::fs::write("BENCH_earlyexit.json", &json).expect("write BENCH_earlyexit.json");
+    print!("{json}");
+    eprintln!("wrote BENCH_earlyexit.json");
+}

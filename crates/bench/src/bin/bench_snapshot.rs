@@ -15,20 +15,23 @@
 use std::time::Instant;
 
 use blackjack::{envcfg, Campaign};
-use blackjack_bench::detection::{default_benchmarks, run_detection};
+use blackjack_bench::detection::{default_benchmarks, run_detection, DetectionConfig};
 
 fn main() {
     let campaign = Campaign::from_env_or_exit();
     let prune =
         envcfg::flag_from_env("BJ_PRUNE", true).unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let benchmarks = default_benchmarks();
+    // Early exit stays off on both sides: this benchmark isolates what
+    // the snapshot fork alone buys (bench_earlyexit measures the rest).
+    let base = DetectionConfig { prune, early_exit: false, ..DetectionConfig::default() };
 
     let t0 = Instant::now();
-    let replay = run_detection(&campaign, prune, false, &benchmarks, false);
+    let replay = run_detection(&campaign, DetectionConfig { snapshot: false, ..base }, &benchmarks, false);
     let replay_wall = t0.elapsed();
 
     let t1 = Instant::now();
-    let forked = run_detection(&campaign, prune, true, &benchmarks, false);
+    let forked = run_detection(&campaign, DetectionConfig { snapshot: true, ..base }, &benchmarks, false);
     let snapshot_wall = t1.elapsed();
 
     assert_eq!(

@@ -126,7 +126,7 @@ fn render_runs(lines: &[&str]) -> usize {
         return 0;
     }
     println!();
-    println!("{:<28} {:>12} {:>12} {:>8}", "run", "cycles", "committed", "ipc");
+    println!("{:<28} {:>12} {:>12} {:>8} {:>10}", "run", "cycles", "committed", "ipc", "exit");
     for r in &runs {
         let label = json_str(r, "label").unwrap_or_default();
         let cycles = json_u64(r, "cycles").unwrap_or(0);
@@ -134,7 +134,10 @@ fn render_runs(lines: &[&str]) -> usize {
             .map(|v| v.iter().sum::<u64>())
             .unwrap_or(0);
         let ipc = if cycles == 0 { 0.0 } else { committed as f64 / cycles as f64 };
-        println!("{label:<28} {cycles:>12} {committed:>12} {ipc:>8.3}");
+        // Additive field: streams from before the early-exit layer
+        // simply show "-".
+        let exit = json_str(r, "exit_reason").unwrap_or_else(|| "-".to_string());
+        println!("{label:<28} {cycles:>12} {committed:>12} {ipc:>8.3} {exit:>10}");
     }
     runs.len()
 }

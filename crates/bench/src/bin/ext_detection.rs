@@ -5,8 +5,10 @@
 //! group runs its fault-free prefix once to fix the wear-out arming
 //! schedule, then fans one injection job per fault site over the campaign
 //! pool. With `BJ_SNAPSHOT=1` (the default) the jobs fork from snapshots
-//! of the shared prefix instead of replaying from cycle 0; the report is
-//! byte-identical either way, and for any `BJ_THREADS`.
+//! of the shared prefix instead of replaying from cycle 0; with
+//! `BJ_EARLYEXIT=1` (also the default) each run stops the moment its
+//! verdict is decided (`BJ_STALL_CYCLES` tunes the stall watchdog). The
+//! report is byte-identical on every path, and for any `BJ_THREADS`.
 //!
 //! `--bench <name>` restricts the sweep to one benchmark (used by the
 //! `verify.sh` equivalence smoke). `BJ_PRUNE=0` disables static pruning.
@@ -20,20 +22,20 @@ use std::time::Instant;
 use blackjack::sim::{Core, CoreConfig, RunOutcome};
 use blackjack::telemetry::TraceWriter;
 use blackjack::workloads::build;
-use blackjack::{envcfg, Campaign};
-use blackjack_bench::detection::{armed_plan, benchmarks_from_args, run_detection, MAX_CYCLES};
+use blackjack::Campaign;
+use blackjack_bench::detection::{
+    armed_plan, benchmarks_from_args, run_detection, DetectionConfig, MAX_CYCLES,
+};
 
 fn main() {
     let mut writer = TraceWriter::from_env_or_exit("ext_detection");
     let campaign = Campaign::from_env_or_exit();
-    let prune =
-        envcfg::flag_from_env("BJ_PRUNE", true).unwrap_or_else(|e| envcfg::exit_invalid(&e));
-    let snapshot = envcfg::snapshot_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let cfg = DetectionConfig::from_env_or_exit();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let benchmarks = benchmarks_from_args(&args);
 
     let t0 = Instant::now();
-    let report = run_detection(&campaign, prune, snapshot, &benchmarks, writer.is_some());
+    let report = run_detection(&campaign, cfg, &benchmarks, writer.is_some());
     print!("{}", report.text);
 
     if let (Some(w), Some(sched)) = (writer.as_mut(), report.trace.as_ref()) {
@@ -65,11 +67,13 @@ fn main() {
          fault that wedged a thread; the watchdog reported it (in hardware,\n\
          a timeout is itself a detection)."
     );
+    let early: usize = report.early_exits.iter().filter(|e| e.is_some()).count();
     eprintln!(
-        "[{} injection runs in {:.1?}; {} workers; snapshot {}]",
+        "[{} injection runs in {:.1?}; {} workers; snapshot {}; early exit {}]",
         report.tallies.len(),
         t0.elapsed(),
         campaign.workers(),
-        if snapshot { "on" } else { "off" },
+        if cfg.snapshot { "on" } else { "off" },
+        if cfg.early_exit { format!("on ({early} runs cut short)") } else { "off".to_string() },
     );
 }

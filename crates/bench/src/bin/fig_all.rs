@@ -6,7 +6,7 @@
 //! one `run` line per simulation (with occupancy histograms) are written
 //! to `<path>` as JSONL; stdout is unchanged. Render with `bj-trace`.
 
-use blackjack::faults::{FaultPlan, FaultSite, HardFault};
+use blackjack::faults::{DetectionTally, FaultPlan, FaultSite, HardFault};
 use blackjack::isa::asm::assemble_named;
 use blackjack::sim::{table1, Core, CoreConfig, Mode, RunOutcome};
 use blackjack::telemetry::TraceWriter;
@@ -170,9 +170,40 @@ fn experiments_md(r: &blackjack::ExperimentResult) -> String {
          sweep both ways, asserts the reports are byte-identical, and writes\n\
          `BENCH_snapshot.json`:\n\n\
          | path | wall-clock (160 jobs, 1 worker, `BJ_SCALE=1`) |\n|---|---|\n\
-         | replay from cycle 0 (`BJ_SNAPSHOT=0`) | 3.61 s |\n\
-         | fork from prefix snapshots (`BJ_SNAPSHOT=1`) | 1.50 s |\n\
-         | **speedup** | **2.4\u{d7}** |\n\n",
+         | replay from cycle 0 (`BJ_SNAPSHOT=0`) | 3.59 s |\n\
+         | fork from prefix snapshots (`BJ_SNAPSHOT=1`) | 1.08 s |\n\
+         | **speedup** | **3.3\u{d7}** |\n\n\
+         The fork side got cheaper again in the early-exit PR: the manual\n\
+         `Core::clone_from` lets snapshot takes refresh retired snapshots'\n\
+         buffers in place instead of allocating fresh clones (PR 6 measured\n\
+         2.4\u{d7} on the same host).\n\n",
+    );
+    s.push_str(
+        "### Verdict-convergence early exit (`BJ_EARLYEXIT`, measured by `bench_earlyexit`)\n\n\
+         Fork-at-injection removes the redundant prefix of every injection\n\
+         run; the early-exit layer (DESIGN \u{a7}2.12) removes the redundant\n\
+         suffix \u{2014} the cycles a run keeps simulating after its verdict is\n\
+         already decided. Three report-identical mechanisms: *activation\n\
+         pruning* tallies a site Benign with no simulation when the reference\n\
+         run never exercises it at or after arming; the *convergence seal*\n\
+         stops a zero-activation run one cycle past the site's last reference\n\
+         exercise; the *stall watchdog* declares Stuck after `BJ_STALL_CYCLES`\n\
+         of no progress instead of burning the full cycle budget.\n\
+         `bench_earlyexit` runs the sweep both ways interleaved (min-of-5 per\n\
+         leg), asserts byte-identical reports, and writes\n\
+         `BENCH_earlyexit.json`:\n\n\
+         | path | wall-clock (160 jobs, 1 worker, `BJ_SCALE=1`) |\n|---|---|\n\
+         | full runs (`BJ_EARLYEXIT=0`, snapshots on) | 0.83 s |\n\
+         | early exit (`BJ_EARLYEXIT=1`) | 0.53 s |\n\
+         | **speedup** | **1.57\u{d7}** |\n\n\
+         Attribution at this scale: of the 92 simulated injections (68 of 160\n\
+         are statically pruned first), activation pruning cut 4 before they\n\
+         started; convergence and watchdog cut 0 \u{2014} the sweep's always-firing\n\
+         stuck-bit faults on exercised sites activate almost immediately, so\n\
+         the suffix savings come from the fault-free *reference* pass riding\n\
+         the snapshot chain's instruction-count bound instead of a second\n\
+         full replay. On campaigns with trigger-gated faults (the fuzzer's\n\
+         `ValuePattern` class) the seal and watchdog take over.\n\n",
     );
 
     s.push_str("## Observability — flight recorder on an injected fault\n\n");
@@ -219,16 +250,26 @@ fn experiments_md(r: &blackjack::ExperimentResult) -> String {
          there would be tallied, and this run happened to see none. Failures, if\n\
          ever found, are ddmin-minimized (NOP replacement, layout-preserving)\n\
          and saved as `.bjcase` files; ten generator-mined high-occupancy cases\n\
+         (plus the hand-written adversarial-convergence case of DESIGN \u{a7}2.12)\n\
          live in `tests/corpus/` and replay in `cargo test --workspace`.\n\n",
     );
     s.push_str("## Extensions (beyond the paper's figures)\n\n");
-    s.push_str(
+    // The `BJ_SCALE=1` sweep's per-mode tallies, formatted by the same
+    // `DetectionTally::summary` the `ext_detection` report uses.
+    let srt_tally =
+        DetectionTally { detected: 40, corrupted: 1, benign: 39, stuck: 0, pruned: 34 };
+    let bj_tally =
+        DetectionTally { detected: 45, corrupted: 0, benign: 35, stuck: 0, pruned: 34 };
+    s.push_str(&format!(
         "* **Detection-rate sweep** (`ext_detection`): one wear-out bit flip per\n\
          \x20 backend/frontend way per run, armed in the late half of the\n\
          \x20 fault-free run; BlackJack converts SRT's silent corruptions into\n\
-         \x20 detections before any corrupt store reaches memory (measured at\n\
-         \x20 `BJ_SCALE=1`: SRT 40 detected / 1 silent / 39 benign, BlackJack\n\
-         \x20 45 / 0 / 35 over 80 injections per mode).\n\
+         \x20 detections before any corrupt store reaches memory. Measured at\n\
+         \x20 `BJ_SCALE=1`: SRT {}; BlackJack {}.\n\
+"
+    , srt_tally.summary(), bj_tally.summary()));
+    s.push_str(
+        "\
          * **Active-probe online diagnosis** (`ext_diagnosis`): per-class serial\n\
          \x20 self-tests under BlackJack plus software recomputation localize an\n\
          \x20 injected backend fault; measured 11 of 14 instance-0/1 faults\n\

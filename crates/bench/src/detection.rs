@@ -2,10 +2,11 @@
 //! under injected wear-out faults, per fault site, for SRT and BlackJack.
 //!
 //! Extracted from the `ext_detection` binary so the harness, the
-//! `bench_snapshot` measurement, and the equivalence tests all drive one
-//! implementation. The report text is fully deterministic — byte-identical
-//! for any worker count and for either value of `BJ_SNAPSHOT` — which is
-//! the campaign's testable contract.
+//! `bench_snapshot` / `bench_earlyexit` measurements, and the equivalence
+//! tests all drive one implementation. The report text is fully
+//! deterministic — byte-identical for any worker count and for either
+//! value of `BJ_SNAPSHOT` and `BJ_EARLYEXIT` — which is the campaign's
+//! testable contract.
 //!
 //! **Fault model.** Each site gets a stuck-at-style bit flip that *arms*
 //! partway through the run ([`blackjack::arming_schedule`]): the hardware
@@ -15,25 +16,39 @@
 //! mode) pair's fault-free cycle count, so every injection run sharing a
 //! (benchmark, mode) is identical up to its arming point.
 //!
-//! **Two execution paths.** With `snapshot` off, every injection run
-//! replays from cycle 0. With it on (the default), each (mode, benchmark)
-//! group simulates the fault-free prefix once, snapshotting one cycle
-//! before each distinct arming point ([`blackjack::SnapshotChain`]), and
-//! every injection job forks from its snapshot. Both paths compute the
-//! arming schedule from the same fault-free pass, so their reports match
-//! byte for byte.
+//! **Execution paths.** With `snapshot` off, every injection run replays
+//! from cycle 0. With it on (the default), each (mode, benchmark) group
+//! simulates the fault-free prefix once and every injection job forks
+//! from a snapshot ([`blackjack::SnapshotChain`]). Independently,
+//! `early_exit` (default on) stops each run the moment its verdict is
+//! decided, by three mechanisms (see [`EarlyExitKind`]); with it on, the
+//! group's fault-free pass is *instrumented* ([`SiteUsage`]) and — fork
+//! path — doubles as the periodic snapshot builder, so one reference
+//! pass does triple duty. All four path combinations compute the same
+//! arming schedule and the same verdicts, so their reports match byte
+//! for byte (`detection_equiv` tests enforce this).
 
+use std::sync::Arc;
+
+use blackjack::envcfg::DEFAULT_STALL_CYCLES;
 use blackjack::faults::{
     Corruption, DetectionOutcome, DetectionTally, FaultPlan, FaultSite, HardFault, Trigger,
 };
 use blackjack::isa::{Interp, Program};
-use blackjack::sim::{Core, CoreConfig, FuCounts, Mode, RunOutcome};
+use blackjack::sim::{
+    Core, CoreConfig, EarlyExitReason, FuCounts, Mode, RunOutcome, SiteUsage,
+};
 use blackjack::workloads::{build, Benchmark};
 use blackjack::{arming_schedule, Campaign, CampaignTrace, SnapshotChain};
 use blackjack_analysis::SiteAnalysis;
 
 /// Cycle budget per injection run — far above anything the kernels need.
 pub const MAX_CYCLES: u64 = 100_000_000;
+
+/// Snapshot spacing for the early-exit path's periodic chain: forks catch
+/// up at most this many fault-free cycles, while the chain stays a few
+/// dozen snapshots deep for the campaign kernels.
+pub const SNAPSHOT_INTERVAL: u64 = 512;
 
 /// The modes under test, in report order.
 pub const MODES: [Mode; 2] = [Mode::Srt, Mode::BlackJack];
@@ -65,15 +80,87 @@ pub fn armed_plan(site: FaultSite, arm: u64) -> FaultPlan {
     FaultPlan::single(fault).arm_at(arm)
 }
 
+/// The campaign's switches, normally read from the environment
+/// ([`DetectionConfig::from_env_or_exit`]). All four combinations of
+/// `snapshot` × `early_exit` produce byte-identical reports; the flags
+/// exist so the equivalence is checkable and each optimization
+/// benchmarkable in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectionConfig {
+    /// Skip simulating sites statically proven unexercisable
+    /// (`BJ_PRUNE`, default on).
+    pub prune: bool,
+    /// Fork injection runs from fault-free-prefix snapshots instead of
+    /// replaying from cycle 0 (`BJ_SNAPSHOT`, default on).
+    pub snapshot: bool,
+    /// Stop each injection run the moment its verdict is decided
+    /// (`BJ_EARLYEXIT`, default on).
+    pub early_exit: bool,
+    /// The early-exit stall watchdog's no-progress window in cycles
+    /// (`BJ_STALL_CYCLES`).
+    pub stall_cycles: u64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> DetectionConfig {
+        DetectionConfig {
+            prune: true,
+            snapshot: true,
+            early_exit: true,
+            stall_cycles: DEFAULT_STALL_CYCLES,
+        }
+    }
+}
+
+impl DetectionConfig {
+    /// Reads `BJ_PRUNE`, `BJ_SNAPSHOT`, `BJ_EARLYEXIT` and
+    /// `BJ_STALL_CYCLES`, exiting with status 2 (the harness convention)
+    /// on a malformed value.
+    pub fn from_env_or_exit() -> DetectionConfig {
+        use blackjack::envcfg;
+        let or_exit = |r: Result<bool, envcfg::EnvError>| {
+            r.unwrap_or_else(|e| envcfg::exit_invalid(&e))
+        };
+        DetectionConfig {
+            prune: or_exit(envcfg::flag_from_env("BJ_PRUNE", true)),
+            snapshot: or_exit(envcfg::snapshot_from_env()),
+            early_exit: or_exit(envcfg::earlyexit_from_env()),
+            stall_cycles: envcfg::stall_cycles_from_env()
+                .unwrap_or_else(|e| envcfg::exit_invalid(&e)),
+        }
+    }
+}
+
+/// Which early-exit mechanism decided a run before its natural end — the
+/// benchmark attribution. Deliberately *outside* [`DetectionTally`] and
+/// the report text, which must stay byte-identical with early exit off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarlyExitKind {
+    /// The reference pass never exercises the site at or after the
+    /// arming cycle, so the fault can never activate: benign with zero
+    /// simulation (the run is never even forked).
+    Activation,
+    /// The run reconverged — fault site quiescent, zero activations —
+    /// and the benign verdict was sealed mid-run.
+    Convergence,
+    /// No commit progress for the stall window: declared stuck without
+    /// burning the remaining cycle budget.
+    Watchdog,
+}
+
 /// One (mode, benchmark) group's shared read-only state, built once per
 /// campaign and borrowed by every one of the group's injection jobs.
 pub struct DetectionGroup {
+    /// The campaign switches the group was built under.
+    pub cfg: DetectionConfig,
     /// The mode every job in the group runs in.
     pub mode: Mode,
     /// The benchmark program.
     pub prog: Program,
     /// The completed golden (fault-free, functional) reference run.
-    pub golden: Interp,
+    /// Shared: the interpreter is mode-independent, so both modes'
+    /// groups for a benchmark hold the same run.
+    pub golden: Arc<Interp>,
     /// Static instruction-mix analysis, for pruning.
     pub analysis: SiteAnalysis,
     /// Cycles of the fault-free run in this mode — the arming-schedule
@@ -81,79 +168,176 @@ pub struct DetectionGroup {
     pub fault_free_cycles: u64,
     /// Per-site arming cycles, indexed like [`sites`].
     pub arms: Vec<u64>,
-    /// Snapshots one cycle before each distinct live arming point, when
-    /// the fork path is enabled.
+    /// Snapshots of the fault-free prefix, when the fork path is
+    /// enabled: exact per-arm pauses normally, periodic
+    /// ([`SNAPSHOT_INTERVAL`]) with early exit on.
     pub chain: Option<SnapshotChain>,
+    /// Per-site last-exercise cycles from the instrumented reference
+    /// pass — the early-exit activation schedule (`None` with early
+    /// exit off).
+    pub site_usage: Option<SiteUsage>,
 }
 
 impl DetectionGroup {
-    /// Builds the group: program + golden + analysis, then the fault-free
-    /// pass that fixes the arming schedule, then (fork path only) the
-    /// incremental snapshot chain over the non-pruned sites' arms.
-    pub fn build(mode: Mode, bench: Benchmark, prune: bool, snapshot: bool) -> DetectionGroup {
+    /// Drops the fork machinery — snapshot chain and usage schedule —
+    /// once every job in the group has run. The report only reads the
+    /// light fields (analysis, arms, cycle count), and freeing the
+    /// chain lets the next group's snapshots reuse the warm memory.
+    pub fn release_fork_state(&mut self) {
+        self.chain = None;
+        self.site_usage = None;
+    }
+
+    /// Builds the group: program + analysis, then the fault-free pass
+    /// that fixes the arming schedule. `golden` is the benchmark's
+    /// completed functional run ([`golden_run`]) — mode-independent, so
+    /// the caller builds it once per benchmark and shares it between the
+    /// modes' groups. With early exit on, the fault-free pass is
+    /// instrumented for site usage and (fork path) doubles as the
+    /// periodic snapshot builder; otherwise the fork path builds its
+    /// exact chain in a second pass over the non-pruned sites' arms.
+    pub fn build(
+        mode: Mode,
+        bench: Benchmark,
+        cfg: DetectionConfig,
+        golden: Arc<Interp>,
+    ) -> DetectionGroup {
         let prog = build(bench, 1);
-        let mut golden = Interp::new(&prog);
-        golden.run(50_000_000).expect("golden runs are fault-free");
         let analysis = SiteAnalysis::analyze(&prog, &FuCounts::default())
             .expect("workload programs are analyzable");
 
-        // Both paths run the fault-free pass: the arming schedule is
+        // Every path runs the fault-free pass: the arming schedule is
         // derived from its cycle count, and identical arms are what make
-        // the replay and fork reports byte-identical.
+        // all the paths' reports byte-identical.
         let mut ff = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
-        assert!(ff.run(MAX_CYCLES).completed(), "fault-free runs must complete");
-        let fault_free_cycles = ff.cycle();
+        if cfg.early_exit {
+            ff.enable_site_usage();
+        }
+        let (fault_free_cycles, site_usage, periodic) = if cfg.early_exit && cfg.snapshot {
+            let (chain, mut done) = SnapshotChain::build_periodic(
+                ff,
+                SNAPSHOT_INTERVAL,
+                MAX_CYCLES,
+                Some(golden.icount()),
+            );
+            (done.cycle(), done.take_site_usage(), Some(chain))
+        } else {
+            assert!(ff.run(MAX_CYCLES).completed(), "fault-free runs must complete");
+            (ff.cycle(), ff.take_site_usage(), None)
+        };
 
         let all = sites();
         let arms = arming_schedule(fault_free_cycles, all.len());
-        let chain = snapshot.then(|| {
-            // Pruned sites never simulate, so they contribute no
-            // snapshot; the chain pauses only at live arming points.
-            let live: Vec<u64> = all
-                .iter()
-                .zip(&arms)
-                .filter(|&(&s, _)| !(prune && analysis.prunable(s)))
-                .map(|(_, &a)| a)
-                .collect();
-            SnapshotChain::build(
-                Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new()),
-                &live,
-            )
-        });
-        DetectionGroup { mode, prog, golden, analysis, fault_free_cycles, arms, chain }
+        let chain = if cfg.early_exit {
+            periodic
+        } else {
+            cfg.snapshot.then(|| {
+                // Pruned sites never simulate, so they contribute no
+                // snapshot; the chain pauses only at live arming points.
+                let live: Vec<u64> = all
+                    .iter()
+                    .zip(&arms)
+                    .filter(|&(&s, _)| !(cfg.prune && analysis.prunable(s)))
+                    .map(|(_, &a)| a)
+                    .collect();
+                SnapshotChain::build(
+                    Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new()),
+                    &live,
+                )
+            })
+        };
+        DetectionGroup {
+            cfg,
+            mode,
+            prog,
+            golden,
+            analysis,
+            fault_free_cycles,
+            arms,
+            chain,
+            site_usage,
+        }
     }
 
-    /// One injection run: site `site_idx` of [`sites`], tallied. A pruned
-    /// site is tallied benign without simulating; otherwise the core
-    /// either forks from the group's chain or replays from cycle 0.
-    pub fn injection_tally(&self, site_idx: usize, prune: bool) -> DetectionTally {
+    /// One injection run: site `site_idx` of [`sites`], tallied, with the
+    /// early-exit mechanism that decided it (if any). A pruned site is
+    /// tallied benign without simulating; an activation-pruned site
+    /// likewise (mechanism 1); otherwise the core forks from the group's
+    /// chain (or replays from cycle 0) with mechanisms 2 and 3 armed when
+    /// early exit is on.
+    pub fn injection_tally(&self, site_idx: usize) -> (DetectionTally, Option<EarlyExitKind>) {
         let site = sites()[site_idx];
-        if prune && self.analysis.prunable(site) {
-            return DetectionTally::pruned_site();
+        if self.cfg.prune && self.analysis.prunable(site) {
+            return (DetectionTally::pruned_site(), None);
         }
         let arm = self.arms[site_idx];
+        let last = self.site_usage.as_ref().map(|u| u.last_use(site));
+        // Mechanism 1 — activation pruning. While a fault has zero
+        // activations its run is bit-identical to the fault-free run, so
+        // it follows the reference pass's exercise schedule; if that
+        // schedule never touches the site at or after the arming cycle,
+        // the fault can never activate and the verdict is benign with no
+        // simulation at all.
+        if let Some(last) = last {
+            if last.is_none_or(|l| l < arm) {
+                return (
+                    DetectionTally::of(DetectionOutcome::Benign),
+                    Some(EarlyExitKind::Activation),
+                );
+            }
+        }
         let plan = armed_plan(site, arm);
         let mut core = match &self.chain {
+            // The periodic chain rarely paused exactly at arm - 1; catch
+            // up the few fault-free cycles in between.
+            Some(chain) if self.cfg.early_exit => chain.fork_catchup(arm, plan),
             Some(chain) => chain.fork(arm, plan),
             None => Core::new(CoreConfig::with_mode(self.mode), &self.prog, plan),
         };
-        DetectionTally::of(outcome_of(&mut core, &self.golden))
+        if self.cfg.early_exit {
+            // Mechanism 3 — stall watchdog.
+            core.set_stall_window(Some(self.cfg.stall_cycles));
+            // Mechanism 2 — convergence seal one cycle past the site's
+            // last exercise in the reference run.
+            if let Some(Some(l)) = last {
+                core.set_quiesce_cycle(Some(l + 1));
+            }
+        }
+        let (outcome, kind) = outcome_of(&mut core, &self.golden);
+        (DetectionTally::of(outcome), kind)
     }
 }
 
+/// The benchmark's golden reference: a completed fault-free run of the
+/// functional interpreter. Mode-independent — one per benchmark serves
+/// every mode's group.
+pub fn golden_run(prog: &Program) -> Interp {
+    let mut golden = Interp::new(prog);
+    golden.run(50_000_000).expect("golden runs are fault-free");
+    golden
+}
+
 /// Drives `core` to its end and classifies the run against the golden
-/// memory image.
-pub fn outcome_of(core: &mut Core, golden: &Interp) -> DetectionOutcome {
+/// memory image, attributing any early exit to its mechanism.
+pub fn outcome_of(core: &mut Core, golden: &Interp) -> (DetectionOutcome, Option<EarlyExitKind>) {
     match core.run(MAX_CYCLES) {
-        RunOutcome::Detected(_) => DetectionOutcome::Detected,
+        RunOutcome::Detected(_) => (DetectionOutcome::Detected, None),
         RunOutcome::Completed => {
             if core.mem().first_difference(golden.mem()).is_some() {
-                DetectionOutcome::SilentCorruption
+                (DetectionOutcome::SilentCorruption, None)
             } else {
-                DetectionOutcome::Benign
+                (DetectionOutcome::Benign, None)
             }
         }
-        RunOutcome::CycleLimit => DetectionOutcome::Stuck,
+        RunOutcome::CycleLimit => (DetectionOutcome::Stuck, None),
+        // Benign by construction — the run stopped mid-flight, so no
+        // memory compare is possible (or needed).
+        RunOutcome::EarlyExit(EarlyExitReason::Converged) => {
+            (DetectionOutcome::Benign, Some(EarlyExitKind::Convergence))
+        }
+        RunOutcome::EarlyExit(EarlyExitReason::Stalled) => {
+            (DetectionOutcome::Stuck, Some(EarlyExitKind::Watchdog))
+        }
     }
 }
 
@@ -176,12 +360,17 @@ pub struct JobMeta {
 pub struct DetectionReport {
     /// `(mode, tally)` per job, in job order.
     pub tallies: Vec<(Mode, DetectionTally)>,
+    /// Which early-exit mechanism decided each job, in job order (`None`
+    /// when the run went to its natural end — always, with early exit
+    /// off). Kept apart from `tallies` so the report text and the
+    /// equivalence tests see identical tallies on every path.
+    pub early_exits: Vec<Option<EarlyExitKind>>,
     /// `mode/bench/site` label per job, in job order.
     pub labels: Vec<String>,
     /// Reproduction metadata per job, in job order.
     pub meta: Vec<JobMeta>,
     /// The full report text (everything the harness prints to stdout).
-    /// Byte-identical for any worker count and either execution path.
+    /// Byte-identical for any worker count and every execution path.
     pub text: String,
     /// Per-job scheduling telemetry, when requested.
     pub trace: Option<CampaignTrace>,
@@ -203,8 +392,7 @@ pub fn site_label(mode: Mode, bench: &str, site: FaultSite) -> String {
 /// `traced`, per-job scheduling telemetry rides along (stdout-identical).
 pub fn run_detection(
     campaign: &Campaign,
-    prune: bool,
-    snapshot: bool,
+    cfg: DetectionConfig,
     benchmarks: &[Benchmark],
     traced: bool,
 ) -> DetectionReport {
@@ -212,14 +400,21 @@ pub fn run_detection(
     let nb = benchmarks.len();
     let ns = all_sites.len();
 
+    // One golden run per benchmark, shared by both modes' groups (the
+    // functional interpreter knows nothing of pipeline mode).
+    let goldens: Vec<Arc<Interp>> =
+        benchmarks.iter().map(|&b| Arc::new(golden_run(&build(b, 1)))).collect();
+
     // Group setups, one per (mode, benchmark) — group index
     // g = mode_idx * nb + bench_idx, matching job order.
+    let goldens_ref = &goldens;
     let setups: Vec<_> = MODES
         .iter()
         .flat_map(|&mode| {
-            benchmarks
-                .iter()
-                .map(move |&bench| move || DetectionGroup::build(mode, bench, prune, snapshot))
+            benchmarks.iter().enumerate().map(move |(bi, &bench)| {
+                let golden = Arc::clone(&goldens_ref[bi]);
+                move || DetectionGroup::build(mode, bench, cfg, golden)
+            })
         })
         .collect();
 
@@ -227,23 +422,52 @@ pub fn run_detection(
         .map(|i| {
             let g = i / ns;
             let site_idx = i % ns;
-            (g, move |group: &DetectionGroup| (group.mode, group.injection_tally(site_idx, prune)))
+            (g, move |group: &DetectionGroup| {
+                let (tally, early) = group.injection_tally(site_idx);
+                (group.mode, tally, early)
+            })
         })
         .collect();
 
     // The traced path stages manually so the fan-out goes through
     // `run_traced`; the plain path is exactly `Campaign::run_staged`.
-    let (groups, tallies, trace) = if traced {
+    let (groups, results, trace) = if traced {
         let groups = campaign.run(setups);
         let groups_ref = &groups;
         let bound: Vec<_> =
             jobs.into_iter().map(|(g, f)| move || f(&groups_ref[g])).collect();
-        let (tallies, trace) = campaign.run_traced(bound);
-        (groups, tallies, Some(trace))
+        let (results, trace) = campaign.run_traced(bound);
+        (groups, results, Some(trace))
+    } else if campaign.workers() == 1 {
+        // Depth-first: with a single worker, breadth-first staging (all
+        // setups, then all jobs) buys no parallelism but keeps every
+        // group's snapshot chain — tens of MB each — live at once,
+        // wrecking cache locality for the later groups. Run each
+        // group's jobs right after its setup and drop the fork
+        // machinery before the next group starts, so exactly one chain
+        // is hot at a time. Results are index-ordered either way, so
+        // the report is unchanged (covered by the worker-count
+        // equivalence test).
+        let mut groups = Vec::with_capacity(setups.len());
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut jobs = jobs.into_iter();
+        for (g, setup) in setups.into_iter().enumerate() {
+            let mut group = setup();
+            for _ in 0..ns {
+                let (jg, f) = jobs.next().expect("one job per (group, site)");
+                debug_assert_eq!(jg, g, "jobs must be grouped contiguously");
+                results.push(f(&group));
+            }
+            group.release_fork_state();
+            groups.push(group);
+        }
+        (groups, results, None)
     } else {
-        let (groups, tallies) = campaign.run_staged(setups, jobs);
-        (groups, tallies, None)
+        let (groups, results) = campaign.run_staged(setups, jobs);
+        (groups, results, None)
     };
+    let tallies: Vec<(Mode, DetectionTally)> = results.iter().map(|&(m, t, _)| (m, t)).collect();
+    let early_exits: Vec<Option<EarlyExitKind>> = results.iter().map(|&(_, _, e)| e).collect();
 
     let labels: Vec<String> = MODES
         .iter()
@@ -266,15 +490,15 @@ pub fn run_detection(
         })
         .collect();
 
-    let text = report_text(prune, benchmarks, &groups[..nb], &tallies);
-    DetectionReport { tallies, labels, meta, text, trace }
+    let text = report_text(cfg.prune, benchmarks, &groups[..nb], &tallies);
+    DetectionReport { tallies, early_exits, labels, meta, text, trace }
 }
 
 /// Renders the deterministic report. `bench_groups` must be the per-
 /// benchmark groups of one mode (the analysis and pruning facts are
 /// mode-independent), in benchmark order. Worker counts and wall-clock
 /// are deliberately absent — the report is byte-identical for any
-/// `BJ_THREADS` and either `BJ_SNAPSHOT` path.
+/// `BJ_THREADS` and every `BJ_SNAPSHOT` / `BJ_EARLYEXIT` path.
 fn report_text(
     prune: bool,
     benchmarks: &[Benchmark],
@@ -291,17 +515,23 @@ fn report_text(
         n_sites,
         benchmarks.len(),
     ));
+    let per_mode: Vec<(Mode, DetectionTally)> = MODES
+        .iter()
+        .map(|&mode| {
+            let mut t = DetectionTally::default();
+            for (m, tally) in tallies {
+                if *m == mode {
+                    t.merge(tally);
+                }
+            }
+            (mode, t)
+        })
+        .collect();
     s.push_str(&format!(
         "{:12} | {:>9} {:>18} {:>8} {:>6}\n",
         "mode", "detected", "silent corruption", "benign", "stuck"
     ));
-    for mode in MODES {
-        let mut t = DetectionTally::default();
-        for (m, tally) in tallies {
-            if *m == mode {
-                t.merge(tally);
-            }
-        }
+    for &(mode, t) in &per_mode {
         s.push_str(&format!(
             "{:12} | {:>9} {:>18} {:>8} {:>6}\n",
             mode.to_string(),
@@ -310,6 +540,10 @@ fn report_text(
             t.benign,
             t.stuck
         ));
+    }
+    s.push('\n');
+    for &(mode, t) in &per_mode {
+        s.push_str(&format!("{:12} | {}\n", format!("{mode} rates"), t.summary()));
     }
 
     if prune {

@@ -80,6 +80,28 @@ impl DetectionTally {
     pub fn total(&self) -> u32 {
         self.detected + self.corrupted + self.benign + self.stuck
     }
+
+    /// `count` as a share of [`DetectionTally::total`] — `"40 (50.0%)"`.
+    /// The one formatting every percentage-bearing report uses, so the
+    /// harness table and the experiment narrative cannot drift apart.
+    pub fn share(&self, count: u32) -> String {
+        match self.total() {
+            0 => format!("{count}"),
+            total => format!("{count} ({:.1}%)", 100.0 * f64::from(count) / f64::from(total)),
+        }
+    }
+
+    /// One-line rate summary over all recorded runs.
+    pub fn summary(&self) -> String {
+        format!(
+            "detected {}, silent {}, benign {}, stuck {} of {} injections",
+            self.share(self.detected),
+            self.share(self.corrupted),
+            self.share(self.benign),
+            self.share(self.stuck),
+            self.total(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +145,21 @@ mod tests {
         assert_eq!(t.pruned, 2);
         assert_eq!(t.total(), 3, "pruned is a subset of benign, not a fifth bucket");
         assert!(t.pruned <= t.benign);
+    }
+
+    #[test]
+    fn shares_and_summary_format_consistently() {
+        let t = DetectionTally { detected: 40, corrupted: 1, benign: 39, stuck: 0, pruned: 34 };
+        assert_eq!(t.total(), 80);
+        assert_eq!(t.share(t.detected), "40 (50.0%)");
+        assert_eq!(t.share(t.corrupted), "1 (1.2%)");
+        assert_eq!(t.share(t.stuck), "0 (0.0%)");
+        assert_eq!(
+            t.summary(),
+            "detected 40 (50.0%), silent 1 (1.2%), benign 39 (48.8%), stuck 0 (0.0%) \
+             of 80 injections"
+        );
+        // Empty tallies degrade to bare counts, never divide by zero.
+        assert_eq!(DetectionTally::default().share(0), "0");
     }
 }

@@ -2,6 +2,7 @@
 //! simulator's decode and execute stages.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A structure in the core that can harbor a permanent fault.
 ///
@@ -157,10 +158,34 @@ impl fmt::Display for HardFault {
 /// defects that develop mid-run, and it is what makes the fault-free
 /// prefix of an injection run shareable — every plan for the same
 /// workload is identical (empty, effectively) until its arming point.
-#[derive(Debug, Clone, Default)]
+///
+/// The plan also counts its own use: every hook application where a fault
+/// matched the site bumps [`FaultPlan::exercised`], and every application
+/// that actually *changed* the value bumps [`FaultPlan::activations`].
+/// While `activations() == 0` the faulted run is bit-identical to the
+/// fault-free run — the invariant the campaign's early-exit layer builds
+/// on. The counters are atomics only so a plan stays `Sync` inside
+/// campaign-shared snapshots; each simulation mutates its own plan from
+/// one thread.
+#[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<HardFault>,
     arm_cycle: u64,
+    exercised: AtomicU64,
+    activations: AtomicU64,
+}
+
+impl Clone for FaultPlan {
+    /// Clones the plan *including* the current counter values, so a
+    /// snapshot/restore boundary is invisible to the early-exit layer.
+    fn clone(&self) -> FaultPlan {
+        FaultPlan {
+            faults: self.faults.clone(),
+            arm_cycle: self.arm_cycle,
+            exercised: AtomicU64::new(self.exercised()),
+            activations: AtomicU64::new(self.activations()),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -171,7 +196,7 @@ impl FaultPlan {
 
     /// A plan with a single fault.
     pub fn single(fault: HardFault) -> FaultPlan {
-        FaultPlan { faults: vec![fault], arm_cycle: 0 }
+        FaultPlan { faults: vec![fault], ..FaultPlan::default() }
     }
 
     /// Defers the plan's faults until simulation cycle `cycle` (a wear-out
@@ -202,51 +227,63 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Applies every fault on frontend way `way` to an instruction word.
-    pub fn corrupt_frontend(&self, way: usize, word: u32) -> u32 {
-        let mut w = word as u64;
+    /// Hook applications (post-arming) where a fault matched the site —
+    /// how often the defective structure was read while defective.
+    pub fn exercised(&self) -> u64 {
+        self.exercised.load(Ordering::Relaxed)
+    }
+
+    /// Hook applications that changed the value passing through. While
+    /// this is zero the run is bit-identical to its fault-free twin: the
+    /// hooks are the only nondeterminism a plan introduces, and an
+    /// application that returns its input leaves no trace.
+    pub fn activations(&self) -> u64 {
+        self.activations.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes both counters (a fork installing this plan starts fresh).
+    pub fn reset_counters(&self) {
+        self.exercised.store(0, Ordering::Relaxed);
+        self.activations.store(0, Ordering::Relaxed);
+    }
+
+    /// Applies every fault at `site` to `v`, counting matches and
+    /// value changes.
+    fn apply_site(&self, site: FaultSite, v: u64) -> u64 {
+        let mut out = v;
         for f in &self.faults {
-            if f.site == (FaultSite::Frontend { way }) {
-                w = f.apply(w);
+            if f.site == site {
+                self.exercised.fetch_add(1, Ordering::Relaxed);
+                out = f.apply(out);
             }
         }
-        w as u32
+        if out != v {
+            self.activations.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Applies every fault on frontend way `way` to an instruction word.
+    pub fn corrupt_frontend(&self, way: usize, word: u32) -> u32 {
+        self.apply_site(FaultSite::Frontend { way }, word as u64) as u32
     }
 
     /// Applies every fault on backend way `way` to a computed value.
     pub fn corrupt_backend(&self, way: usize, value: u64) -> u64 {
-        let mut v = value;
-        for f in &self.faults {
-            if f.site == (FaultSite::Backend { way }) {
-                v = f.apply(v);
-            }
-        }
-        v
+        self.apply_site(FaultSite::Backend { way }, value)
     }
 
     /// Applies every fault on payload-RAM entry `entry` to a 64-bit value
     /// (the simulator models payload corruption as corrupting the computed
     /// result of whichever instruction occupies the defective entry).
     pub fn corrupt_payload_value(&self, entry: usize, value: u64) -> u64 {
-        let mut v = value;
-        for f in &self.faults {
-            if f.site == (FaultSite::PayloadRam { entry }) {
-                v = f.apply(v);
-            }
-        }
-        v
+        self.apply_site(FaultSite::PayloadRam { entry }, value)
     }
 
     /// Applies every fault on payload-RAM entry `entry` to an instruction
     /// word.
     pub fn corrupt_payload(&self, entry: usize, word: u32) -> u32 {
-        let mut w = word as u64;
-        for f in &self.faults {
-            if f.site == (FaultSite::PayloadRam { entry }) {
-                w = f.apply(w);
-            }
-        }
-        w as u32
+        self.apply_site(FaultSite::PayloadRam { entry }, word as u64) as u32
     }
 
     /// True if any fault targets the given frontend way.
@@ -336,6 +373,46 @@ mod tests {
         let armed = FaultPlan::single(f).arm_at(12_345);
         assert_eq!(armed.arm_cycle(), 12_345);
         assert!(!armed.is_empty(), "arming does not change the fault set");
+    }
+
+    #[test]
+    fn counters_distinguish_exercise_from_activation() {
+        // Stuck-at-1 on bit 3: reading a value whose bit 3 is already 1
+        // exercises the fault without activating it.
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::Backend { way: 1 }, 3));
+        assert_eq!((plan.exercised(), plan.activations()), (0, 0));
+        assert_eq!(plan.corrupt_backend(0, 0), 0, "other way: no exercise");
+        assert_eq!((plan.exercised(), plan.activations()), (0, 0));
+        assert_eq!(plan.corrupt_backend(1, 8), 8, "bit already stuck level");
+        assert_eq!((plan.exercised(), plan.activations()), (1, 0));
+        assert_eq!(plan.corrupt_backend(1, 0), 8, "value changed");
+        assert_eq!((plan.exercised(), plan.activations()), (2, 1));
+
+        let copy = plan.clone();
+        assert_eq!((copy.exercised(), copy.activations()), (2, 1), "clone keeps counts");
+        plan.reset_counters();
+        assert_eq!((plan.exercised(), plan.activations()), (0, 0));
+        assert_eq!((copy.exercised(), copy.activations()), (2, 1), "copies are independent");
+    }
+
+    #[test]
+    fn counters_cover_every_hook_and_mismatched_triggers() {
+        let mut plan = FaultPlan::new();
+        plan.add(HardFault {
+            site: FaultSite::Frontend { way: 0 },
+            corruption: Corruption::FlipBit { bit: 1 },
+            trigger: Trigger::ValuePattern { mask: 0xf, pattern: 0xa },
+        });
+        plan.add(HardFault::stuck_bit(FaultSite::PayloadRam { entry: 2 }, 0));
+        // Trigger miss: exercised (the defective structure was read) but
+        // the value passed through unchanged.
+        assert_eq!(plan.corrupt_frontend(0, 0xb), 0xb);
+        assert_eq!((plan.exercised(), plan.activations()), (1, 0));
+        assert_eq!(plan.corrupt_frontend(0, 0xa), 0x8);
+        assert_eq!((plan.exercised(), plan.activations()), (2, 1));
+        assert_eq!(plan.corrupt_payload_value(2, 0), 1);
+        assert_eq!(plan.corrupt_payload(2, 1), 1);
+        assert_eq!((plan.exercised(), plan.activations()), (4, 2));
     }
 
     #[test]

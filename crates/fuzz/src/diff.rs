@@ -115,6 +115,11 @@ pub fn check_fault_free(prog: &Program) -> Result<DiffStats, DiffFailure> {
                     ),
                 );
             }
+            // The differential surface never arms the early-exit checks
+            // (no quiesce cycle or stall window is configured above).
+            blackjack_sim::RunOutcome::EarlyExit(r) => {
+                unreachable!("early exit ({r}) without early-exit config")
+            }
         }
 
         let log = core.take_commit_log().expect("commit log was enabled");

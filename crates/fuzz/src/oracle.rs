@@ -132,6 +132,9 @@ pub fn check_fault(
                 FaultVerdict::Escaped
             }
         }
+        // The oracle never arms the early-exit checks (no quiesce cycle
+        // or stall window is configured above).
+        RunOutcome::EarlyExit(r) => unreachable!("early exit ({r}) without early-exit config"),
     };
 
     // Forced same-way shuffle placements void the frontend guarantee for

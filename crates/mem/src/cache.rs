@@ -57,13 +57,45 @@ impl CacheStats {
     }
 }
 
+/// One cache line, packed to 16 bytes: snapshot-heavy campaigns memcpy
+/// every line of every level on each `Core` clone, so line size is
+/// directly campaign wall time. `meta` holds the LRU stamp (higher =
+/// more recently used) in its upper 62 bits and valid/dirty in the low
+/// two.
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Higher = more recently used.
-    lru: u64,
+    meta: u64,
+}
+
+impl Line {
+    const VALID: u64 = 1;
+    const DIRTY: u64 = 1 << 1;
+    const LRU_SHIFT: u32 = 2;
+
+    const EMPTY: Line = Line { tag: 0, meta: 0 };
+
+    fn filled(tag: u64, dirty: bool, stamp: u64) -> Line {
+        let dirty = if dirty { Line::DIRTY } else { 0 };
+        Line { tag, meta: (stamp << Line::LRU_SHIFT) | dirty | Line::VALID }
+    }
+
+    fn valid(&self) -> bool {
+        self.meta & Line::VALID != 0
+    }
+
+    fn dirty(&self) -> bool {
+        self.meta & Line::DIRTY != 0
+    }
+
+    fn lru(&self) -> u64 {
+        self.meta >> Line::LRU_SHIFT
+    }
+
+    fn touch(&mut self, stamp: u64, write: bool) {
+        let dirty = if write { Line::DIRTY } else { 0 };
+        self.meta = (stamp << Line::LRU_SHIFT) | dirty | (self.meta & (Line::VALID | Line::DIRTY));
+    }
 }
 
 /// Result of one cache access.
@@ -79,14 +111,44 @@ pub struct Access {
 ///
 /// The model tracks tags and replacement state only; see the crate docs for
 /// why data is held externally.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one contiguous row-major block, `assoc` per set.
+    /// Cloning a cache is one allocation and one memcpy — snapshot-heavy
+    /// campaigns clone the hierarchy thousands of times, and a
+    /// `Vec<Vec<_>>` here costs one allocation *per set* each time.
+    lines: Vec<Line>,
     set_shift: u32,
     set_mask: u64,
     stamp: u64,
     stats: CacheStats,
+}
+
+/// Hand-written so `clone_from` copies the line block into the existing
+/// allocation: geometry never changes between a cache and its snapshot,
+/// so refreshing a recycled snapshot is a straight memcpy with no
+/// alloc/free traffic.
+impl Clone for Cache {
+    fn clone(&self) -> Cache {
+        Cache {
+            cfg: self.cfg,
+            lines: self.lines.clone(),
+            set_shift: self.set_shift,
+            set_mask: self.set_mask,
+            stamp: self.stamp,
+            stats: self.stats,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Cache) {
+        self.cfg = source.cfg;
+        self.lines.clone_from(&source.lines);
+        self.set_shift = source.set_shift;
+        self.set_mask = source.set_mask;
+        self.stamp = source.stamp;
+        self.stats = source.stats;
+    }
 }
 
 impl Cache {
@@ -98,16 +160,17 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         let sets = cfg.num_sets();
         Cache {
-            sets: vec![
-                vec![Line { tag: 0, valid: false, dirty: false, lru: 0 }; cfg.assoc];
-                sets
-            ],
+            lines: vec![Line::EMPTY; sets * cfg.assoc],
             set_shift: cfg.line_bytes.trailing_zeros(),
             set_mask: sets as u64 - 1,
             stamp: 0,
             stats: CacheStats::default(),
             cfg,
         }
+    }
+
+    fn set_lines(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.cfg.assoc..(set + 1) * self.cfg.assoc]
     }
 
     /// The configured geometry.
@@ -128,7 +191,7 @@ impl Cache {
     /// True if the line containing `addr` is resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set_lines(set).iter().any(|l| l.valid() && l.tag == tag)
     }
 
     /// Performs an access, updating tags, LRU, and statistics.
@@ -139,36 +202,33 @@ impl Cache {
         self.stamp += 1;
         self.stats.accesses += 1;
         let (set, tag) = self.split(addr);
-        let lines = &mut self.sets[set];
+        let assoc = self.cfg.assoc;
+        let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
 
-        if let Some(l) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            l.lru = self.stamp;
-            l.dirty |= write;
+        if let Some(l) = lines.iter_mut().find(|l| l.valid() && l.tag == tag) {
+            l.touch(self.stamp, write);
             return Access { hit: true, writeback: None };
         }
 
         self.stats.misses += 1;
         let victim = lines
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .min_by_key(|l| if l.valid() { l.lru() } else { 0 })
             .expect("cache set is never empty");
         let mut writeback = None;
-        if victim.valid && victim.dirty {
+        if victim.valid() && victim.dirty() {
             self.stats.writebacks += 1;
             let victim_line = (victim.tag << self.set_mask.count_ones()) | set as u64;
             writeback = Some(victim_line << self.set_shift);
         }
-        *victim = Line { tag, valid: true, dirty: write, lru: self.stamp };
+        *victim = Line::filled(tag, write, self.stamp);
         Access { hit: false, writeback }
     }
 
     /// Invalidates everything (used when resetting between runs).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for l in set {
-                l.valid = false;
-                l.dirty = false;
-            }
+        for l in &mut self.lines {
+            l.meta = 0;
         }
     }
 }

@@ -13,13 +13,16 @@
 //! thread in the redundant modes. See the crate documentation for how the
 //! SRT and BlackJack machinery hangs off this pipeline.
 
-use blackjack_faults::FaultPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use blackjack_faults::{FaultPlan, FaultSite};
 use blackjack_isa::exec::{effective_addr, exec_nonmem, finish_load, store_data};
 use blackjack_isa::{decode, initial_int_regs, FuType, Inst, Interp, LogReg, PagedMem, Program};
 use blackjack_mem::{MemSystem, StoreBuffer, StoreCheck, StoreRecord};
 
 use crate::config::{CoreConfig, Mode, ShuffleAlgo};
-use crate::detect::{DetectionEvent, DetectionKind, RunOutcome};
+use crate::detect::{DetectionEvent, DetectionKind, EarlyExitReason, RunOutcome};
+use crate::stats::ExitReason;
 use crate::dtq::{Dtq, DtqPayload};
 use crate::fu::FuPool;
 use crate::iq::IssueQueue;
@@ -89,6 +92,80 @@ pub struct CommitRecord {
     pub dst: Option<(LogReg, u64)>,
     /// Memory effect, for loads and stores.
     pub mem: Option<MemEffect>,
+}
+
+/// Per-site last-exercise tracker, filled in by the fault hooks of a core
+/// with [`Core::enable_site_usage`] on (the *reference pass* of an
+/// early-exit campaign; off by default and costing one branch per hook).
+///
+/// "Exercise" means the hook for the site was applied under exactly the
+/// conditions a fault there would be consulted — frontend ways on every
+/// fetched word, backend ways on every computed value, payload entries
+/// only for occupants a (possibly split) payload RAM would expose. A
+/// fault armed after its site's last exercise in the fault-free run can
+/// never activate, so its run is bit-identical to the fault-free run and
+/// provably benign with zero simulation.
+///
+/// Cells are atomics only so the tracker (inside a `Core`) stays `Sync`
+/// for campaign-shared snapshots; recording is single-threaded.
+#[derive(Debug, Default)]
+pub struct SiteUsage {
+    /// Last exercise cycle + 1 per frontend way (0 = never exercised).
+    frontend: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per backend way.
+    backend: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per payload-RAM entry.
+    payload: Vec<AtomicU64>,
+}
+
+impl Clone for SiteUsage {
+    fn clone(&self) -> SiteUsage {
+        let copy = |v: &[AtomicU64]| {
+            v.iter().map(|c| AtomicU64::new(c.load(Ordering::Relaxed))).collect()
+        };
+        SiteUsage {
+            frontend: copy(&self.frontend),
+            backend: copy(&self.backend),
+            payload: copy(&self.payload),
+        }
+    }
+
+    fn clone_from(&mut self, source: &SiteUsage) {
+        let refill = |dst: &mut Vec<AtomicU64>, src: &[AtomicU64]| {
+            dst.clear();
+            dst.extend(src.iter().map(|c| AtomicU64::new(c.load(Ordering::Relaxed))));
+        };
+        refill(&mut self.frontend, &source.frontend);
+        refill(&mut self.backend, &source.backend);
+        refill(&mut self.payload, &source.payload);
+    }
+}
+
+impl SiteUsage {
+    fn with_sizes(frontend: usize, backend: usize, payload: usize) -> SiteUsage {
+        let cells = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        SiteUsage { frontend: cells(frontend), backend: cells(backend), payload: cells(payload) }
+    }
+
+    fn note(cells: &[AtomicU64], i: usize, cycle: u64) {
+        if let Some(c) = cells.get(i) {
+            // Cycles only move forward, so a plain store stays monotone.
+            c.store(cycle + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// The cycle `site` was last exercised, or `None` if never.
+    pub fn last_use(&self, site: FaultSite) -> Option<u64> {
+        let cell = match site {
+            FaultSite::Frontend { way } => self.frontend.get(way),
+            FaultSite::Backend { way } => self.backend.get(way),
+            FaultSite::PayloadRam { entry } => self.payload.get(entry),
+        };
+        match cell.map(|c| c.load(Ordering::Relaxed)).unwrap_or(0) {
+            0 => None,
+            stamped => Some(stamped - 1),
+        }
+    }
 }
 
 impl ShuffleItem for DtqPayload {
@@ -242,11 +319,13 @@ impl Context {
 /// [`Core::run`], inspect with [`Core::stats`] and the architectural-state
 /// accessors.
 ///
-/// `Clone` is derived over the *entire* ownership tree (contexts, queues,
+/// `Clone` covers the *entire* ownership tree (contexts, queues,
 /// predictors, memory hierarchy, statistics), which is what makes
 /// [`Core::snapshot`] exact: a clone is indistinguishable from the
-/// original under every subsequent `step()`.
-#[derive(Clone)]
+/// original under every subsequent `step()`. The impl is hand-written
+/// only so `clone_from` can forward field-wise — snapshot recycling
+/// refreshes a retired snapshot in place, reusing its allocations,
+/// instead of rebuilding ~50 vectors per snapshot.
 pub struct Core {
     cfg: CoreConfig,
     cycle: u64,
@@ -287,6 +366,20 @@ pub struct Core {
     commit_rat: CommitRat,
     tmap: LeadIndexedRat,
     last_commit_cycle: u64,
+    /// Early-exit watchdog: declare the run stuck after this many cycles
+    /// with no commit and no fault-hook activity (`None` = only the
+    /// built-in [`WATCHDOG_CYCLES`] applies).
+    stall_window: Option<u64>,
+    /// Early-exit convergence point: once past this cycle with zero plan
+    /// activations the run is sealed benign (`None` = never seal).
+    quiesce_cycle: Option<u64>,
+    /// Plan activation count at the last early-exit check, to timestamp
+    /// fault-hook activity for the stall watchdog.
+    seen_activations: u64,
+    /// Cycle of the last observed fault-hook activation.
+    last_activity_cycle: u64,
+    /// Reference-pass site-usage tracker ([`Core::enable_site_usage`]).
+    site_usage: Option<SiteUsage>,
     oracle: Option<Interp>,
     /// Architectural commit trace ([`Core::enable_commit_log`]); `None`
     /// (the default) keeps the commit path a single branch.
@@ -294,6 +387,142 @@ pub struct Core {
     /// Observability hooks; `Tracer::Off` (the default) keeps every hook
     /// a single discriminant branch — no allocation in the hot loop.
     tracer: Tracer,
+}
+
+/// Field-wise `clone_from` (see the struct docs). The destructuring in
+/// `clone_from` is deliberate: adding a field to `Core` without updating
+/// the impl is a compile error, so a snapshot refresh can never silently
+/// skip state.
+impl Clone for Core {
+    fn clone(&self) -> Core {
+        Core {
+            cfg: self.cfg.clone(),
+            cycle: self.cycle,
+            next_uid: self.next_uid,
+            slab: self.slab.clone(),
+            ctxs: self.ctxs.clone(),
+            iq: self.iq.clone(),
+            fus: self.fus.clone(),
+            mem_sys: self.mem_sys.clone(),
+            mem: self.mem.clone(),
+            sb: self.sb.clone(),
+            boq: self.boq.clone(),
+            lvq: self.lvq.clone(),
+            waylog: self.waylog.clone(),
+            dtq: self.dtq.clone(),
+            fetchq_packets: self.fetchq_packets.clone(),
+            gshare: self.gshare.clone(),
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+            plan: self.plan.clone(),
+            stats: self.stats.clone(),
+            inflight: self.inflight.clone(),
+            halted: self.halted,
+            detection: self.detection,
+            done: self.done,
+            lead_packets: self.lead_packets,
+            trail_packets: self.trail_packets,
+            trail_packet_total: self.trail_packet_total.clone(),
+            scratch: self.scratch.clone(),
+            trail_expect_pc: self.trail_expect_pc,
+            commit_rat: self.commit_rat.clone(),
+            tmap: self.tmap.clone(),
+            last_commit_cycle: self.last_commit_cycle,
+            stall_window: self.stall_window,
+            quiesce_cycle: self.quiesce_cycle,
+            seen_activations: self.seen_activations,
+            last_activity_cycle: self.last_activity_cycle,
+            site_usage: self.site_usage.clone(),
+            oracle: self.oracle.clone(),
+            commit_log: self.commit_log.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Core) {
+        let Core {
+            cfg,
+            cycle,
+            next_uid,
+            slab,
+            ctxs,
+            iq,
+            fus,
+            mem_sys,
+            mem,
+            sb,
+            boq,
+            lvq,
+            waylog,
+            dtq,
+            fetchq_packets,
+            gshare,
+            btb,
+            ras,
+            plan,
+            stats,
+            inflight,
+            halted,
+            detection,
+            done,
+            lead_packets,
+            trail_packets,
+            trail_packet_total,
+            scratch,
+            trail_expect_pc,
+            commit_rat,
+            tmap,
+            last_commit_cycle,
+            stall_window,
+            quiesce_cycle,
+            seen_activations,
+            last_activity_cycle,
+            site_usage,
+            oracle,
+            commit_log,
+            tracer,
+        } = source;
+        self.cfg.clone_from(cfg);
+        self.cycle = *cycle;
+        self.next_uid = *next_uid;
+        self.slab.clone_from(slab);
+        self.ctxs.clone_from(ctxs);
+        self.iq.clone_from(iq);
+        self.fus.clone_from(fus);
+        self.mem_sys.clone_from(mem_sys);
+        self.mem.clone_from(mem);
+        self.sb.clone_from(sb);
+        self.boq.clone_from(boq);
+        self.lvq.clone_from(lvq);
+        self.waylog.clone_from(waylog);
+        self.dtq.clone_from(dtq);
+        self.fetchq_packets.clone_from(fetchq_packets);
+        self.gshare.clone_from(gshare);
+        self.btb.clone_from(btb);
+        self.ras.clone_from(ras);
+        self.plan.clone_from(plan);
+        self.stats.clone_from(stats);
+        self.inflight.clone_from(inflight);
+        self.halted = *halted;
+        self.detection.clone_from(detection);
+        self.done = *done;
+        self.lead_packets = *lead_packets;
+        self.trail_packets = *trail_packets;
+        self.trail_packet_total.clone_from(trail_packet_total);
+        self.scratch.clone_from(scratch);
+        self.trail_expect_pc = *trail_expect_pc;
+        self.commit_rat.clone_from(commit_rat);
+        self.tmap.clone_from(tmap);
+        self.last_commit_cycle = *last_commit_cycle;
+        self.stall_window = *stall_window;
+        self.quiesce_cycle = *quiesce_cycle;
+        self.seen_activations = *seen_activations;
+        self.last_activity_cycle = *last_activity_cycle;
+        self.site_usage.clone_from(site_usage);
+        self.oracle.clone_from(oracle);
+        self.commit_log.clone_from(commit_log);
+        self.tracer.clone_from(tracer);
+    }
 }
 
 impl Core {
@@ -339,6 +568,11 @@ impl Core {
             commit_rat: CommitRat::new(),
             tmap: LeadIndexedRat::new(cfg.phys_regs),
             last_commit_cycle: 0,
+            stall_window: None,
+            quiesce_cycle: None,
+            seen_activations: 0,
+            last_activity_cycle: 0,
+            site_usage: None,
             oracle: None,
             commit_log: None,
             tracer: Tracer::Off,
@@ -389,6 +623,63 @@ impl Core {
     /// off.
     pub fn take_commit_log(&mut self) -> Option<Vec<CommitRecord>> {
         self.commit_log.take()
+    }
+
+    /// The active fault plan (its activation counters drive the
+    /// early-exit mechanisms and their tests).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Replaces the fault plan and clears every piece of early-exit
+    /// bookkeeping — the new plan's counters, the quiescence point, the
+    /// stall window, and any reference-pass site-usage tracker — so a
+    /// fork never inherits stale state from its donor.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        plan.reset_counters();
+        self.plan = plan;
+        self.seen_activations = 0;
+        self.last_activity_cycle = self.cycle;
+        self.quiesce_cycle = None;
+        self.stall_window = None;
+        self.site_usage = None;
+    }
+
+    /// Arms the early-exit stall watchdog: after `window` cycles with no
+    /// commit and no fault-hook activity the run returns
+    /// [`RunOutcome::EarlyExit`]`(`[`EarlyExitReason::Stalled`]`)`.
+    /// `None` (the default) leaves only the built-in watchdog.
+    pub fn set_stall_window(&mut self, window: Option<u64>) {
+        self.stall_window = window;
+    }
+
+    /// Arms the early-exit convergence seal: once `cycle` is reached with
+    /// zero plan activations the run returns
+    /// [`RunOutcome::EarlyExit`]`(`[`EarlyExitReason::Converged`]`)`.
+    /// Sound only when `cycle` is at or past the fault site's last
+    /// exercise in the fault-free run (see [`SiteUsage`]).
+    pub fn set_quiesce_cycle(&mut self, cycle: Option<u64>) {
+        self.quiesce_cycle = cycle;
+    }
+
+    /// Turns on per-site last-exercise tracking (the reference pass of an
+    /// early-exit campaign). Off by default: one branch per fault hook.
+    pub fn enable_site_usage(&mut self) {
+        self.site_usage = Some(SiteUsage::with_sizes(
+            self.cfg.width,
+            self.cfg.fu_counts.total(),
+            self.cfg.issue_queue,
+        ));
+    }
+
+    /// The site-usage tracker, if enabled.
+    pub fn site_usage(&self) -> Option<&SiteUsage> {
+        self.site_usage.as_ref()
+    }
+
+    /// Detaches the site-usage tracker, turning tracking off.
+    pub fn take_site_usage(&mut self) -> Option<SiteUsage> {
+        self.site_usage.take()
     }
 
     /// Attaches a lock-step golden-interpreter oracle that cross-checks
@@ -515,6 +806,7 @@ impl Core {
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let t0 = std::time::Instant::now();
         let mut watchdog_fired = false;
+        let mut early: Option<EarlyExitReason> = None;
         while !self.done && self.detection.is_none() && self.cycle < max_cycles {
             self.step();
             if self.cycle - self.last_commit_cycle > WATCHDOG_CYCLES {
@@ -522,19 +814,73 @@ impl Core {
                 watchdog_fired = true;
                 break;
             }
+            if let Some(r) = self.early_exit_check() {
+                early = Some(r);
+                break;
+            }
         }
         let elapsed = t0.elapsed().as_nanos() as u64;
         self.stats.wall_nanos += elapsed;
         self.stats.agg_wall_nanos += elapsed;
-        if watchdog_fired {
+        let outcome = if watchdog_fired {
             RunOutcome::CycleLimit
         } else if let Some(e) = self.detection {
             RunOutcome::Detected(e)
         } else if self.done {
             RunOutcome::Completed
+        } else if let Some(r) = early {
+            if r == EarlyExitReason::Stalled {
+                self.stats.deadlocked = true;
+            }
+            RunOutcome::EarlyExit(r)
         } else {
             RunOutcome::CycleLimit
+        };
+        self.stats.exit_reason = Some(match outcome {
+            RunOutcome::Completed => ExitReason::Completed,
+            RunOutcome::Detected(_) => ExitReason::Detected,
+            RunOutcome::CycleLimit => ExitReason::CycleLimit,
+            RunOutcome::EarlyExit(EarlyExitReason::Converged) => ExitReason::Converged,
+            RunOutcome::EarlyExit(EarlyExitReason::Stalled) => ExitReason::Stalled,
+        });
+        outcome
+    }
+
+    /// The per-cycle early-exit probe; free (two `None` tests) unless a
+    /// mechanism was enabled with [`Core::set_quiesce_cycle`] or
+    /// [`Core::set_stall_window`].
+    #[inline]
+    fn early_exit_check(&mut self) -> Option<EarlyExitReason> {
+        if self.stall_window.is_none() && self.quiesce_cycle.is_none() {
+            return None;
         }
+        let acts = self.plan.activations();
+        if acts != self.seen_activations {
+            self.seen_activations = acts;
+            self.last_activity_cycle = self.cycle;
+        }
+        if let Some(q) = self.quiesce_cycle {
+            // Past the site's last fault-free exercise with zero
+            // activations: the run has been bit-identical to the
+            // fault-free run so far, so its future is the fault-free
+            // future — in which the site is never exercised again. The
+            // verdict (clean completion, golden memory) is sealed.
+            if self.cycle >= q && acts == 0 {
+                return Some(EarlyExitReason::Converged);
+            }
+        }
+        if let Some(w) = self.stall_window {
+            // Fold the fault plan's hook state in: an activation counts
+            // as progress, so a periodically re-activating fault cannot
+            // false-positive the watchdog, and the window never starts
+            // before the plan has even armed.
+            let base =
+                self.last_commit_cycle.max(self.last_activity_cycle).max(self.plan.arm_cycle());
+            if self.cycle.saturating_sub(base) > w {
+                return Some(EarlyExitReason::Stalled);
+            }
+        }
+        None
     }
 
     /// Simulates one cycle.
@@ -1343,6 +1689,9 @@ impl Core {
     /// Frontend corruption hook; inert before the plan's arming cycle
     /// (wear-out faults develop mid-run).
     fn corrupt_fetch(&self, way: usize, word: u32) -> u32 {
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.frontend, way, self.cycle);
+        }
         if self.cycle < self.plan.arm_cycle() {
             word
         } else {
@@ -1351,6 +1700,14 @@ impl Core {
     }
 
     fn fault_value(&self, ctx: usize, way: usize, payload_slot: usize, v: u64) -> u64 {
+        if let Some(u) = &self.site_usage {
+            // Mirror the exact application conditions below, so "last
+            // exercised" means "a fault here would have been consulted".
+            SiteUsage::note(&u.backend, way, self.cycle);
+            if ctx == LEADING || !self.cfg.split_payload_ram {
+                SiteUsage::note(&u.payload, payload_slot, self.cycle);
+            }
+        }
         if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
             return v;
         }
@@ -2077,6 +2434,14 @@ impl CoreSnapshot {
         self.core.clone()
     }
 
+    /// Re-freezes `core`'s current state into this snapshot in place.
+    /// Equivalent to `*self = core.snapshot()` but reuses the snapshot's
+    /// existing buffers — the periodic chain builder recycles retired
+    /// snapshots through this instead of allocating fresh ones.
+    pub fn refill_from(&mut self, core: &Core) {
+        self.core.clone_from(core);
+    }
+
     /// A fresh core continuing from the snapshot point under `plan` — the
     /// injection fork.
     ///
@@ -2094,7 +2459,7 @@ impl CoreSnapshot {
             self.core.cycle,
         );
         let mut core = self.core.clone();
-        core.plan = plan;
+        core.set_plan(plan);
         core
     }
 }

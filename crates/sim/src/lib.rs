@@ -45,9 +45,11 @@ mod stats;
 pub mod trace;
 mod uop;
 
-pub use crate::core::{CommitRecord, Core, CoreSnapshot, MemEffect, FLIGHT_CAPACITY, LEADING, TRAILING};
+pub use crate::core::{
+    CommitRecord, Core, CoreSnapshot, MemEffect, SiteUsage, FLIGHT_CAPACITY, LEADING, TRAILING,
+};
 pub use config::{table1, CoreConfig, FuCounts, FuLatencies, Mode, ShuffleAlgo};
-pub use detect::{DetectionEvent, DetectionKind, RunOutcome};
+pub use detect::{DetectionEvent, DetectionKind, EarlyExitReason, RunOutcome};
 pub use dtq::{Dtq, DtqPayload};
 pub use fu::FuPool;
 pub use iq::IssueQueue;
@@ -56,6 +58,6 @@ pub use predictor::{Btb, Gshare, Ras};
 pub use regfile::{CommitRat, LeadIndexedRat, RegFile};
 pub use rob::ActiveList;
 pub use srt::{Boq, BoqEntry, Lvq, LvqEntry, WayLog, WayRecord};
-pub use stats::{PairTrace, SimStats};
+pub use stats::{ExitReason, PairTrace, SimStats};
 pub use trace::{FlightEvent, FlightKind, FlightRecorder, Histogram, TraceState, Tracer, WayHeat};
 pub use uop::{PhysReg, Stage, Uop, UopId, UopSlab};

@@ -22,6 +22,36 @@ pub struct PairTrace {
     pub packet: u64,
 }
 
+/// How the most recent [`Core::run`](crate::Core::run) call ended, as
+/// recorded in [`SimStats::exit_reason`] for the telemetry stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Clean completion (both threads halted, stores checked).
+    Completed,
+    /// A redundancy check fired.
+    Detected,
+    /// The cycle budget (or the built-in no-progress watchdog) cut the
+    /// run off.
+    CycleLimit,
+    /// Early exit: the fault site went quiescent with zero activations.
+    Converged,
+    /// Early exit: the configured stall window elapsed with no progress.
+    Stalled,
+}
+
+impl ExitReason {
+    /// Stable telemetry token for the reason.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExitReason::Completed => "completed",
+            ExitReason::Detected => "detected",
+            ExitReason::CycleLimit => "cycle_limit",
+            ExitReason::Converged => "converged",
+            ExitReason::Stalled => "stalled",
+        }
+    }
+}
+
 /// Everything a run measures; the figure harnesses read these fields.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -99,6 +129,10 @@ pub struct SimStats {
     /// True if the run was cut off by the no-progress watchdog (possible
     /// under injected faults that stall a thread forever).
     pub deadlocked: bool,
+    /// How the last `run()` call ended; `None` before the first call, and
+    /// poisoned back to `None` by [`SimStats::merge`] when the merged
+    /// runs ended differently (a pooled record has no single reason).
+    pub exit_reason: Option<ExitReason>,
     /// Enables [`SimStats::pair_trace`] capture.
     pub trace_pairs: bool,
     /// Per-pair way usage, when tracing is enabled.
@@ -212,6 +246,10 @@ impl SimStats {
         self.store_checks += other.store_checks;
         self.detections.extend(other.detections.iter().copied());
         self.deadlocked |= other.deadlocked;
+        if self.exit_reason != other.exit_reason {
+            // Differing reasons poison to None either merge order.
+            self.exit_reason = None;
+        }
         self.trace_pairs |= other.trace_pairs;
         self.pair_trace.extend(other.pair_trace.iter().copied());
     }
@@ -226,7 +264,7 @@ impl SimStats {
              \"branches\":{},\"issue_cycles\":{},\"single_ctx_issue_cycles\":{},\
              \"lt_interference_cycles\":{},\"tt_interference_cycles\":{},\
              \"shuffle_nops\":{},\"store_checks\":{},\"detections\":{},\
-             \"deadlocked\":{},\"ipc\":{:.6}}}",
+             \"deadlocked\":{}{},\"ipc\":{:.6}}}",
             self.cycles,
             self.wall_nanos,
             self.agg_wall_nanos,
@@ -248,6 +286,10 @@ impl SimStats {
             self.store_checks,
             self.detections.len(),
             self.deadlocked,
+            // Additive, schema-v1-compatible: absent when no run() ended.
+            self.exit_reason
+                .map(|r| format!(",\"exit_reason\":\"{}\"", r.as_str()))
+                .unwrap_or_default(),
             self.ipc(),
         )
     }
@@ -365,6 +407,30 @@ mod tests {
         assert_eq!(a.burstiness(), 0.7);
         assert_eq!(a.backend_coverage(), 0.5);
         assert_eq!(a.cycles_per_sec(), 2e9);
+    }
+
+    #[test]
+    fn exit_reason_merge_and_json() {
+        // Absent reason: the field stays out of the JSON entirely.
+        let s = SimStats::default();
+        assert!(!s.to_json().contains("exit_reason"));
+
+        let done = SimStats { exit_reason: Some(ExitReason::Completed), ..SimStats::default() };
+        assert!(done.to_json().contains("\"exit_reason\":\"completed\""));
+
+        // Same reason survives a merge; differing reasons poison to None
+        // in either order.
+        let mut a = done.clone();
+        a.merge(&done);
+        assert_eq!(a.exit_reason, Some(ExitReason::Completed));
+        let stalled = SimStats { exit_reason: Some(ExitReason::Stalled), ..SimStats::default() };
+        let mut x = done.clone();
+        x.merge(&stalled);
+        let mut y = stalled.clone();
+        y.merge(&done);
+        assert_eq!(x.exit_reason, None);
+        assert_eq!(y.exit_reason, None);
+        assert!(!x.to_json().contains("exit_reason"));
     }
 
     #[test]

@@ -183,12 +183,33 @@ impl Uop {
 ///
 /// Handles ([`UopId`]) are invalidated on removal, so a stale id from a
 /// squashed instruction can never silently alias a new one.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct UopSlab {
     slots: Vec<Option<Uop>>,
     gens: Vec<u32>,
     free: Vec<u32>,
     live: usize,
+}
+
+/// Hand-written so `clone_from` reuses the three backing vectors:
+/// snapshot recycling clones the slab thousands of times per campaign,
+/// and the derived impl would reallocate all of them on every refresh.
+impl Clone for UopSlab {
+    fn clone(&self) -> UopSlab {
+        UopSlab {
+            slots: self.slots.clone(),
+            gens: self.gens.clone(),
+            free: self.free.clone(),
+            live: self.live,
+        }
+    }
+
+    fn clone_from(&mut self, source: &UopSlab) {
+        self.slots.clone_from(&source.slots);
+        self.gens.clone_from(&source.gens);
+        self.free.clone_from(&source.free);
+        self.live = source.live;
+    }
 }
 
 impl UopSlab {

@@ -48,6 +48,23 @@ echo "== tier-1: bench_snapshot (refreshes BENCH_snapshot.json) =="
 BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin bench_snapshot >/dev/null
 grep -q '"reports_identical": true' BENCH_snapshot.json
 
+echo "== tier-1: BJ_EARLYEXIT equivalence smoke (ext_detection, gzip) =="
+# The early-exit layer must be invisible in the report: stdout is
+# byte-identical with every run simulated to its natural end and with
+# runs cut the moment their verdict is decided.
+ee_off="$(BJ_SCALE=1 BJ_EARLYEXIT=0 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+ee_on="$(BJ_SCALE=1 BJ_EARLYEXIT=1 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+[ -n "$ee_on" ]
+diff <(printf '%s' "$ee_off") <(printf '%s' "$ee_on")
+
+echo "== tier-1: bench_earlyexit (refreshes BENCH_earlyexit.json) =="
+# Full-sweep full-run-vs-early-exit timing; asserts the reports match
+# and records the speedup with per-mechanism attribution.
+BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin bench_earlyexit >/dev/null
+grep -q '"reports_identical": true' BENCH_earlyexit.json
+
 echo "== tier-1: bj-fuzz smoke (fixed seed, 50 iterations) =="
 # Differential fuzz of the core against the interpreter: zero
 # mismatches, zero fault-free false detections, all guaranteed-site

@@ -166,6 +166,9 @@ fn main() {
             }
             exit(3);
         }
+        // bjsim never arms the campaign early-exit checks (stall window /
+        // quiesce cycle), so this is defensive only.
+        RunOutcome::EarlyExit(r) => println!("early exit ({r}) at cycle {}", s.cycles),
     }
     if quiet {
         return;

@@ -21,6 +21,16 @@
 //! from one continuously advancing core, so building `k` snapshots costs
 //! one fault-free prefix, not `k`.
 
+//! Two chain-building strategies exist. [`SnapshotChain::build`] pauses
+//! exactly one cycle before each known arming point (the *exact* chain:
+//! forks resume with zero catch-up). [`SnapshotChain::build_periodic`]
+//! snapshots every `interval` cycles in a single pass to completion
+//! without knowing the arms in advance — the early-exit campaign path
+//! uses it to make one instrumented reference run do triple duty (cycle
+//! count, site-usage schedule, snapshots); forks then catch up at most
+//! `interval - 1` fault-free cycles via [`SnapshotChain::fork_catchup`],
+//! which is exact for the same reason the fork itself is.
+
 use blackjack_faults::FaultPlan;
 use blackjack_sim::{Core, CoreSnapshot};
 
@@ -42,7 +52,10 @@ pub fn arming_schedule(fault_free_cycles: u64, sites: usize) -> Vec<u64> {
 /// arming point, ready to mint per-site injection cores.
 pub struct SnapshotChain {
     /// `(arm_cycle, snapshot at arm_cycle - 1)`, ascending by arm.
-    snaps: Vec<(u64, CoreSnapshot)>,
+    /// Boxed: `Core` is ~3 KB inline, and the periodic builder's sliding
+    /// retention compacts this vector every snapshot — through a `Box`
+    /// that's a 16-byte move per element instead of a deep memmove.
+    snaps: Vec<(u64, Box<CoreSnapshot>)>,
 }
 
 impl SnapshotChain {
@@ -63,9 +76,112 @@ impl SnapshotChain {
             // Incremental: continues from the previous pause, never from
             // cycle 0. `run` is a no-op once the core is done.
             core.run(arm.saturating_sub(1));
-            snaps.push((arm, core.snapshot()));
+            snaps.push((arm, Box::new(core.snapshot())));
         }
         SnapshotChain { snaps }
+    }
+
+    /// Builds a chain in one fault-free pass to *completion*, snapshotting
+    /// every `interval` cycles, with no advance knowledge of the arming
+    /// points — pair with [`SnapshotChain::fork_catchup`]. Returns the
+    /// chain and the completed core (whose cycle count is the arming
+    /// schedule's denominator, and whose site-usage tracker — if the
+    /// caller enabled one — holds the early-exit activation schedule).
+    ///
+    /// Because arms always land in the late half of the run
+    /// ([`arming_schedule`]), snapshots that fall behind the advancing
+    /// `cycle/2 - interval` horizon are dropped as the build progresses,
+    /// and the interval doubles (thinning the chain) if the retained set
+    /// grows past an internal bound — memory stays bounded for any run
+    /// length while every possible arm keeps a donor snapshot at most
+    /// `interval` cycles behind it.
+    ///
+    /// `expected_insts` — the run's final architectural instruction
+    /// count, when the caller knows it (campaigns learn it from the
+    /// golden functional run, whose `icount` is bit-equal to the lead
+    /// thread's final commit count) — lets the builder skip pauses that
+    /// provably cannot serve any arm. At most `width` instructions
+    /// commit per cycle, so at every pause
+    /// `N >= cycle + (expected_insts - committed) / width`; arms land in
+    /// `[N/2, N)`, so a pause at cycle `c` with `c + interval < lb/2` is
+    /// more than `interval` behind every possible arm and the *next*
+    /// pause is still at or before `arm - 1`. Skipping it loses no
+    /// donor — it only trims the dead early-run snapshots the sliding
+    /// horizon would have retired anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero, the core does not complete within
+    /// `max_cycles` (reference passes must be fault-free and halting),
+    /// or the completed pass commits a different instruction count than
+    /// `expected_insts` claims (a wrong bound could have skipped a
+    /// needed donor, so it fails loudly here instead).
+    pub fn build_periodic(
+        mut core: Core,
+        interval: u64,
+        max_cycles: u64,
+        expected_insts: Option<u64>,
+    ) -> (SnapshotChain, Core) {
+        assert!(interval > 0, "snapshot interval must be positive");
+        const MAX_RETAINED: usize = 96;
+        let mut interval = interval;
+        // Snapshots the sliding horizon retires go here and are refreshed
+        // in place ([`CoreSnapshot::refill_from`]) for the next pause:
+        // past the warm-up the builder takes snapshots without touching
+        // the allocator, which is most of its overhead over a plain
+        // reference run.
+        let mut spare: Vec<Box<CoreSnapshot>> = Vec::new();
+        let mut snaps: Vec<(u64, Box<CoreSnapshot>)> =
+            vec![(core.cycle(), Box::new(core.snapshot()))];
+        while !core.finished() {
+            let target = core.cycle() + interval;
+            assert!(
+                core.run(target.min(max_cycles)).completed() || core.cycle() < max_cycles,
+                "reference pass must complete within {max_cycles} cycles"
+            );
+            if let Some(insts) = expected_insts {
+                let remaining = insts.saturating_sub(core.stats().committed[0]);
+                let lower_bound = core.cycle() + remaining / core.config().width as u64;
+                if core.cycle() + interval < lower_bound / 2 {
+                    continue;
+                }
+            }
+            let snap = match spare.pop() {
+                Some(mut s) => {
+                    s.refill_from(&core);
+                    s
+                }
+                None => Box::new(core.snapshot()),
+            };
+            snaps.push((core.cycle(), snap));
+            // The run so far is a lower bound on its final length N, and
+            // arms are >= N/2, so anything behind cycle/2 - interval can
+            // no longer be the nearest donor for any arm.
+            let horizon = (core.cycle() / 2).saturating_sub(interval);
+            let cut = snaps.partition_point(|&(c, _)| c < horizon);
+            spare.extend(snaps.drain(..cut).map(|(_, s)| s));
+            if snaps.len() > MAX_RETAINED {
+                interval *= 2;
+                let iv = interval;
+                let kept = std::mem::take(&mut snaps);
+                for (c, s) in kept {
+                    if c % iv == 0 {
+                        snaps.push((c, s));
+                    } else {
+                        spare.push(s);
+                    }
+                }
+            }
+        }
+        if let Some(insts) = expected_insts {
+            assert_eq!(
+                core.stats().committed[0],
+                insts,
+                "expected instruction count must match the reference pass \
+                 (a wrong bound could have skipped a needed donor snapshot)"
+            );
+        }
+        (SnapshotChain { snaps }, core)
     }
 
     /// A core continuing from the snapshot for `arm` under `plan` — the
@@ -82,6 +198,32 @@ impl SnapshotChain {
             .binary_search_by_key(&arm, |&(a, _)| a)
             .unwrap_or_else(|_| panic!("no snapshot for arming cycle {arm}"));
         self.snaps[i].1.fork(plan)
+    }
+
+    /// Like [`SnapshotChain::fork`], but tolerant of arms the chain never
+    /// paused at: restores the nearest snapshot at or before `arm - 1`,
+    /// catches up the remaining fault-free cycles, then installs `plan`.
+    /// Exact for the same reason the plain fork is — every caught-up
+    /// cycle precedes the arming point, where the hooks are inert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan.arm_cycle() != arm` or no snapshot exists at or
+    /// before `arm - 1` (retention only ever drops snapshots that no
+    /// *scheduled* arm can need; an out-of-schedule arm can trip this).
+    pub fn fork_catchup(&self, arm: u64, plan: FaultPlan) -> Core {
+        assert_eq!(plan.arm_cycle(), arm, "plan must be armed at the requested fork point");
+        let target = arm.saturating_sub(1);
+        let i = self.snaps.partition_point(|(_, s)| s.cycle() <= target);
+        assert!(i > 0, "no snapshot at or before cycle {target} for arming cycle {arm}");
+        let mut core = self.snaps[i - 1].1.restore();
+        // The donor of an early-exit chain carries the reference pass's
+        // site-usage tracker; the fork doesn't need it (set_plan would
+        // drop it anyway) and catch-up shouldn't pay for the recording.
+        core.take_site_usage();
+        core.run(target);
+        core.set_plan(plan);
+        core
     }
 
     /// Number of distinct snapshots held.
@@ -151,6 +293,113 @@ mod tests {
                 "arm {arm}: memory must match"
             );
         }
+    }
+
+    #[test]
+    fn periodic_chain_forks_exactly_from_any_arm() {
+        let prog = build(Benchmark::Gzip, 1);
+        let cfg = CoreConfig::with_mode(Mode::Srt);
+
+        let (chain, reference) = SnapshotChain::build_periodic(
+            Core::new(cfg.clone(), &prog, FaultPlan::new()),
+            1024,
+            10_000_000,
+            None,
+        );
+        assert!(reference.finished(), "reference pass runs to completion");
+        let n = reference.cycle();
+        assert!(!chain.is_empty());
+        // Sliding retention: nothing older than the final horizon
+        // survives, so memory does not scale with the full run length.
+        for &c in &chain.arms() {
+            assert!(c + 1024 >= n / 2 || c + 2048 >= n / 2, "snapshot at {c} is behind the horizon");
+        }
+
+        // Arms the schedule would actually produce — including ones no
+        // chain pause landed on — fork exactly.
+        let fault = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 3);
+        for &arm in &[n / 2, n / 2 + 777, n * 3 / 4 + 1, n - 1] {
+            let plan = FaultPlan::single(fault).arm_at(arm);
+            let mut forked = chain.fork_catchup(arm, plan.clone());
+            let forked_out = forked.run(10_000_000);
+            let mut cold = Core::new(cfg.clone(), &prog, plan);
+            let cold_out = cold.run(10_000_000);
+            assert_eq!(forked_out, cold_out, "arm {arm}: outcome must match cold run");
+            assert_eq!(forked.cycle(), cold.cycle(), "arm {arm}: cycle count must match");
+            assert_eq!(
+                forked.mem().first_difference(cold.mem()),
+                None,
+                "arm {arm}: memory must match"
+            );
+        }
+    }
+
+    #[test]
+    fn hinted_periodic_chain_skips_dead_prefix_and_forks_exactly() {
+        let prog = build(Benchmark::Gzip, 1);
+        let cfg = CoreConfig::with_mode(Mode::Srt);
+        let mut golden = blackjack_isa::Interp::new(&prog);
+        golden.run(50_000_000).expect("golden run completes");
+
+        let (chain, reference) = SnapshotChain::build_periodic(
+            Core::new(cfg.clone(), &prog, FaultPlan::new()),
+            1024,
+            10_000_000,
+            Some(golden.icount()),
+        );
+        let n = reference.cycle();
+        // Every take the bound skips is one the sliding horizon would
+        // have retired anyway (skipped means c < lb/2 - interval <=
+        // N/2 - interval, which is behind the final horizon), so the
+        // finished chain is identical to the unhinted build's.
+        let (plain, _) = SnapshotChain::build_periodic(
+            Core::new(cfg.clone(), &prog, FaultPlan::new()),
+            1024,
+            10_000_000,
+            None,
+        );
+        assert_eq!(chain.arms(), plain.arms(), "hint must not change the finished chain");
+
+        // Every schedulable arm still forks exactly.
+        let fault = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 3);
+        for &arm in &[n / 2, n / 2 + 777, n * 3 / 4 + 1, n - 1] {
+            let plan = FaultPlan::single(fault).arm_at(arm);
+            let mut forked = chain.fork_catchup(arm, plan.clone());
+            let forked_out = forked.run(10_000_000);
+            let mut cold = Core::new(cfg.clone(), &prog, plan);
+            let cold_out = cold.run(10_000_000);
+            assert_eq!(forked_out, cold_out, "arm {arm}: outcome must match cold run");
+            assert_eq!(forked.cycle(), cold.cycle(), "arm {arm}: cycle count must match");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected instruction count must match")]
+    fn wrong_instruction_hint_fails_loudly() {
+        let prog = build(Benchmark::Gzip, 1);
+        let core = Core::new(CoreConfig::with_mode(Mode::Srt), &prog, FaultPlan::new());
+        let _ = SnapshotChain::build_periodic(core, 1024, 10_000_000, Some(7));
+    }
+
+    #[test]
+    fn catchup_fork_works_on_exact_chains_too() {
+        // The exact chain stores (arm, snapshot at arm-1); fork_catchup
+        // must find the donor by snapshot cycle and replay the one
+        // missing cycle.
+        let prog = build(Benchmark::Gzip, 1);
+        let cfg = CoreConfig::with_mode(Mode::Srt);
+        let mut probe = Core::new(cfg.clone(), &prog, FaultPlan::new());
+        assert!(probe.run(10_000_000).completed());
+        let n = probe.cycle();
+
+        let chain = SnapshotChain::build(Core::new(cfg.clone(), &prog, FaultPlan::new()), &[n / 2]);
+        let fault = HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 3);
+        let plan = FaultPlan::single(fault).arm_at(n / 2);
+        let mut a = chain.fork(n / 2, plan.clone());
+        let mut b = chain.fork_catchup(n / 2, plan);
+        assert_eq!(a.run(10_000_000), b.run(10_000_000));
+        assert_eq!(a.cycle(), b.cycle());
+        assert_eq!(a.mem().first_difference(b.mem()), None);
     }
 
     #[test]
