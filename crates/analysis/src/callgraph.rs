@@ -1,0 +1,540 @@
+//! Call-graph construction: partitioning a program into functions.
+//!
+//! A *function* is the set of blocks intraprocedurally reachable from an
+//! entry block. Entries are the program entry (block 0) plus the target
+//! of every [`Terminator::Call`]. Intraprocedural edges follow branches,
+//! jumps, and fall-throughs, and step *over* calls (from the call block
+//! to its continuation) — never into a callee.
+//!
+//! The partition is well-formed only when every block belongs to at most
+//! one function and no non-call edge crosses a function boundary. Any
+//! violation is recorded as a [`CgIssue`]; downstream passes
+//! ([`crate::interproc`]) fall back to the conservative intraprocedural
+//! analyses whenever an issue is present, so a messy program is never
+//! analyzed unsoundly — just imprecisely.
+
+use std::fmt;
+
+use crate::cfg::{Cfg, Terminator};
+
+/// One `jal`-with-link call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Block whose terminator is the call.
+    pub block: usize,
+    /// Instruction index of the `jal`.
+    pub inst: usize,
+    /// Function id of the caller.
+    pub caller: usize,
+    /// Function id of the callee.
+    pub callee: usize,
+    /// Continuation block (the block starting at the instruction after
+    /// the `jal`), or `None` when the call is the last instruction of
+    /// the text segment.
+    pub cont: Option<usize>,
+}
+
+/// A function: an entry block plus everything intraprocedurally
+/// reachable from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Entry block id.
+    pub entry: usize,
+    /// Member block ids, ascending.
+    pub blocks: Vec<usize>,
+    /// Member blocks ending in an indirect jump — return candidates for
+    /// the discipline proof in [`crate::radiscipline`].
+    pub returns: Vec<usize>,
+    /// Indices into [`CallGraph::call_sites`] of the calls this function
+    /// makes, in block order.
+    pub calls: Vec<usize>,
+}
+
+/// A structural problem that prevents a clean function partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgIssue {
+    /// A block is intraprocedurally reachable from two different
+    /// function entries.
+    SharedBlock {
+        /// The doubly-claimed block.
+        block: usize,
+        /// Function that claimed it first.
+        first: usize,
+        /// Function that reached it second.
+        second: usize,
+    },
+    /// A non-call edge (jump, branch, or fall-through) lands on another
+    /// function's entry — a tail transfer, or straight-line code flowing
+    /// into a called label.
+    TailTransfer {
+        /// Block the edge leaves from.
+        from_block: usize,
+        /// The foreign entry block it lands on.
+        to_entry: usize,
+    },
+    /// A call whose continuation would be past the end of the text
+    /// segment: the callee's return has nowhere to land.
+    NoContinuation {
+        /// Instruction index of the `jal`.
+        inst: usize,
+    },
+    /// The call graph contains a cycle (direct or mutual recursion);
+    /// the return-address discipline proof does not cover re-entrant
+    /// frames, so resolution is refused.
+    Recursive {
+        /// Function ids on the cycle, in discovery order.
+        cycle: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CgIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgIssue::SharedBlock { block, first, second } => write!(
+                f,
+                "block {block} belongs to both function {first} and function {second}"
+            ),
+            CgIssue::TailTransfer { from_block, to_entry } => write!(
+                f,
+                "non-call edge from block {from_block} into function entry block {to_entry}"
+            ),
+            CgIssue::NoContinuation { inst } => {
+                write!(f, "call at instruction {inst} has no continuation (end of text)")
+            }
+            CgIssue::Recursive { cycle } => write!(f, "recursive call cycle: {cycle:?}"),
+        }
+    }
+}
+
+/// The program's call graph and function partition.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// The functions, ordered by entry block id. Function 0 is `main`
+    /// (entered at block 0).
+    pub functions: Vec<Function>,
+    /// Per-block owner: `func_of[b]` is the function claiming block `b`,
+    /// or `None` for blocks unreachable from every entry.
+    pub func_of: Vec<Option<usize>>,
+    /// Every call site, in block order.
+    pub call_sites: Vec<CallSite>,
+    /// Structural problems found while partitioning. Empty for a clean
+    /// partition.
+    pub issues: Vec<CgIssue>,
+    /// Deepest call nesting reachable from `main`, in call edges
+    /// (0 = `main` calls nothing). `None` when the graph is recursive.
+    pub max_call_depth: Option<usize>,
+}
+
+/// The successor blocks execution can reach *within* the current
+/// function: branch/jump/fall-through edges, plus the continuation of a
+/// call (stepping over the callee). Empty for halts, indirect jumps,
+/// and proven returns.
+pub fn intra_succs(cfg: &Cfg, b: usize) -> Vec<usize> {
+    let blk = &cfg.blocks()[b];
+    match blk.term {
+        Terminator::Branch | Terminator::Jump | Terminator::FallThrough => blk.succs.clone(),
+        Terminator::Call => {
+            // The continuation starts right after the jal (it is always a
+            // leader); past-the-end means no continuation.
+            if blk.end < cfg.insts().len() {
+                vec![cfg.block_of(blk.end)]
+            } else {
+                Vec::new()
+            }
+        }
+        Terminator::Indirect
+        | Terminator::Return
+        | Terminator::Halt
+        | Terminator::FallsOffEnd => Vec::new(),
+    }
+}
+
+impl CallGraph {
+    /// Partitions `cfg` into functions and builds the call graph.
+    ///
+    /// Never fails: structural problems are reported in
+    /// [`CallGraph::issues`] instead, and blocks involved in a conflict
+    /// keep their first claimant.
+    pub fn build(cfg: &Cfg) -> CallGraph {
+        let nb = cfg.blocks().len();
+
+        // Entries: block 0 plus every call target (call targets are
+        // always leaders, so each is a block start).
+        let mut is_entry = vec![false; nb];
+        is_entry[0] = true;
+        for blk in cfg.blocks() {
+            if blk.term == Terminator::Call {
+                is_entry[blk.succs[0]] = true;
+            }
+        }
+        let entries: Vec<usize> = (0..nb).filter(|&b| is_entry[b]).collect();
+        let func_of_entry = |e: usize| entries.binary_search(&e).expect("entry enumerated");
+
+        // Flood each entry along intraprocedural edges.
+        let mut issues = Vec::new();
+        let mut func_of: Vec<Option<usize>> = vec![None; nb];
+        let mut functions: Vec<Function> = Vec::with_capacity(entries.len());
+        for (f, &entry) in entries.iter().enumerate() {
+            let mut blocks = Vec::new();
+            let mut stack = vec![entry];
+            func_of[entry] = Some(f);
+            blocks.push(entry);
+            while let Some(b) = stack.pop() {
+                for s in intra_succs(cfg, b) {
+                    if is_entry[s] && s != entry {
+                        issues.push(CgIssue::TailTransfer { from_block: b, to_entry: s });
+                        continue;
+                    }
+                    match func_of[s] {
+                        Some(g) if g == f => {}
+                        Some(g) => {
+                            issues.push(CgIssue::SharedBlock { block: s, first: g, second: f });
+                        }
+                        None => {
+                            func_of[s] = Some(f);
+                            blocks.push(s);
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+            blocks.sort_unstable();
+            let returns = blocks
+                .iter()
+                .copied()
+                .filter(|&b| cfg.blocks()[b].term == Terminator::Indirect)
+                .collect();
+            functions.push(Function { entry, blocks, returns, calls: Vec::new() });
+        }
+
+        // Call sites (only from claimed blocks; a call in unreachable
+        // code has no caller function and is ignored — the unreachable
+        // lint covers it).
+        let mut call_sites = Vec::new();
+        for (b, &owner) in func_of.iter().enumerate() {
+            let blk = &cfg.blocks()[b];
+            if blk.term != Terminator::Call {
+                continue;
+            }
+            let Some(caller) = owner else { continue };
+            let callee = func_of_entry(blk.succs[0]);
+            let inst = blk.end - 1;
+            let cont = if blk.end < cfg.insts().len() {
+                Some(cfg.block_of(blk.end))
+            } else {
+                issues.push(CgIssue::NoContinuation { inst });
+                None
+            };
+            functions[caller].calls.push(call_sites.len());
+            call_sites.push(CallSite { block: b, inst, caller, callee, cont });
+        }
+
+        // Recursion check (DFS three-coloring) over the function digraph.
+        let nf = functions.len();
+        let callees: Vec<Vec<usize>> = functions
+            .iter()
+            .map(|f| f.calls.iter().map(|&c| call_sites[c].callee).collect())
+            .collect();
+        if let Some(cycle) = find_cycle(&callees) {
+            issues.push(CgIssue::Recursive { cycle });
+        }
+        let recursive = issues.iter().any(|i| matches!(i, CgIssue::Recursive { .. }));
+
+        // Deepest call chain from main (edges), acyclic graphs only.
+        let max_call_depth = if recursive {
+            None
+        } else {
+            let mut depth = vec![None::<usize>; nf];
+            fn longest(f: usize, callees: &[Vec<usize>], depth: &mut [Option<usize>]) -> usize {
+                if let Some(d) = depth[f] {
+                    return d;
+                }
+                let d = callees[f]
+                    .iter()
+                    .map(|&c| 1 + longest(c, callees, depth))
+                    .max()
+                    .unwrap_or(0);
+                depth[f] = Some(d);
+                d
+            }
+            Some(longest(0, &callees, &mut depth))
+        };
+
+        CallGraph { functions, func_of, call_sites, issues, max_call_depth }
+    }
+
+    /// True when the partition is clean: every block has a unique owner,
+    /// no cross-function fall-through/jump, every call has a
+    /// continuation, and the graph is acyclic.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// True when the call graph contains a cycle.
+    pub fn recursive(&self) -> bool {
+        self.max_call_depth.is_none()
+    }
+
+    /// Functions in bottom-up order (callees before callers). Only
+    /// meaningful for acyclic graphs; with recursion the members of a
+    /// cycle appear in an arbitrary relative order.
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let nf = self.functions.len();
+        let mut order = Vec::with_capacity(nf);
+        let mut seen = vec![false; nf];
+        // Post-order DFS from every root so unreachable functions are
+        // covered too.
+        for root in 0..nf {
+            if seen[root] {
+                continue;
+            }
+            let mut stack = vec![(root, false)];
+            while let Some((f, expanded)) = stack.pop() {
+                if expanded {
+                    order.push(f);
+                    continue;
+                }
+                if seen[f] {
+                    continue;
+                }
+                seen[f] = true;
+                stack.push((f, true));
+                for &c in self.functions[f].calls.iter().rev() {
+                    let callee = self.call_sites[c].callee;
+                    if !seen[callee] {
+                        stack.push((callee, false));
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Functions in top-down order (callers before callees).
+    pub fn top_down(&self) -> Vec<usize> {
+        let mut order = self.bottom_up();
+        order.reverse();
+        order
+    }
+}
+
+/// Finds a cycle in the call digraph, if any, as the list of functions
+/// on it.
+fn find_cycle(callees: &[Vec<usize>]) -> Option<Vec<usize>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = callees.len();
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Iterative DFS keeping the gray path for cycle extraction.
+        let mut stack = vec![(root, 0usize)];
+        color[root] = GRAY;
+        while let Some(&(f, next)) = stack.last() {
+            if next >= callees[f].len() {
+                color[f] = BLACK;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("nonempty").1 += 1;
+            let c = callees[f][next];
+            match color[c] {
+                WHITE => {
+                    color[c] = GRAY;
+                    parent[c] = f;
+                    stack.push((c, 0));
+                }
+                GRAY => {
+                    // Found a back edge f -> c: walk the path back.
+                    let mut cycle = vec![c];
+                    let mut cur = f;
+                    while cur != c {
+                        cycle.push(cur);
+                        cur = parent[cur];
+                    }
+                    cycle.reverse();
+                    return Some(cycle);
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    fn graph(src: &str) -> (Cfg, CallGraph) {
+        let cfg = Cfg::build(&assemble(src).unwrap()).unwrap();
+        let cg = CallGraph::build(&cfg);
+        (cfg, cg)
+    }
+
+    #[test]
+    fn call_free_program_is_one_function() {
+        let (_, cg) = graph(
+            ".text
+                li   x1, 4
+            loop:
+                addi x1, x1, -1
+                bnez x1, loop
+                halt
+            ",
+        );
+        assert!(cg.is_clean());
+        assert_eq!(cg.functions.len(), 1);
+        assert_eq!(cg.max_call_depth, Some(0));
+        assert!(cg.call_sites.is_empty());
+    }
+
+    #[test]
+    fn leaf_call_partition() {
+        let (cfg, cg) = graph(
+            ".text
+                call fn
+                halt
+            fn:
+                addi x5, x0, 1
+                ret
+            ",
+        );
+        assert!(cg.is_clean(), "issues: {:?}", cg.issues);
+        assert_eq!(cg.functions.len(), 2);
+        assert_eq!(cg.max_call_depth, Some(1));
+        assert_eq!(cg.call_sites.len(), 1);
+        let site = &cg.call_sites[0];
+        assert_eq!(site.caller, 0);
+        assert_eq!(site.callee, 1);
+        // Continuation is the halt block.
+        let cont = site.cont.unwrap();
+        assert_eq!(cfg.blocks()[cont].term, Terminator::Halt);
+        assert_eq!(cg.functions[1].returns.len(), 1);
+    }
+
+    #[test]
+    fn nested_calls_depth() {
+        let (_, cg) = graph(
+            ".text
+                call outer
+                halt
+            outer:
+                addi sp, sp, -16
+                sd   x1, 8(sp)
+                call inner
+                ld   x1, 8(sp)
+                addi sp, sp, 16
+                ret
+            inner:
+                addi x5, x0, 2
+                ret
+            ",
+        );
+        assert!(cg.is_clean(), "issues: {:?}", cg.issues);
+        assert_eq!(cg.functions.len(), 3);
+        assert_eq!(cg.max_call_depth, Some(2));
+        // Bottom-up: inner before outer before main.
+        let bu = cg.bottom_up();
+        let pos = |f: usize| bu.iter().position(|&x| x == f).unwrap();
+        assert!(pos(2) < pos(1), "inner before outer: {bu:?}");
+        assert!(pos(1) < pos(0), "outer before main: {bu:?}");
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let (_, cg) = graph(
+            ".text
+                call f
+                halt
+            f:
+                addi x5, x5, -1
+                beqz x5, out
+                call f
+            out:
+                ret
+            ",
+        );
+        assert!(cg.recursive());
+        assert!(cg.issues.iter().any(|i| matches!(i, CgIssue::Recursive { .. })));
+        assert_eq!(cg.max_call_depth, None);
+    }
+
+    #[test]
+    fn tail_jump_flagged() {
+        let (_, cg) = graph(
+            ".text
+                call fn
+                halt
+            fn:
+                j    helper      # tail transfer into a called label
+            helper:
+                ret
+            ",
+        );
+        // helper is only an entry if something calls it; a plain jump
+        // target is fine. Make helper a real entry:
+        let (_, cg2) = graph(
+            ".text
+                call fn
+                call helper
+                halt
+            fn:
+                j    helper
+            helper:
+                ret
+            ",
+        );
+        assert!(cg.is_clean(), "jump to non-entry label is intraprocedural");
+        assert!(
+            cg2.issues.iter().any(|i| matches!(i, CgIssue::TailTransfer { .. })),
+            "issues: {:?}",
+            cg2.issues
+        );
+    }
+
+    #[test]
+    fn call_without_continuation_flagged() {
+        let (_, cg) = graph(
+            ".text
+                j    start
+            fn:
+                ret
+            start:
+                call fn
+            ",
+        );
+        assert!(
+            cg.issues.iter().any(|i| matches!(i, CgIssue::NoContinuation { .. })),
+            "issues: {:?}",
+            cg.issues
+        );
+    }
+
+    #[test]
+    fn shared_block_flagged() {
+        // Both main and fn fall into / branch to the same tail block
+        // that is not an entry.
+        let (_, cg) = graph(
+            ".text
+                call fn
+                j    tail
+            fn:
+                beqz x5, tail
+                ret
+            tail:
+                halt
+            ",
+        );
+        assert!(
+            cg.issues.iter().any(|i| matches!(i, CgIssue::SharedBlock { .. })),
+            "issues: {:?}",
+            cg.issues
+        );
+    }
+}

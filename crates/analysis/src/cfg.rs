@@ -5,16 +5,27 @@
 //! what the assembler's pseudo-ops looked like. Basic blocks are split at
 //! branch targets, after every control instruction, and after `halt`.
 //!
+//! Direct `jal`s that write a link register end their block with
+//! [`Terminator::Call`]: the CFG edge goes to the callee entry, and the
+//! interprocedural layer ([`crate::callgraph`] / [`crate::interproc`])
+//! pairs it with the continuation at the next instruction.
+//!
 //! Indirect jumps (`jalr`) have statically unknown successors; blocks
 //! ending in one are marked [`Terminator::Indirect`] and every analysis
 //! in this crate treats them conservatively (they may go anywhere that is
-//! in the text segment, and may reach `halt`).
+//! in the text segment, and may reach `halt`) — *unless* the
+//! return-address-discipline proof in [`crate::interproc`] upgrades them
+//! to [`Terminator::Return`] with real successor edges.
 
 use std::fmt;
 
 use blackjack_isa::{decode, DecodeError, Inst, Program, INST_BYTES};
 
 /// Why a program could not be turned into a CFG.
+///
+/// Every variant that has an offending instruction carries its PC and
+/// the decoded (or raw) form, so a failure on a generated program is
+/// actionable without a hexdump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CfgError {
     /// The text segment is empty.
@@ -23,6 +34,8 @@ pub enum CfgError {
     Decode {
         /// PC of the undecodable word.
         pc: u64,
+        /// The raw word that failed to decode (no decoded form exists).
+        word: u32,
         /// The decoder's error.
         err: DecodeError,
     },
@@ -31,6 +44,8 @@ pub enum CfgError {
     WildTarget {
         /// PC of the control instruction.
         pc: u64,
+        /// The decoded control instruction, rendered as assembly.
+        inst: String,
         /// The impossible target.
         target: u64,
     },
@@ -40,9 +55,14 @@ impl fmt::Display for CfgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CfgError::Empty => write!(f, "program has no instructions"),
-            CfgError::Decode { pc, err } => write!(f, "undecodable word at {pc:#x}: {err}"),
-            CfgError::WildTarget { pc, target } => {
-                write!(f, "control instruction at {pc:#x} targets {target:#x}, outside the text segment")
+            CfgError::Decode { pc, word, err } => {
+                write!(f, "undecodable word {word:#010x} at {pc:#x}: {err}")
+            }
+            CfgError::WildTarget { pc, inst, target } => {
+                write!(
+                    f,
+                    "`{inst}` at {pc:#x} targets {target:#x}, outside the text segment"
+                )
             }
         }
     }
@@ -55,10 +75,22 @@ impl std::error::Error for CfgError {}
 pub enum Terminator {
     /// Conditional branch: taken successor + fall-through.
     Branch,
-    /// Unconditional direct jump (`jal`).
+    /// Unconditional direct jump (`jal x0`, no link register written).
     Jump,
+    /// Direct call (`jal` writing a link register). The successor edge
+    /// goes to the callee entry; the continuation (next instruction) is
+    /// reached only through the callee's return, which the
+    /// interprocedural layer wires up when the return-address proof
+    /// holds.
+    Call,
     /// Indirect jump (`jalr`) — successors statically unknown.
     Indirect,
+    /// An indirect jump *proven* to be a function return by the
+    /// return-address-discipline proof. Successors are the continuation
+    /// blocks of every call site of the enclosing function. Never
+    /// produced by [`Cfg::build`]; only by
+    /// [`crate::interproc::Interproc`]'s resolution.
+    Return,
     /// `halt` — the program stops here.
     Halt,
     /// Plain fall-through into the next block (the block ended only
@@ -123,20 +155,26 @@ impl Cfg {
         let mut insts = Vec::with_capacity(n);
         for (i, &word) in prog.text().iter().enumerate() {
             let pc = base + i as u64 * INST_BYTES;
-            insts.push(decode(word).map_err(|err| CfgError::Decode { pc, err })?);
+            insts.push(decode(word).map_err(|err| CfgError::Decode { pc, word, err })?);
         }
 
         // Target of a direct control instruction at index `i`, as an
         // instruction index.
-        let target_idx = |i: usize, offset: i32| -> Result<usize, CfgError> {
+        let insts_ref = &insts;
+        let target_idx = move |i: usize, offset: i32| -> Result<usize, CfgError> {
             let pc = base + i as u64 * INST_BYTES;
+            let wild = |target| CfgError::WildTarget {
+                pc,
+                inst: insts_ref[i].to_string(),
+                target,
+            };
             let target = pc.wrapping_add(offset as i64 as u64);
             if target < base || !(target - base).is_multiple_of(INST_BYTES) {
-                return Err(CfgError::WildTarget { pc, target });
+                return Err(wild(target));
             }
             let idx = ((target - base) / INST_BYTES) as usize;
             if idx >= n {
-                return Err(CfgError::WildTarget { pc, target });
+                return Err(wild(target));
             }
             Ok(idx)
         };
@@ -200,7 +238,10 @@ impl Cfg {
                         (Terminator::FallsOffEnd, vec![t])
                     }
                 }
-                Inst::Jal { offset, .. } => (Terminator::Jump, vec![target_idx(last, offset)?]),
+                Inst::Jal { rd, offset } => {
+                    let term = if rd.is_zero() { Terminator::Jump } else { Terminator::Call };
+                    (term, vec![target_idx(last, offset)?])
+                }
                 Inst::Jalr { .. } => (Terminator::Indirect, Vec::new()),
                 Inst::Halt => (Terminator::Halt, Vec::new()),
                 _ => {
@@ -225,6 +266,26 @@ impl Cfg {
         }
 
         Ok(Cfg { insts, text_base: base, blocks, block_of })
+    }
+
+    /// Rewrites proven-return blocks: each `(block, continuations)` pair
+    /// flips the block's [`Terminator::Indirect`] to
+    /// [`Terminator::Return`] and wires successor/predecessor edges to
+    /// the given continuation blocks. Only the interprocedural
+    /// resolution pass ([`crate::interproc`]) may call this, and only
+    /// after the return-address-discipline proof has held for every
+    /// function.
+    pub(crate) fn resolve_returns(&mut self, returns: &[(usize, Vec<usize>)]) {
+        for (b, conts) in returns {
+            debug_assert_eq!(self.blocks[*b].term, Terminator::Indirect);
+            self.blocks[*b].term = Terminator::Return;
+            for &c in conts {
+                if !self.blocks[*b].succs.contains(&c) {
+                    self.blocks[*b].succs.push(c);
+                    self.blocks[c].preds.push(*b);
+                }
+            }
+        }
     }
 
     /// The decoded instructions, in text order.
@@ -514,6 +575,113 @@ mod tests {
         use blackjack_isa::ProgramBuilder;
         let p = ProgramBuilder::new("empty").build();
         assert_eq!(Cfg::build(&p).unwrap_err(), CfgError::Empty);
+    }
+
+    #[test]
+    fn call_terminator_distinguished_from_jump() {
+        let c = cfg(
+            ".text
+                call fn
+                halt
+            fn:
+                ret
+            ",
+        );
+        // Blocks: [call] [halt] [ret].
+        assert_eq!(c.blocks().len(), 3);
+        assert_eq!(c.blocks()[0].term, Terminator::Call);
+        assert_eq!(c.blocks()[0].succs, vec![2], "call edge goes to the callee, not the continuation");
+        assert_eq!(c.blocks()[2].term, Terminator::Indirect, "ret is indirect until proven a return");
+    }
+
+    #[test]
+    fn jal_as_final_instruction() {
+        // The call's continuation would fall off the end of text; the
+        // CFG itself still builds, with the call edge to the callee.
+        let c = cfg(
+            ".text
+                j    start
+            fn:
+                ret
+            start:
+                call fn
+            ",
+        );
+        assert_eq!(c.blocks().len(), 3);
+        let call_block = &c.blocks()[2];
+        assert_eq!(call_block.term, Terminator::Call);
+        assert_eq!(call_block.succs, vec![1]);
+    }
+
+    #[test]
+    fn jump_targeting_pc_zero_is_wild() {
+        use blackjack_isa::{ProgramBuilder, Reg, TEXT_BASE};
+        // A backward jump from TEXT_BASE to absolute pc 0: below the
+        // text segment, so the CFG must reject it — with the pc and the
+        // decoded instruction in the diagnostic.
+        let mut b = ProgramBuilder::new("wild");
+        b.push(Inst::Jal { rd: Reg::ZERO, offset: -(TEXT_BASE as i32) }).unwrap();
+        let err = Cfg::build(&b.build()).unwrap_err();
+        match err {
+            CfgError::WildTarget { pc, ref inst, target } => {
+                assert_eq!(pc, TEXT_BASE);
+                assert_eq!(target, 0);
+                assert!(inst.contains("jal"), "diagnostic names the instruction: {inst}");
+            }
+            other => panic!("expected WildTarget, got {other:?}"),
+        }
+        assert!(err.to_string().contains("jal"), "Display carries the instruction");
+    }
+
+    #[test]
+    fn branch_targeting_entry_is_valid_backedge() {
+        // Branching back to instruction 0 is legal: the entry block just
+        // gains a predecessor.
+        let c = cfg(
+            ".text
+            top:
+                addi x1, x1, 1
+                blt  x1, x2, top
+                halt
+            ",
+        );
+        assert_eq!(c.blocks().len(), 2);
+        assert!(c.blocks()[0].succs.contains(&0), "self edge via the backedge to pc 0");
+        assert!(c.blocks()[0].preds.contains(&0));
+    }
+
+    #[test]
+    fn single_instruction_self_loop_block() {
+        let c = cfg(
+            ".text
+                beqz x1, out
+            spin:
+                j    spin
+            out:
+                halt
+            ",
+        );
+        let spin = &c.blocks()[1];
+        assert_eq!(spin.len(), 1);
+        assert_eq!(spin.term, Terminator::Jump);
+        assert_eq!(spin.succs, vec![1], "self-loop: sole successor is itself");
+        assert!(!c.can_reach_halt()[1]);
+    }
+
+    #[test]
+    fn decode_error_carries_raw_word() {
+        use blackjack_isa::ProgramBuilder;
+        let mut b = ProgramBuilder::new("bad");
+        b.push_raw(0xffff_ffff);
+        let err = Cfg::build(&b.build()).unwrap_err();
+        match err {
+            CfgError::Decode { pc, word, .. } => {
+                assert_eq!(pc, blackjack_isa::TEXT_BASE);
+                assert_eq!(word, 0xffff_ffff);
+            }
+            other => panic!("expected Decode, got {other:?}"),
+        }
+        assert!(err.to_string().contains("0xffffffff"));
     }
 
     #[test]

@@ -1,0 +1,721 @@
+//! Interprocedural analysis: return resolution and summary-based
+//! dataflow.
+//!
+//! [`Interproc::analyze`] is the one entry point downstream consumers
+//! (the lints, `bj-lint`, the fuzz generator's self-check) use. It
+//! builds the CFG and call graph, runs the return-address-discipline
+//! proof ([`crate::radiscipline`]) over every function, and then picks
+//! one of two modes:
+//!
+//! * **Resolved** — the partition is clean, the call graph is acyclic,
+//!   and every function passed the proof. Every
+//!   [`Terminator::Indirect`] block is rewritten to
+//!   [`Terminator::Return`] with edges to all its callers'
+//!   continuations, and the dataflow results are computed
+//!   *per function* with call-site transfer functions built from
+//!   per-function summaries ([`FnSummary`]): `may_use`/`must_def` flow
+//!   bottom-up, entry contexts and return-liveness flow top-down. The
+//!   summaries matter for soundness, not just precision: definite
+//!   assignment over the edge-resolved graph alone would intersect
+//!   states across *different callers'* return paths — infeasible
+//!   executions — and report false uninitialized reads.
+//! * **Conservative** — anything failed. The results are exactly the
+//!   intraprocedural ones from [`crate::dataflow`], with the blanket
+//!   `jalr` conservatism, and the reasons are kept for diagnostics.
+//!
+//! # Soundness of the resolution
+//!
+//! The rewritten graph is used only for *may* analyses (reachability,
+//! can-reach-halt, liveness). Wiring every return to every caller's
+//! continuation is context-insensitive: it adds spurious
+//! cross-caller paths but never removes a feasible one, so
+//! over-approximating analyses stay sound. The discipline proof
+//! guarantees the dynamic successor of each rewritten `jalr` is one of
+//! the wired continuations: the register it jumps through holds the
+//! entry return address, every entry is reached only by `jal` link
+//! writes (tail transfers are partition issues), and each link value is
+//! some caller's continuation PC. DESIGN §2.13 gives the full argument.
+
+use blackjack_isa::{LogReg, Program};
+
+use crate::callgraph::{intra_succs, CallGraph};
+use crate::cfg::{Cfg, CfgError, Terminator};
+use crate::dataflow::{dead_defs, entry_defined, DefiniteAssign, RegSet};
+use crate::radiscipline::prove_function;
+
+/// Which analysis mode [`Interproc::analyze`] settled on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// All `jalr`s proven to be returns and rewritten; interprocedural
+    /// results are in effect.
+    Resolved,
+    /// Blanket `jalr` conservatism kept; each string explains one cause.
+    Conservative {
+        /// Human-readable reasons (partition issues, proof rejections).
+        reasons: Vec<String>,
+    },
+}
+
+/// Dataflow summary of one function, used as its call-site transfer
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnSummary {
+    /// Registers some path may read before writing (the function's
+    /// live-in): the *gen* of a call to it.
+    pub may_use: RegSet,
+    /// Registers written on every path from entry to a return (`ALL`
+    /// for functions that never return): the *kill* of a call to it.
+    pub must_def: RegSet,
+}
+
+/// The interprocedural analysis result for one program.
+#[derive(Debug, Clone)]
+pub struct Interproc {
+    name: String,
+    cfg: Cfg,
+    callgraph: CallGraph,
+    resolution: Resolution,
+    summaries: Vec<FnSummary>,
+    uninit: Vec<(usize, LogReg)>,
+    dead: Vec<(usize, LogReg)>,
+    reachable: Vec<bool>,
+    can_halt: Vec<bool>,
+}
+
+impl Interproc {
+    /// Builds the CFG, partitions it into functions, attempts return
+    /// resolution, and computes the dataflow results in whichever mode
+    /// applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError`] only for programs that cannot be analyzed at
+    /// all (empty text, undecodable word, wild branch target). Failed
+    /// resolution is *not* an error — it produces
+    /// [`Resolution::Conservative`].
+    pub fn analyze(prog: &Program) -> Result<Interproc, CfgError> {
+        let cfg = Cfg::build(prog)?;
+        let callgraph = CallGraph::build(&cfg);
+
+        let mut reasons: Vec<String> =
+            callgraph.issues.iter().map(|i| i.to_string()).collect();
+        if reasons.is_empty() {
+            for f in 0..callgraph.functions.len() {
+                if let Err(r) = prove_function(&cfg, &callgraph, f) {
+                    reasons.push(format!("function {f}: {r}"));
+                }
+            }
+        }
+
+        if !reasons.is_empty() {
+            let uninit = DefiniteAssign::uninit_reads(&cfg);
+            let dead = dead_defs(&cfg);
+            let reachable = cfg.reachable();
+            let can_halt = cfg.can_reach_halt();
+            return Ok(Interproc {
+                name: prog.name.clone(),
+                cfg,
+                callgraph,
+                resolution: Resolution::Conservative { reasons },
+                summaries: Vec::new(),
+                uninit,
+                dead,
+                reachable,
+                can_halt,
+            });
+        }
+
+        // Resolution: wire every return block of F to the continuation
+        // of every call site of F.
+        let mut cfg = cfg;
+        let mut rewrites: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (f, func) in callgraph.functions.iter().enumerate() {
+            let mut conts: Vec<usize> = callgraph
+                .call_sites
+                .iter()
+                .filter(|s| s.callee == f)
+                .map(|s| s.cont.expect("clean partition has continuations"))
+                .collect();
+            conts.sort_unstable();
+            conts.dedup();
+            for &r in &func.returns {
+                rewrites.push((r, conts.clone()));
+            }
+        }
+        cfg.resolve_returns(&rewrites);
+
+        let reachable = cfg.reachable();
+        let can_halt = cfg.can_reach_halt();
+        let engine = Engine::new(&cfg, &callgraph);
+        let summaries = engine.summaries();
+        let uninit = engine.uninit_reads(&summaries, &reachable);
+        let dead = engine.dead_defs(&summaries, &reachable);
+
+        Ok(Interproc {
+            name: prog.name.clone(),
+            cfg,
+            callgraph,
+            resolution: Resolution::Resolved,
+            summaries,
+            uninit,
+            dead,
+            reachable,
+            can_halt,
+        })
+    }
+
+    /// The analyzed program's name.
+    pub fn program_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The analyzed CFG. In [`Resolution::Resolved`] mode, proven
+    /// returns carry [`Terminator::Return`] with real successor edges.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The function partition and call sites.
+    pub fn callgraph(&self) -> &CallGraph {
+        &self.callgraph
+    }
+
+    /// Which mode the analysis settled on.
+    pub fn resolution(&self) -> &Resolution {
+        &self.resolution
+    }
+
+    /// True in [`Resolution::Resolved`] mode.
+    pub fn is_resolved(&self) -> bool {
+        self.resolution == Resolution::Resolved
+    }
+
+    /// True when no [`Terminator::Indirect`] conservatism remains: every
+    /// `jalr` in the program is a proven return.
+    pub fn fully_resolved(&self) -> bool {
+        self.is_resolved()
+            && self.cfg.blocks().iter().all(|b| b.term != Terminator::Indirect)
+    }
+
+    /// Per-function summaries (empty in conservative mode), indexed like
+    /// [`CallGraph::functions`].
+    pub fn summaries(&self) -> &[FnSummary] {
+        &self.summaries
+    }
+
+    /// Reads of possibly-undefined registers, `(inst index, reg)`,
+    /// sorted.
+    pub fn uninit_reads(&self) -> &[(usize, LogReg)] {
+        &self.uninit
+    }
+
+    /// Register writes never read afterwards, `(inst index, reg)`,
+    /// sorted. Stack-pointer writes are exempt: frame teardown before a
+    /// return is ABI bookkeeping, not a dead value.
+    pub fn dead_defs(&self) -> &[(usize, LogReg)] {
+        &self.dead
+    }
+
+    /// Per-block reachability over the analyzed graph.
+    pub fn reachable(&self) -> &[bool] {
+        &self.reachable
+    }
+
+    /// Per-block can-reach-halt over the analyzed graph.
+    pub fn can_reach_halt(&self) -> &[bool] {
+        &self.can_halt
+    }
+
+    /// Number of proven-return blocks in the analyzed graph.
+    pub fn resolved_returns(&self) -> usize {
+        self.cfg.blocks().iter().filter(|b| b.term == Terminator::Return).count()
+    }
+}
+
+/// Shared machinery for the per-function, summary-based dataflow passes.
+struct Engine<'a> {
+    cfg: &'a Cfg,
+    cg: &'a CallGraph,
+    /// Call-site index by call block, `usize::MAX` when the block is not
+    /// a call.
+    site_of_block: Vec<usize>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a Cfg, cg: &'a CallGraph) -> Engine<'a> {
+        let mut site_of_block = vec![usize::MAX; cfg.blocks().len()];
+        for (s, site) in cg.call_sites.iter().enumerate() {
+            site_of_block[site.block] = s;
+        }
+        Engine { cfg, cg, site_of_block }
+    }
+
+    /// The callee function of `block`'s call, if it ends in one.
+    fn callee_of(&self, block: usize) -> Option<usize> {
+        let s = self.site_of_block[block];
+        (s != usize::MAX).then(|| self.cg.call_sites[s].callee)
+    }
+
+    /// Bottom-up `may_use`/`must_def` for every function.
+    fn summaries(&self) -> Vec<FnSummary> {
+        let nf = self.cg.functions.len();
+        let mut sums = vec![FnSummary { may_use: RegSet::EMPTY, must_def: RegSet::ALL }; nf];
+        for f in self.cg.bottom_up() {
+            let (live_in, _) = self.fn_liveness(f, RegSet::EMPTY, &sums);
+            let (_, defined_out) = self.fn_defass(f, RegSet::EMPTY, &sums);
+            let func = &self.cg.functions[f];
+            let must_def = func
+                .returns
+                .iter()
+                .fold(RegSet::ALL, |acc, &r| acc.intersect(defined_out[r]));
+            sums[f] = FnSummary { may_use: live_in[func.entry], must_def };
+        }
+        sums
+    }
+
+    /// Backward liveness within function `f`, with `ret_live` flowing in
+    /// at its returns and summary transfer at its calls. The returned
+    /// vectors are program-sized; only `f`'s blocks are meaningful.
+    fn fn_liveness(
+        &self,
+        f: usize,
+        ret_live: RegSet,
+        sums: &[FnSummary],
+    ) -> (Vec<RegSet>, Vec<RegSet>) {
+        let nb = self.cfg.blocks().len();
+        let blocks = &self.cg.functions[f].blocks;
+        let mut gen = vec![RegSet::EMPTY; nb];
+        let mut kill = vec![RegSet::EMPTY; nb];
+        for &b in blocks {
+            let extra = self.callee_of(b).map(|c| (sums[c].may_use, sums[c].must_def));
+            let (g, k) = self.block_gen_kill(b, extra);
+            gen[b] = g;
+            kill[b] = k;
+        }
+        let mut live_in = vec![RegSet::EMPTY; nb];
+        let mut live_out = vec![RegSet::EMPTY; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in blocks.iter().rev() {
+                let mut out = if self.cfg.blocks()[b].term == Terminator::Return {
+                    ret_live
+                } else {
+                    RegSet::EMPTY
+                };
+                for s in intra_succs(self.cfg, b) {
+                    out = out.union(live_in[s]);
+                }
+                let inn = gen[b].union(out.minus(kill[b]));
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        (live_in, live_out)
+    }
+
+    /// Block-level gen/kill for liveness, with an optional trailing
+    /// `(uses, defs)` mega-operation modeling a call (the callee runs
+    /// *after* the `jal`'s own link write).
+    fn block_gen_kill(&self, b: usize, call_extra: Option<(RegSet, RegSet)>) -> (RegSet, RegSet) {
+        let blk = &self.cfg.blocks()[b];
+        let mut gen = RegSet::EMPTY;
+        let mut kill = RegSet::EMPTY;
+        for i in blk.start..blk.end {
+            let inst = &self.cfg.insts()[i];
+            for s in inst.srcs().filter(|r| !r.is_zero()) {
+                if !kill.contains(s) {
+                    gen.insert(s);
+                }
+            }
+            if let Some(d) = inst.dst() {
+                kill.insert(d);
+            }
+        }
+        if let Some((uses, defs)) = call_extra {
+            gen = gen.union(uses.minus(kill));
+            kill = kill.union(defs);
+        }
+        (gen, kill)
+    }
+
+    /// Forward must-define within function `f` from entry context `e`,
+    /// with summary transfer at its calls. Program-sized vectors; only
+    /// `f`'s blocks are meaningful (others stay `ALL`).
+    fn fn_defass(&self, f: usize, e: RegSet, sums: &[FnSummary]) -> (Vec<RegSet>, Vec<RegSet>) {
+        let nb = self.cfg.blocks().len();
+        let func = &self.cg.functions[f];
+        let mut block_defs = vec![RegSet::EMPTY; nb];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for &b in &func.blocks {
+            let blk = &self.cfg.blocks()[b];
+            for i in blk.start..blk.end {
+                if let Some(d) = self.cfg.insts()[i].dst() {
+                    block_defs[b].insert(d);
+                }
+            }
+            if let Some(c) = self.callee_of(b) {
+                block_defs[b] = block_defs[b].union(sums[c].must_def);
+            }
+            for s in intra_succs(self.cfg, b) {
+                preds[s].push(b);
+            }
+        }
+        let mut defined_in = vec![RegSet::ALL; nb];
+        let mut defined_out = vec![RegSet::ALL; nb];
+        defined_in[func.entry] = e;
+        defined_out[func.entry] = e.union(block_defs[func.entry]);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &func.blocks {
+                let inn = if b == func.entry {
+                    e
+                } else {
+                    preds[b].iter().fold(RegSet::ALL, |acc, &p| acc.intersect(defined_out[p]))
+                };
+                let out = inn.union(block_defs[b]);
+                if inn != defined_in[b] || out != defined_out[b] {
+                    defined_in[b] = inn;
+                    defined_out[b] = out;
+                    changed = true;
+                }
+            }
+        }
+        (defined_in, defined_out)
+    }
+
+    /// Top-down uninitialized-read collection: entry contexts flow from
+    /// callers (callers first), reads are checked per instruction.
+    fn uninit_reads(&self, sums: &[FnSummary], reachable: &[bool]) -> Vec<(usize, LogReg)> {
+        let nf = self.cg.functions.len();
+        let mut ctx = vec![RegSet::ALL; nf];
+        ctx[0] = entry_defined();
+        let mut out = Vec::new();
+        for f in self.cg.top_down() {
+            let (defined_in, _) = self.fn_defass(f, ctx[f], sums);
+            for &b in &self.cg.functions[f].blocks {
+                let blk = &self.cfg.blocks()[b];
+                let mut defined = defined_in[b];
+                for i in blk.start..blk.end {
+                    let inst = &self.cfg.insts()[i];
+                    if reachable[b] {
+                        for s in inst.srcs().filter(|r| !r.is_zero()) {
+                            if !defined.contains(s) {
+                                out.push((i, s));
+                            }
+                        }
+                    }
+                    if let Some(d) = inst.dst() {
+                        defined.insert(d);
+                    }
+                }
+                // Feed the callee's entry context (the jal's link write
+                // is already in `defined`). Unreachable call sites must
+                // not narrow the context: their "definedness" is vacuous.
+                if reachable[b] {
+                    if let Some(c) = self.callee_of(b) {
+                        ctx[c] = ctx[c].intersect(defined);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Top-down dead-definition collection: return-liveness flows from
+    /// callers' continuations (callers first). `sp` writes are exempt
+    /// (frame teardown is not a dead value).
+    fn dead_defs(&self, sums: &[FnSummary], reachable: &[bool]) -> Vec<(usize, LogReg)> {
+        let sp = LogReg::new(2);
+        let nb = self.cfg.blocks().len();
+        let mut live_in_global = vec![RegSet::EMPTY; nb];
+        let mut out = Vec::new();
+        for f in self.cg.top_down() {
+            // Union of liveness after every call to f.
+            let ret_live = self
+                .cg
+                .call_sites
+                .iter()
+                .filter(|s| s.callee == f)
+                .fold(RegSet::EMPTY, |acc, s| {
+                    acc.union(live_in_global[s.cont.expect("clean partition")])
+                });
+            let (live_in, live_out) = self.fn_liveness(f, ret_live, sums);
+            for &b in &self.cg.functions[f].blocks {
+                live_in_global[b] = live_in[b];
+            }
+            for &b in &self.cg.functions[f].blocks {
+                if !reachable[b] {
+                    continue;
+                }
+                let blk = &self.cfg.blocks()[b];
+                let mut live_now = live_out[b];
+                if let Some(c) = self.callee_of(b) {
+                    // In reverse order the callee runs before the jal.
+                    live_now = sums[c].may_use.union(live_now.minus(sums[c].must_def));
+                }
+                for i in (blk.start..blk.end).rev() {
+                    let inst = &self.cfg.insts()[i];
+                    if let Some(d) = inst.dst() {
+                        if !live_now.contains(d) && d != sp {
+                            out.push((i, d));
+                        }
+                        live_now.remove(d);
+                    }
+                    for s in inst.srcs().filter(|r| !r.is_zero()) {
+                        live_now.insert(s);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    fn analyze(src: &str) -> Interproc {
+        Interproc::analyze(&assemble(src).unwrap()).unwrap()
+    }
+
+    const CALL_PAIR: &str = ".text
+            li   x5, 3
+            call double
+            sd   x6, 0(x2)
+            halt
+        double:
+            add  x6, x5, x5
+            ret
+        ";
+
+    #[test]
+    fn leaf_call_fully_resolves() {
+        let ip = analyze(CALL_PAIR);
+        assert!(ip.is_resolved());
+        assert!(ip.fully_resolved(), "no Indirect left");
+        assert_eq!(ip.resolved_returns(), 1);
+        // The continuation (the store block) is reachable through the
+        // Return edge, and everything reaches halt.
+        assert!(ip.reachable().iter().all(|&r| r));
+        assert!(ip.can_reach_halt().iter().all(|&c| c));
+        assert!(ip.uninit_reads().is_empty(), "{:?}", ip.uninit_reads());
+        assert!(ip.dead_defs().is_empty(), "{:?}", ip.dead_defs());
+    }
+
+    #[test]
+    fn return_edge_targets_continuation() {
+        let ip = analyze(CALL_PAIR);
+        let cfg = ip.cfg();
+        let ret_block = cfg
+            .blocks()
+            .iter()
+            .position(|b| b.term == Terminator::Return)
+            .expect("one return");
+        let succs = &cfg.blocks()[ret_block].succs;
+        assert_eq!(succs.len(), 1);
+        let site = &ip.callgraph().call_sites[0];
+        assert_eq!(succs[0], site.cont.unwrap());
+    }
+
+    #[test]
+    fn summaries_capture_use_and_def() {
+        let ip = analyze(CALL_PAIR);
+        let double = &ip.summaries()[1];
+        let x5 = LogReg::new(5);
+        let x6 = LogReg::new(6);
+        let ra = LogReg::new(1);
+        assert!(double.may_use.contains(x5), "double reads x5");
+        assert!(double.may_use.contains(ra), "double returns through ra");
+        assert!(double.must_def.contains(x6), "double defines x6");
+        assert!(!double.must_def.contains(x5));
+    }
+
+    #[test]
+    fn interprocedural_liveness_sees_use_in_callee() {
+        // x5 is written in main and only read inside the callee: with
+        // blanket jalr conservatism nothing is reportable, but the
+        // summary-based pass must prove the write is NOT dead.
+        let ip = analyze(CALL_PAIR);
+        assert!(ip.dead_defs().is_empty());
+
+        // ...and a genuinely dead write in main is still caught.
+        let ip2 = analyze(
+            ".text
+                li   x5, 3
+                li   x7, 9        # dead: nothing reads x7
+                call double
+                sd   x6, 0(x2)
+                halt
+            double:
+                add  x6, x5, x5
+                ret
+            ",
+        );
+        let dead: Vec<LogReg> = ip2.dead_defs().iter().map(|&(_, r)| r).collect();
+        assert_eq!(dead, vec![LogReg::new(7)], "{:?}", ip2.dead_defs());
+    }
+
+    #[test]
+    fn interprocedural_definite_assignment_through_call() {
+        // The callee defines x6 on every path; the continuation's read
+        // of x6 is therefore fine — and x9, defined nowhere, is caught.
+        let ip = analyze(
+            ".text
+                li   x5, 3
+                call f
+                add  x8, x6, x9   # x6 ok (callee), x9 uninit
+                sd   x8, 0(x2)
+                halt
+            f:
+                add  x6, x5, x5
+                ret
+            ",
+        );
+        assert!(ip.is_resolved());
+        let regs: Vec<LogReg> = ip.uninit_reads().iter().map(|&(_, r)| r).collect();
+        assert_eq!(regs, vec![LogReg::new(9)], "{:?}", ip.uninit_reads());
+    }
+
+    #[test]
+    fn no_false_uninit_across_different_callers() {
+        // Caller A defines x10 before calling f; caller B defines x11.
+        // Context-insensitive *graph* intersection at f's return would
+        // merge the two return paths and flag both continuations'
+        // reads; the summary-based pass must flag neither.
+        let ip = analyze(
+            ".text
+                li   x10, 1
+                call f
+                sd   x10, 0(x2)   # fine: x10 defined on this path
+                li   x11, 2
+                call f
+                sd   x11, 8(x2)   # fine: x11 defined on this path
+                halt
+            f:
+                addi x20, x0, 1
+                ret
+            ",
+        );
+        assert!(ip.is_resolved());
+        assert!(ip.uninit_reads().is_empty(), "{:?}", ip.uninit_reads());
+    }
+
+    #[test]
+    fn recursion_falls_back_conservative() {
+        let ip = analyze(
+            ".text
+                li   x5, 3
+                call f
+                halt
+            f:
+                addi x5, x5, -1
+                beqz x5, done
+                call f
+            done:
+                ret
+            ",
+        );
+        assert!(!ip.is_resolved());
+        let Resolution::Conservative { reasons } = ip.resolution() else {
+            panic!("expected conservative");
+        };
+        assert!(reasons.iter().any(|r| r.contains("recursive")), "{reasons:?}");
+        // Conservative results match the plain intraprocedural passes.
+        assert_eq!(ip.resolved_returns(), 0);
+    }
+
+    #[test]
+    fn discipline_violation_falls_back_conservative() {
+        let ip = analyze(
+            ".text
+                call f
+                halt
+            f:
+                call leaf     # ra clobbered, never saved
+                ret
+            leaf:
+                ret
+            ",
+        );
+        assert!(!ip.is_resolved());
+        let Resolution::Conservative { reasons } = ip.resolution() else {
+            panic!("expected conservative");
+        };
+        assert!(reasons.iter().any(|r| r.contains("not proven to hold ra")), "{reasons:?}");
+    }
+
+    #[test]
+    fn call_free_program_matches_intraprocedural_results() {
+        let src = ".text
+                li   x1, 4
+                li   x2, 0
+            loop:
+                addi x2, x2, 1
+                blt  x2, x1, loop
+                sd   x2, 0(x2)
+                halt
+            ";
+        let ip = analyze(src);
+        assert!(ip.is_resolved(), "call-free programs resolve trivially");
+        let cfg = Cfg::build(&assemble(src).unwrap()).unwrap();
+        assert_eq!(ip.uninit_reads(), DefiniteAssign::uninit_reads(&cfg).as_slice());
+        assert_eq!(ip.dead_defs(), dead_defs(&cfg).as_slice());
+        assert_eq!(ip.reachable(), cfg.reachable().as_slice());
+        assert_eq!(ip.can_reach_halt(), cfg.can_reach_halt().as_slice());
+    }
+
+    #[test]
+    fn never_returning_callee_leaves_continuation_unreachable() {
+        let ip = analyze(
+            ".text
+                call f
+                addi x5, x0, 1    # unreachable: f never returns
+                halt
+            f:
+                halt
+            ",
+        );
+        assert!(ip.is_resolved());
+        assert_eq!(ip.resolved_returns(), 0);
+        let cont_block = ip.callgraph().call_sites[0].cont.unwrap();
+        assert!(!ip.reachable()[cont_block]);
+    }
+
+    #[test]
+    fn nested_spill_chain_resolves() {
+        let ip = analyze(
+            ".text
+                li   x5, 10
+                call outer
+                sd   x6, 0(x2)
+                halt
+            outer:
+                addi sp, sp, -16
+                sd   x1, 8(sp)
+                call inner
+                addi x6, x6, 1
+                ld   x1, 8(sp)
+                addi sp, sp, 16
+                ret
+            inner:
+                add  x6, x5, x5
+                ret
+            ",
+        );
+        assert!(ip.fully_resolved(), "{:?}", ip.resolution());
+        assert_eq!(ip.resolved_returns(), 2);
+        assert_eq!(ip.callgraph().max_call_depth, Some(2));
+        assert!(ip.uninit_reads().is_empty(), "{:?}", ip.uninit_reads());
+        assert!(ip.dead_defs().is_empty(), "{:?}", ip.dead_defs());
+        assert!(ip.can_reach_halt().iter().all(|&c| c));
+    }
+}

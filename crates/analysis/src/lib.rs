@@ -11,6 +11,12 @@
 //!   never-written registers, dead definitions, unbounded loops,
 //!   running off the end of the text segment). The workload suite is
 //!   lint-clean by test.
+//! * [`callgraph`] / [`radiscipline`] / [`interproc`] — the
+//!   interprocedural layer: function partitioning from `jal`-with-link
+//!   call sites, a return-address-discipline proof per function, and —
+//!   when every function passes — resolution of `jalr` returns into
+//!   real CFG edges plus summary-based interprocedural dataflow, so
+//!   the lints stay precise across call boundaries.
 //! * [`reach`] — static fault-site reachability: which backend ways a
 //!   program can possibly exercise, so injection campaigns can prove
 //!   the remaining sites benign without simulating them.
@@ -24,14 +30,20 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
+pub mod interproc;
 pub mod lint;
+pub mod radiscipline;
 pub mod reach;
 pub mod shuffle_check;
 
+pub use callgraph::{CallGraph, CallSite, CgIssue, Function};
 pub use cfg::{BasicBlock, Cfg, CfgError, Terminator};
 pub use dataflow::{dead_defs, DefiniteAssign, Liveness, ReachingDefs, RegSet};
-pub use lint::{lint_program, Lint, LintReport};
+pub use interproc::{FnSummary, Interproc, Resolution};
+pub use lint::{lint_interproc, lint_program, Lint, LintReport};
+pub use radiscipline::{prove_function, RaProof, RaReject};
 pub use reach::{FuMix, SiteAnalysis};
 pub use shuffle_check::{verify_default, verify_shuffle, ShuffleCheckError, ShuffleProof};

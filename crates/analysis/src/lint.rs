@@ -8,8 +8,9 @@ use std::fmt;
 
 use blackjack_isa::{LogReg, Program};
 
-use crate::cfg::{Cfg, CfgError, Terminator};
-use crate::dataflow::{dead_defs, DefiniteAssign};
+use crate::callgraph::CgIssue;
+use crate::cfg::{CfgError, Terminator};
+use crate::interproc::{Interproc, Resolution};
 
 /// One static finding about a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,9 +127,13 @@ impl LintReport {
 
 /// Runs every lint over `prog`.
 ///
-/// Programs containing indirect jumps (`jalr`) get conservative results:
-/// reachability- and termination-based lints are suppressed because the
-/// static CFG cannot see where an indirect jump lands.
+/// The lints run over the interprocedural analysis
+/// ([`Interproc::analyze`]). When every `jalr` is a proven return
+/// ([`Resolution::Resolved`]), the full lint set applies with
+/// call-aware dataflow. Otherwise the analysis is conservative:
+/// reachability- and termination-based lints are suppressed when an
+/// unresolved indirect jump exists, because the static CFG cannot see
+/// where it lands.
 ///
 /// # Errors
 ///
@@ -136,15 +141,24 @@ impl LintReport {
 /// (empty text, undecodable word, or a branch target outside the text
 /// segment) — those are hard errors, not lints.
 pub fn lint_program(prog: &Program) -> Result<LintReport, CfgError> {
-    let cfg = Cfg::build(prog)?;
+    Ok(lint_interproc(&Interproc::analyze(prog)?))
+}
+
+/// Derives the lint report from an already-computed interprocedural
+/// analysis (lets callers that also want call-graph stats analyze once).
+pub fn lint_interproc(ip: &Interproc) -> LintReport {
+    let cfg = ip.cfg();
     let mut lints = Vec::new();
 
+    // In resolved mode no Indirect block remains, so the full lint set
+    // applies; in conservative mode an unresolved jalr suppresses the
+    // reachability- and termination-based lints exactly as before.
     let has_indirect = cfg
         .blocks()
         .iter()
         .any(|b| b.term == Terminator::Indirect);
 
-    let reachable = cfg.reachable();
+    let reachable = ip.reachable();
     if !has_indirect {
         for (b, blk) in cfg.blocks().iter().enumerate() {
             if !reachable[b] {
@@ -156,7 +170,7 @@ pub fn lint_program(prog: &Program) -> Result<LintReport, CfgError> {
             }
         }
 
-        let can_halt = cfg.can_reach_halt();
+        let can_halt = ip.can_reach_halt();
         for (b, blk) in cfg.blocks().iter().enumerate() {
             if reachable[b] && !can_halt[b] && blk.term != Terminator::FallsOffEnd {
                 lints.push(Lint::NoHaltPath { block: b, pc: cfg.pc_of(blk.start) });
@@ -170,21 +184,35 @@ pub fn lint_program(prog: &Program) -> Result<LintReport, CfgError> {
         }
     }
 
-    for (i, reg) in DefiniteAssign::uninit_reads(&cfg) {
+    // A call whose continuation would be past the end of text: the
+    // callee's return has nowhere to land. Surfaced as falls-off-end at
+    // the call.
+    if let Resolution::Conservative { .. } = ip.resolution() {
+        for issue in &ip.callgraph().issues {
+            if let CgIssue::NoContinuation { inst } = issue {
+                let b = cfg.block_of(*inst);
+                if reachable[b] {
+                    lints.push(Lint::FallsOffEnd { block: b, pc: cfg.pc_of(*inst) });
+                }
+            }
+        }
+    }
+
+    for &(i, reg) in ip.uninit_reads() {
         lints.push(Lint::UninitRead { inst: i, pc: cfg.pc_of(i), reg });
     }
 
-    for (i, reg) in dead_defs(&cfg) {
+    for &(i, reg) in ip.dead_defs() {
         lints.push(Lint::DeadDef { inst: i, pc: cfg.pc_of(i), reg });
     }
 
     lints.sort_by_key(|l| l.pc());
-    Ok(LintReport {
-        program: prog.name.clone(),
+    LintReport {
+        program: ip.program_name().to_string(),
         lints,
         blocks: cfg.blocks().len(),
         insts: cfg.insts().len(),
-    })
+    }
 }
 
 #[cfg(test)]

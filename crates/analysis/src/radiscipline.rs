@@ -1,0 +1,563 @@
+//! The return-address-discipline proof.
+//!
+//! For each function of the [`crate::callgraph`] partition, this module
+//! proves (or refuses to prove) that every `jalr` in the function is a
+//! *return to the caller*: an indirect jump through a register that
+//! still holds the return address the function was entered with, at a
+//! point where the stack pointer is back at its entry value. When the
+//! proof holds for every function, [`crate::interproc`] may soundly
+//! rewrite those `jalr`s as [`crate::cfg::Terminator::Return`] edges to
+//! the callers' continuations.
+//!
+//! # The abstract domain
+//!
+//! A forward must-analysis per function tracks three facts:
+//!
+//! * `holds_ra` — the set of registers proven to hold the entry return
+//!   address (seeded with `ra`/`x1`; `mv`-style copies propagate it,
+//!   any other write removes it, and a call clobbers all of it).
+//! * `sp_delta` — the stack pointer's offset from its entry value.
+//!   `addi sp, sp, imm` moves it; any other write makes it *unknown*.
+//!   An unknown delta is not a rejection by itself (call-free kernels
+//!   legitimately use `x2` as a general register) — it rejects only at
+//!   the points where the proof needs the frame: spilling or reloading
+//!   `ra`, and the balance check at a return. A function that returns
+//!   must have a known, zero delta — its caller's slot-survival
+//!   argument depends on the callee restoring `sp`.
+//! * `saved` — entry-`sp`-relative 8-byte slots proven to hold the
+//!   return address (a `sd ra, off(sp)` spill). Slots must lie
+//!   *strictly below* the entry `sp` — that is the frame argument: a
+//!   callee's own spills land strictly below *its* entry `sp`, which is
+//!   the caller's current `sp`, so a caller slot at or above the
+//!   current `sp` survives any well-disciplined callee. Overlapping
+//!   `sp`-relative stores kill a slot; a matching `ld` resurrects the
+//!   address into a register.
+//!
+//! Stores through non-`sp` bases are assumed not to touch the frame.
+//! This is the one unchecked ABI assumption of the proof (a heap store
+//! aliasing the stack would break it); the workload generator and the
+//! kernels keep data segments disjoint from the stack by construction,
+//! and DESIGN §2.13 spells the assumption out.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use blackjack_isa::{AluOp, Inst, LogReg, MemWidth};
+
+use crate::callgraph::{intra_succs, CallGraph};
+use crate::cfg::{Cfg, Terminator};
+use crate::dataflow::RegSet;
+
+/// Unified index of the link register `ra`/`x1`.
+const RA: u8 = 1;
+/// Unified index of the stack pointer `sp`/`x2`.
+const SP: u8 = 2;
+
+/// Why a function failed the return-address-discipline proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaReject {
+    /// A return executed with the stack pointer clobbered by something
+    /// other than `addi sp, sp, imm`, so the entry offset is unknown.
+    SpClobbered {
+        /// Instruction index of the return.
+        inst: usize,
+    },
+    /// The return address is stored somewhere the proof cannot track:
+    /// a non-`sp` base, a non-doubleword width, or with `sp` itself
+    /// untracked.
+    EscapingRaStore {
+        /// Offending instruction index.
+        inst: usize,
+    },
+    /// The return address is spilled at or above the function's entry
+    /// `sp`, where a disciplined caller's own frame lives.
+    AboveFrameStore {
+        /// Offending instruction index.
+        inst: usize,
+    },
+    /// A `jalr` that is not return-shaped (`jalr x0, 0(rs1)`).
+    NonReturnJalr {
+        /// Offending instruction index.
+        inst: usize,
+    },
+    /// A return-shaped `jalr` through a register not proven to hold the
+    /// entry return address.
+    UnprovenReturn {
+        /// Offending instruction index.
+        inst: usize,
+    },
+    /// A return executed with the stack pointer away from its entry
+    /// value (unbalanced frame).
+    UnbalancedReturn {
+        /// Offending instruction index.
+        inst: usize,
+        /// The `sp` offset from entry at the return.
+        delta: i64,
+    },
+    /// Two paths reach a block with different `sp` offsets, so no
+    /// single frame shape describes it.
+    InconsistentStack {
+        /// The join block.
+        block: usize,
+    },
+}
+
+impl fmt::Display for RaReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaReject::SpClobbered { inst } => {
+                write!(f, "instruction {inst} returns with sp clobbered (offset from entry unknown)")
+            }
+            RaReject::EscapingRaStore { inst } => {
+                write!(f, "instruction {inst} stores the return address outside the tracked frame")
+            }
+            RaReject::AboveFrameStore { inst } => {
+                write!(f, "instruction {inst} spills the return address at or above the entry sp")
+            }
+            RaReject::NonReturnJalr { inst } => {
+                write!(f, "instruction {inst} is a jalr that is not `jalr x0, 0(rs1)`")
+            }
+            RaReject::UnprovenReturn { inst } => {
+                write!(f, "instruction {inst} returns through a register not proven to hold ra")
+            }
+            RaReject::UnbalancedReturn { inst, delta } => {
+                write!(f, "instruction {inst} returns with sp {delta:+} bytes from its entry value")
+            }
+            RaReject::InconsistentStack { block } => {
+                write!(f, "block {block} is reached with conflicting sp offsets")
+            }
+        }
+    }
+}
+
+/// Evidence that a function obeys the return-address discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaProof {
+    /// Number of proven return blocks.
+    pub returns: usize,
+    /// True when the proof needed the save/restore reasoning (the
+    /// function spills `ra` to its frame somewhere).
+    pub spills_ra: bool,
+}
+
+/// The abstract state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RaState {
+    holds_ra: RegSet,
+    /// Offset of `sp` from its function-entry value; `None` once a
+    /// non-`addi` write made it unknown.
+    sp_delta: Option<i64>,
+    saved: BTreeSet<i64>,
+}
+
+impl RaState {
+    /// Must-join of two path states. `None` means two *known but
+    /// different* `sp` offsets meet — no single frame shape describes
+    /// the join block, which is a rejection.
+    fn join(&self, other: &RaState) -> Option<RaState> {
+        let sp_delta = match (self.sp_delta, other.sp_delta) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            (Some(_), Some(_)) => return None,
+            _ => None::<i64>,
+        };
+        // With an unknown delta, slot addresses are unanchored: drop
+        // them (the must-join of an anchored and an unanchored frame).
+        let saved = if sp_delta.is_some() {
+            self.saved.intersection(&other.saved).copied().collect()
+        } else {
+            BTreeSet::new()
+        };
+        Some(RaState {
+            holds_ra: self.holds_ra.intersect(other.holds_ra),
+            sp_delta,
+            saved,
+        })
+    }
+}
+
+/// Runs the discipline proof over one function of the partition.
+///
+/// `func` indexes [`CallGraph::functions`]. For function 0 (`main`,
+/// which nothing calls) the entry `ra` is *not* a valid return address,
+/// so any `jalr` in it is rejected.
+///
+/// # Errors
+///
+/// Returns the first [`RaReject`] encountered; the function's `jalr`s
+/// must then stay [`Terminator::Indirect`].
+pub fn prove_function(cfg: &Cfg, cg: &CallGraph, func: usize) -> Result<RaProof, RaReject> {
+    let f = &cg.functions[func];
+    let entry_state = RaState {
+        holds_ra: if func == 0 {
+            RegSet::EMPTY // nothing called main: ra is garbage at entry
+        } else {
+            RegSet::single(LogReg::new(RA))
+        },
+        sp_delta: Some(0),
+        saved: BTreeSet::new(),
+    };
+
+    let nb = cfg.blocks().len();
+    let mut in_state: Vec<Option<RaState>> = vec![None; nb];
+    in_state[f.entry] = Some(entry_state);
+    let mut work = vec![f.entry];
+    let mut spills_ra = false;
+
+    while let Some(b) = work.pop() {
+        let mut st = in_state[b].clone().expect("on worklist implies state set");
+        let blk = &cfg.blocks()[b];
+        let is_call = blk.term == Terminator::Call;
+        let is_ret = blk.term == Terminator::Indirect;
+        for i in blk.start..blk.end {
+            let inst = &cfg.insts()[i];
+            if is_ret && i == blk.end - 1 {
+                check_return(&st, i, inst)?;
+                break;
+            }
+            step(&mut st, i, inst, &mut spills_ra)?;
+        }
+        if is_call {
+            // The callee may clobber every register, and may overwrite
+            // anything strictly below the current sp (its own frame
+            // space). Slots at or above the current sp survive. Saved
+            // slots imply a known delta (spills require one).
+            st.holds_ra = RegSet::EMPTY;
+            if let Some(delta) = st.sp_delta {
+                st.saved.retain(|&s| s >= delta);
+            } else {
+                debug_assert!(st.saved.is_empty(), "spill recorded without a known sp");
+                st.saved.clear();
+            }
+        }
+        for s in intra_succs(cfg, b) {
+            match &in_state[s] {
+                None => {
+                    in_state[s] = Some(st.clone());
+                    work.push(s);
+                }
+                Some(prev) => {
+                    let joined = prev
+                        .join(&st)
+                        .ok_or(RaReject::InconsistentStack { block: s })?;
+                    if &joined != prev {
+                        in_state[s] = Some(joined);
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(RaProof { returns: f.returns.len(), spills_ra })
+}
+
+/// Checks a function-ending `jalr` for return shape and a proven state.
+fn check_return(st: &RaState, i: usize, inst: &Inst) -> Result<(), RaReject> {
+    let Inst::Jalr { rd, rs1, offset } = *inst else {
+        unreachable!("Indirect terminator is always a jalr");
+    };
+    if !rd.is_zero() || offset != 0 {
+        return Err(RaReject::NonReturnJalr { inst: i });
+    }
+    if !st.holds_ra.contains(rs1.into()) {
+        return Err(RaReject::UnprovenReturn { inst: i });
+    }
+    match st.sp_delta {
+        None => Err(RaReject::SpClobbered { inst: i }),
+        Some(delta) if delta != 0 => Err(RaReject::UnbalancedReturn { inst: i, delta }),
+        Some(_) => Ok(()),
+    }
+}
+
+/// The per-instruction transfer function.
+fn step(st: &mut RaState, i: usize, inst: &Inst, spills_ra: &mut bool) -> Result<(), RaReject> {
+    let sp = LogReg::new(SP);
+    match *inst {
+        // The tracked sp writer: frame push/pop by immediate.
+        Inst::AluImm { op: AluOp::Add, rd, rs1, imm }
+            if rd.index() == SP && rs1.index() == SP =>
+        {
+            st.sp_delta = st.sp_delta.map(|d| d + imm as i64);
+            st.holds_ra.remove(sp);
+            Ok(())
+        }
+        // Any other sp write unanchors the frame. Not a rejection by
+        // itself — call-free code uses x2 freely — but every saved slot
+        // is lost and a later return will fail the balance check.
+        _ if inst.dst() == Some(sp) => {
+            st.sp_delta = None;
+            st.saved.clear();
+            st.holds_ra.remove(sp);
+            Ok(())
+        }
+        Inst::Store { width, rs1: base, rs2: val, offset } => {
+            if !val.is_zero() && st.holds_ra.contains(val.into()) {
+                // Spilling the return address: only full-width,
+                // sp-based with a known delta, strictly below the
+                // entry sp.
+                if base.index() != SP || width != MemWidth::Double {
+                    return Err(RaReject::EscapingRaStore { inst: i });
+                }
+                let Some(delta) = st.sp_delta else {
+                    return Err(RaReject::EscapingRaStore { inst: i });
+                };
+                let slot = delta + offset as i64;
+                if slot >= 0 {
+                    return Err(RaReject::AboveFrameStore { inst: i });
+                }
+                st.saved.insert(slot);
+                *spills_ra = true;
+            } else if base.index() == SP {
+                if let Some(delta) = st.sp_delta {
+                    kill_overlap(&mut st.saved, delta + offset as i64, width.bytes() as i64);
+                }
+                // Unknown delta: saved is already empty (spills require
+                // a known one, clobbers clear it), nothing to kill.
+            }
+            Ok(())
+        }
+        Inst::FStore { rs1: base, offset, .. } => {
+            if base.index() == SP {
+                if let Some(delta) = st.sp_delta {
+                    kill_overlap(&mut st.saved, delta + offset as i64, 8);
+                }
+            }
+            Ok(())
+        }
+        // Reloading a spilled return address.
+        Inst::Load { width: MemWidth::Double, rd, rs1: base, offset }
+            if base.index() == SP
+                && st.sp_delta.is_some_and(|d| st.saved.contains(&(d + offset as i64))) =>
+        {
+            if !rd.is_zero() {
+                st.holds_ra.insert(rd.into());
+            }
+            Ok(())
+        }
+        // `mv rd, rs` (assembled as `addi rd, rs, 0`) propagates the
+        // return address between registers.
+        Inst::AluImm { op: AluOp::Add, rd, rs1, imm: 0 }
+            if st.holds_ra.contains(rs1.into()) && !rd.is_zero() =>
+        {
+            st.holds_ra.insert(rd.into());
+            Ok(())
+        }
+        _ => {
+            if let Some(d) = inst.dst() {
+                st.holds_ra.remove(d);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Removes every 8-byte slot overlapping `[lo, lo + len)`.
+fn kill_overlap(saved: &mut BTreeSet<i64>, lo: i64, len: i64) {
+    saved.retain(|&s| s + 8 <= lo || s >= lo + len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blackjack_isa::asm::assemble;
+
+    fn prove_all(src: &str) -> Vec<Result<RaProof, RaReject>> {
+        let cfg = Cfg::build(&assemble(src).unwrap()).unwrap();
+        let cg = CallGraph::build(&cfg);
+        (0..cg.functions.len()).map(|f| prove_function(&cfg, &cg, f)).collect()
+    }
+
+    #[test]
+    fn leaf_function_proves() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                addi x5, x0, 1
+                ret
+            ",
+        );
+        assert!(r[0].is_ok(), "main (no jalr) vacuously passes: {:?}", r[0]);
+        let proof = r[1].as_ref().unwrap();
+        assert_eq!(proof.returns, 1);
+        assert!(!proof.spills_ra);
+    }
+
+    #[test]
+    fn save_restore_pair_proves() {
+        let r = prove_all(
+            ".text
+                call outer
+                halt
+            outer:
+                addi sp, sp, -16
+                sd   x1, 8(sp)
+                call inner
+                ld   x1, 8(sp)
+                addi sp, sp, 16
+                ret
+            inner:
+                ret
+            ",
+        );
+        let proof = r[1].as_ref().unwrap();
+        assert!(proof.spills_ra);
+        assert!(r[2].is_ok());
+    }
+
+    #[test]
+    fn clobbered_ra_without_save_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                call leaf      # clobbers ra, never saved
+                ret
+            leaf:
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::UnprovenReturn { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn unbalanced_frame_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                addi sp, sp, -16
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::UnbalancedReturn { delta: -16, .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn escaping_ra_store_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                sd   x1, 0(x10)   # spills ra through a heap pointer
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::EscapingRaStore { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn above_frame_spill_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                sd   x1, 8(sp)    # at/above entry sp: caller frame space
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::AboveFrameStore { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn overwritten_spill_slot_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                addi sp, sp, -16
+                sd   x1, 8(sp)
+                sd   x10, 8(sp)   # clobbers the saved ra
+                ld   x1, 8(sp)
+                addi sp, sp, 16
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::UnprovenReturn { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn mv_copy_of_ra_proves() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                mv   x5, x1
+                jalr x0, 0(x5)
+            ",
+        );
+        assert!(r[1].is_ok(), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn non_return_jalr_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                jalr x0, 4(x1)   # offset != 0: computed jump, not a return
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::NonReturnJalr { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn jalr_in_main_rejected() {
+        let r = prove_all(
+            ".text
+                ret
+            ",
+        );
+        assert!(matches!(r[0], Err(RaReject::UnprovenReturn { .. })), "{:?}", r[0]);
+    }
+
+    #[test]
+    fn sp_clobber_rejected() {
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                add  sp, sp, x5   # register-amount sp move: untrackable
+                ret
+            ",
+        );
+        assert!(matches!(r[1], Err(RaReject::SpClobbered { .. })), "{:?}", r[1]);
+    }
+
+    #[test]
+    fn spill_survives_callee_but_loop_keeps_state_consistent() {
+        // A loop around a call with a spilled ra: the fixpoint must
+        // converge with the slot intact (it is at offset -8, which is
+        // >= the call-time delta of -16).
+        let r = prove_all(
+            ".text
+                call fn
+                halt
+            fn:
+                addi sp, sp, -16
+                sd   x1, 8(sp)
+                li   x6, 3
+            loop:
+                call leaf
+                addi x6, x6, -1
+                bnez x6, loop
+                ld   x1, 8(sp)
+                addi sp, sp, 16
+                ret
+            leaf:
+                ret
+            ",
+        );
+        assert!(r[1].is_ok(), "{:?}", r[1]);
+        assert!(r[2].is_ok());
+    }
+}

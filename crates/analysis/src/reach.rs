@@ -18,6 +18,20 @@
 //! absent from the entire text segment can never appear in the
 //! pipeline, so a fault on one of its ways is statically `Benign`.
 //!
+//! The argument extends unchanged to call-bearing programs. Calls and
+//! returns add new *control edges* (including predicted ones: the
+//! fetch-stage RAS can pop a stale return address, and the BTB can
+//! redirect a `jalr` anywhere it was ever trained), but every such
+//! redirection still lands the fetch unit inside the text segment —
+//! the frontend raises a fetch fault for anything outside it, and a
+//! faulted-run fetch fault is itself a detection, not an execution.
+//! So the universe of executable uops is still exactly the set of
+//! decoded text words, independent of how precisely the CFG resolves
+//! `jalr` targets. Pruning therefore deliberately does **not** depend
+//! on [`crate::interproc`] return resolution; only the diagnostic
+//! `reachable_mix` uses it, so that code after a call site counts as
+//! reachable when the callee provably returns.
+//!
 //! Frontend and payload-RAM sites are never pruned: every instruction
 //! flows through them regardless of class.
 
@@ -25,7 +39,8 @@ use blackjack_faults::FaultSite;
 use blackjack_isa::{FuType, Program};
 use blackjack_sim::FuCounts;
 
-use crate::cfg::{Cfg, CfgError};
+use crate::cfg::CfgError;
+use crate::interproc::Interproc;
 
 /// Instruction counts per FU class (indexed by [`FuType::index`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,8 +75,10 @@ pub struct SiteAnalysis {
     /// Mix over **every** decoded text word — the sound pruning basis
     /// (covers wrong-path and fault-redirected execution).
     pub static_mix: FuMix,
-    /// Mix over statically-reachable blocks only — reported for
-    /// diagnostics, never used to prune.
+    /// Mix over statically-reachable blocks only (call-aware: when the
+    /// interprocedural analysis resolves returns, blocks after call
+    /// sites count as reachable) — reported for diagnostics, never
+    /// used to prune.
     pub reachable_mix: FuMix,
     fu: FuCounts,
 }
@@ -73,13 +90,14 @@ impl SiteAnalysis {
     ///
     /// Returns [`CfgError`] if the program cannot be decoded into a CFG.
     pub fn analyze(prog: &Program, fu: &FuCounts) -> Result<SiteAnalysis, CfgError> {
-        let cfg = Cfg::build(prog)?;
+        let ip = Interproc::analyze(prog)?;
+        let cfg = ip.cfg();
         let mut static_mix = FuMix::default();
         for inst in cfg.insts() {
             static_mix.counts[inst.fu_type().index()] += 1;
         }
         let mut reachable_mix = FuMix::default();
-        let reachable = cfg.reachable();
+        let reachable = ip.reachable();
         for (b, blk) in cfg.blocks().iter().enumerate() {
             if reachable[b] {
                 for i in blk.start..blk.end {
@@ -262,6 +280,70 @@ mod tests {
         assert!(!a.detection_guaranteed(FaultSite::Backend {
             way: fu.global_way(FuType::FpDiv, 0)
         }));
+    }
+
+    #[test]
+    fn call_bearing_program_counts_helper_and_continuation() {
+        // The fmul lives in a called helper; the mul sits *after* the
+        // call site, reachable only through the resolved return edge.
+        // Both must appear in the pruning basis AND the diagnostic mix.
+        let a = analyze(
+            ".text
+                li   x5, 3
+                call helper
+                mul  x6, x5, x5
+                sd   x6, 0(x6)
+                halt
+            helper:
+                fcvt.d.l f1, x5
+                fmul f2, f1, f1
+                ret
+            ",
+        );
+        for t in [FuType::FpMul, FuType::IntMul] {
+            assert!(a.static_mix.exercises(t), "{t} missing from static mix");
+            assert!(a.reachable_mix.exercises(t), "{t} missing from reachable mix");
+        }
+        assert!(!a.prunable(FaultSite::Backend {
+            way: FuCounts::default().global_way(FuType::FpMul, 0)
+        }));
+    }
+
+    #[test]
+    fn pruning_basis_independent_of_return_resolution() {
+        // A recursive helper fails the return-address discipline, so
+        // returns stay unresolved — but pruning never depended on the
+        // CFG, so the prunable set matches the resolvable variant's.
+        let recursive = analyze(
+            ".text
+                li   x5, 2
+                call helper
+                halt
+            helper:
+                addi x5, x5, -1
+                beqz x5, out
+                call helper
+            out:
+                ret
+            ",
+        );
+        let resolvable = analyze(
+            ".text
+                li   x5, 2
+                call helper
+                halt
+            helper:
+                addi x5, x5, -1
+                ret
+            ",
+        );
+        assert_eq!(
+            recursive.prunable_backend_ways(),
+            resolvable.prunable_backend_ways()
+        );
+        // All-integer programs: every non-IntAlu compute class is dead.
+        assert!(recursive.static_mix.exercises(FuType::IntAlu));
+        assert!(!recursive.static_mix.exercises(FuType::FpAlu));
     }
 
     #[test]

@@ -572,7 +572,10 @@ fn report_text(
 }
 
 /// Parses harness arguments: `--bench <name>` restricts the sweep to one
-/// benchmark (the `verify.sh` equivalence smoke uses this). Unknown
+/// benchmark (the `verify.sh` equivalence smokes use this). Any kernel
+/// [`Benchmark::from_name`] knows is accepted — including the
+/// call-bearing kernels outside the default sweep, so the
+/// flag-equivalence checks can cover call/return machinery. Unknown
 /// arguments or benchmarks exit with status 2.
 pub fn benchmarks_from_args(args: &[String]) -> Vec<Benchmark> {
     let mut benchmarks = default_benchmarks();
@@ -584,20 +587,18 @@ pub fn benchmarks_from_args(args: &[String]) -> Vec<Benchmark> {
                     eprintln!("error: --bench needs a benchmark name");
                     std::process::exit(2);
                 });
-                benchmarks = vec![*default_benchmarks()
-                    .iter()
-                    .find(|b| b.name() == name)
-                    .unwrap_or_else(|| {
-                        eprintln!(
-                            "error: unknown benchmark `{name}` (expected one of: {})",
-                            default_benchmarks()
-                                .iter()
-                                .map(|b| b.name())
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        );
-                        std::process::exit(2);
-                    })];
+                benchmarks = vec![Benchmark::from_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "error: unknown benchmark `{name}` (expected one of: {})",
+                        Benchmark::ALL
+                            .iter()
+                            .chain(Benchmark::CALL_KERNELS.iter())
+                            .map(|b| b.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                })];
             }
             other => {
                 eprintln!("error: unknown argument `{other}` (supported: --bench <name>)");

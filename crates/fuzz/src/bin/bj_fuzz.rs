@@ -16,7 +16,9 @@
 //! ```
 //!
 //! Environment: `BJ_FUZZ_SEED` and `BJ_FUZZ_ITERS` provide defaults for
-//! `--seed`/`--iters` (flags win); invalid values exit with status 2.
+//! `--seed`/`--iters` (flags win); `BJ_CALL_DEPTH` sets the generator's
+//! function-nesting depth (default 2: `main` plus one helper, `1`
+//! disables calls); invalid values exit with status 2.
 //!
 //! Each iteration generates a lint-clean program, checks it
 //! differentially against the interpreter in all four modes, and
@@ -60,6 +62,8 @@ fn main() {
     let mut iters: u64 = envcfg::positive_from_env("BJ_FUZZ_ITERS")
         .unwrap_or_else(|e| envcfg::exit_invalid(&e))
         .unwrap_or(200);
+    let call_depth: usize = envcfg::call_depth_from_env()
+        .unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let mut out_dir = PathBuf::from("fuzz-failures");
     let mut mine: Option<PathBuf> = None;
     let mut quiet = false;
@@ -102,7 +106,7 @@ fn main() {
     for iter in 0..iters {
         let sub_seed = rng.next_u64();
         let segments = rng.random_range(4usize..=16);
-        let prog = generate(sub_seed, GenConfig { segments });
+        let prog = generate(sub_seed, GenConfig { segments, call_depth });
 
         diff_runs += 1;
         if let Err(fail) = check_fault_free(&prog) {
@@ -225,7 +229,7 @@ fn main() {
     if let Some(dir) = mine {
         interesting.sort_by(|a, b| b.cmp(a)); // highest score first, then latest
         for (rank, &(score, _iter, sub_seed, segments)) in interesting.iter().take(10).enumerate() {
-            let prog = generate(sub_seed, GenConfig { segments });
+            let prog = generate(sub_seed, GenConfig { segments, call_depth });
             let case = Case {
                 name: format!("interesting-{:02}-{sub_seed:#x}", rank),
                 kind: CaseKind::Interesting,

@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn round_trips_a_generated_program() {
-        let prog = generate(42, GenConfig { segments: 4 });
+        let prog = generate(42, GenConfig { segments: 4, ..GenConfig::default() });
         let case = Case {
             name: "rt".into(),
             kind: CaseKind::Interesting,

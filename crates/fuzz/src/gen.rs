@@ -14,10 +14,21 @@
 //!   consumer that folds the scratch value into a work register, so the
 //!   pair is self-contained and never straddles a branch.
 //! * **Control** is structured: counted loops (a backward `bne` on a
-//!   dedicated counter) and forward skips (a placeholder branch patched
-//!   once the body length is known, exercising
-//!   [`ProgramBuilder::patch`]). No indirect jumps, so the CFG is fully
-//!   resolvable and every block reachable.
+//!   dedicated per-function counter) and forward skips (a placeholder
+//!   branch patched once the body length is known, exercising
+//!   [`ProgramBuilder::patch`]). The only indirect jumps are proven
+//!   returns, so the interprocedural analysis fully resolves the CFG
+//!   and every block is reachable.
+//! * **Calls** form a bounded chain: `main` calls `helper1`, which may
+//!   call `helper2` ([`GenConfig::call_depth`] levels total, no
+//!   recursion). Non-leaf helpers save/restore `ra` through a 16-byte
+//!   stack frame (`addi sp, sp, -16; sd ra, 8(sp)` … `ld ra, 8(sp);
+//!   addi sp, sp, 16; ret`), exactly the shape the return-address
+//!   discipline proof in `blackjack-analysis` accepts, so generated
+//!   programs exercise call/return machinery (RAS push/pop, return
+//!   resolution) while staying lint-clean. Each nesting level owns its
+//!   loop counter (`x28`–`x30`) so a callee never corrupts a live trip
+//!   count.
 //! * **Memory traffic** stays inside a private data arena addressed off
 //!   `x20`, width-aligned, initialized with deterministic bytes.
 //!
@@ -38,8 +49,19 @@ const WORK_X: [u8; 8] = [5, 6, 7, 8, 9, 10, 11, 12];
 const WORK_F: [u8; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
 /// Data-arena base pointer.
 const BASE: u8 = 20;
-/// Loop counter.
-const COUNTER: u8 = 28;
+/// Deepest supported call chain: `main` → `helper1` → `helper2`.
+const MAX_CALL_DEPTH: usize = 3;
+/// Per-nesting-level loop counters: a callee's loops must not clobber a
+/// caller's live trip count.
+const COUNTERS: [u8; MAX_CALL_DEPTH] = [28, 29, 30];
+/// Return-address register (`ra` = x1).
+const RA: u8 = 1;
+/// Stack pointer (`sp` = x2, entry-defined by the loader).
+const SP: u8 = 2;
+/// Non-leaf helper frame: 16 bytes, `ra` spilled at `8(sp)`.
+const FRAME_BYTES: i32 = 16;
+/// `ra` spill slot offset within the frame.
+const RA_SLOT: i32 = 8;
 /// Integer scratch: written by clobbering producers, consumed immediately.
 const TMP_X: u8 = 26;
 /// FP scratch, same discipline.
@@ -52,13 +74,19 @@ const BASE_LUI_IMM: i32 = (blackjack_isa::DATA_BASE >> 13) as i32;
 /// Tunable knobs for one generated program.
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
-    /// Number of code segments (straight-line runs, loops, skips).
+    /// Number of code segments (straight-line runs, loops, skips) in
+    /// `main`; helpers draw their own smaller counts.
     pub segments: usize,
+    /// Function-nesting levels: `1` = `main` only (no calls), `2` adds
+    /// a helper, `3` a helper-of-helper. Clamped to
+    /// `1..=`[`MAX_CALL_DEPTH`]. Every non-leaf level is guaranteed at
+    /// least one call site.
+    pub call_depth: usize,
 }
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { segments: 10 }
+        GenConfig { segments: 10, call_depth: 2 }
     }
 }
 
@@ -80,6 +108,7 @@ fn f(n: u8) -> FReg {
 /// Panics if the generated program fails its own lint check — that is a
 /// generator bug, and the panic message names the offending seed.
 pub fn generate(seed: u64, cfg: GenConfig) -> Program {
+    let depth = cfg.call_depth.clamp(1, MAX_CALL_DEPTH);
     let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new(format!("fuzz-{seed:#x}"));
 
@@ -103,12 +132,17 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
             .unwrap();
     }
 
+    // Main body. Calls carry placeholder offsets until the helper
+    // entry PCs are known; each is recorded as (inst index, call pc,
+    // callee level) for patching.
+    let mut calls: Vec<(usize, u64, usize)> = Vec::new();
+    let mut called = false;
     for _ in 0..cfg.segments.max(1) {
-        match rng.random_range(0u32..4) {
-            0 => emit_loop(&mut b, &mut rng),
-            1 => emit_skip(&mut b, &mut rng),
-            _ => emit_straight(&mut b, &mut rng),
-        }
+        emit_segment(&mut b, &mut rng, 0, depth, &mut calls, &mut called);
+    }
+    if depth > 1 && !called {
+        // Every non-leaf level makes at least one call.
+        emit_call(&mut b, 0, &mut calls);
     }
 
     // Epilogue: publish every work register, then halt.
@@ -124,6 +158,20 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
     }
     b.push(Inst::Halt).unwrap();
 
+    // Helpers live after the halt so straight-line execution can never
+    // fall into them; they are reachable only through their call edges.
+    let mut entries = [0u64; MAX_CALL_DEPTH];
+    for (level, entry) in entries.iter_mut().enumerate().take(depth).skip(1) {
+        *entry = b.next_pc();
+        emit_helper(&mut b, &mut rng, level, depth, &mut calls);
+    }
+
+    // Patch every recorded call now its callee's entry PC is known.
+    for &(idx, call_pc, callee) in &calls {
+        let offset = (entries[callee] as i64 - call_pc as i64) as i32;
+        b.patch(idx, Inst::Jal { rd: x(RA), offset }).unwrap();
+    }
+
     let prog = b.build();
     debug_assert!(
         blackjack_analysis::lint_program(&prog)
@@ -134,6 +182,74 @@ pub fn generate(seed: u64, cfg: GenConfig) -> Program {
     prog
 }
 
+/// One code segment at nesting `level`: loop, skip, straight run, or
+/// (in non-leaf functions) a call to the next level down.
+fn emit_segment(
+    b: &mut ProgramBuilder,
+    rng: &mut Rng,
+    level: usize,
+    depth: usize,
+    calls: &mut Vec<(usize, u64, usize)>,
+    called: &mut bool,
+) {
+    let can_call = level + 1 < depth;
+    match rng.random_range(0u32..5) {
+        0 => emit_loop(b, rng, level),
+        1 => emit_skip(b, rng),
+        2 if can_call => {
+            emit_call(b, level, calls);
+            *called = true;
+        }
+        _ => emit_straight(b, rng),
+    }
+}
+
+/// A call from `level` to the `level + 1` helper, with a placeholder
+/// offset recorded for patching once helper entry PCs are known.
+fn emit_call(b: &mut ProgramBuilder, level: usize, calls: &mut Vec<(usize, u64, usize)>) {
+    let idx = b.len();
+    let pc = b.next_pc();
+    b.push(Inst::Jal { rd: x(RA), offset: INST_BYTES as i32 }).unwrap();
+    calls.push((idx, pc, level + 1));
+}
+
+/// One helper function at nesting `level`: an optional `ra` frame (only
+/// non-leaf helpers call onward, so only they need one), 2–4 body
+/// segments, and a `ret`. The frame shape is exactly what the
+/// return-address discipline proof accepts: `ra` spilled full-width,
+/// sp-relative, strictly below the entry sp, reloaded from the same
+/// slot, sp balanced at the return.
+fn emit_helper(
+    b: &mut ProgramBuilder,
+    rng: &mut Rng,
+    level: usize,
+    depth: usize,
+    calls: &mut Vec<(usize, u64, usize)>,
+) {
+    let leaf = level + 1 == depth;
+    if !leaf {
+        b.push(Inst::AluImm { op: AluOp::Add, rd: x(SP), rs1: x(SP), imm: -FRAME_BYTES })
+            .unwrap();
+        b.push(Inst::Store { width: MemWidth::Double, rs1: x(SP), rs2: x(RA), offset: RA_SLOT })
+            .unwrap();
+    }
+    let mut called = false;
+    let segments = rng.random_range(2usize..=4);
+    for _ in 0..segments {
+        emit_segment(b, rng, level, depth, calls, &mut called);
+    }
+    if !leaf && !called {
+        emit_call(b, level, calls);
+    }
+    if !leaf {
+        b.push(Inst::Load { width: MemWidth::Double, rd: x(RA), rs1: x(SP), offset: RA_SLOT })
+            .unwrap();
+        b.push(Inst::AluImm { op: AluOp::Add, rd: x(SP), rs1: x(SP), imm: FRAME_BYTES })
+            .unwrap();
+    }
+    b.push(Inst::Jalr { rd: Reg::ZERO, rs1: x(RA), offset: 0 }).unwrap();
+}
+
 /// A straight-line run of 2–8 atoms.
 fn emit_straight(b: &mut ProgramBuilder, rng: &mut Rng) {
     let n = rng.random_range(2usize..=8);
@@ -142,21 +258,23 @@ fn emit_straight(b: &mut ProgramBuilder, rng: &mut Rng) {
     }
 }
 
-/// A counted loop: `x28 = n; loop: body; x28 -= 1; bne x28, x0, loop`.
-fn emit_loop(b: &mut ProgramBuilder, rng: &mut Rng) {
+/// A counted loop on this level's counter `c`:
+/// `c = n; loop: body; c -= 1; bne c, x0, loop`.
+fn emit_loop(b: &mut ProgramBuilder, rng: &mut Rng, level: usize) {
+    let counter = COUNTERS[level];
     let trips = rng.random_range(1i32..=8);
-    b.push(Inst::AluImm { op: AluOp::Add, rd: x(COUNTER), rs1: Reg::ZERO, imm: trips })
+    b.push(Inst::AluImm { op: AluOp::Add, rd: x(counter), rs1: Reg::ZERO, imm: trips })
         .unwrap();
     let top = b.next_pc();
     let body = rng.random_range(2usize..=6);
     for _ in 0..body {
         emit_atom(b, rng);
     }
-    b.push(Inst::AluImm { op: AluOp::Add, rd: x(COUNTER), rs1: x(COUNTER), imm: -1 })
+    b.push(Inst::AluImm { op: AluOp::Add, rd: x(counter), rs1: x(counter), imm: -1 })
         .unwrap();
     let branch_pc = b.next_pc();
     let offset = (top as i64 - branch_pc as i64) as i32;
-    b.push(Inst::Branch { cond: BranchCond::Ne, rs1: x(COUNTER), rs2: Reg::ZERO, offset })
+    b.push(Inst::Branch { cond: BranchCond::Ne, rs1: x(counter), rs2: Reg::ZERO, offset })
         .unwrap();
 }
 
@@ -340,9 +458,47 @@ mod tests {
     }
 
     #[test]
+    fn generated_programs_are_lint_clean_at_every_depth() {
+        for depth in 1..=MAX_CALL_DEPTH {
+            for seed in 0..20 {
+                let prog = generate(seed, GenConfig { segments: 6, call_depth: depth });
+                let report = lint_program(&prog).expect("generated program has a CFG");
+                assert!(report.is_clean(), "depth {depth} seed {seed}: {:?}", report);
+            }
+        }
+    }
+
+    #[test]
+    fn call_bearing_programs_fully_resolve() {
+        use blackjack_analysis::Interproc;
+        for seed in 0..20 {
+            let prog = generate(seed, GenConfig { segments: 6, call_depth: 3 });
+            let ip = Interproc::analyze(&prog).expect("generated program has a CFG");
+            assert!(ip.is_resolved(), "seed {seed}: {:?}", ip.resolution());
+            assert!(ip.fully_resolved(), "seed {seed}: unresolved jalr remains");
+            assert!(
+                ip.callgraph().functions.len() >= 2,
+                "seed {seed}: expected a helper function"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_one_emits_no_calls() {
+        use blackjack_isa::Inst;
+        let prog = generate(11, GenConfig { segments: 8, call_depth: 1 });
+        let cfg = blackjack_analysis::Cfg::build(&prog).unwrap();
+        assert!(
+            !cfg.insts().iter().any(|i| matches!(i, Inst::Jal { rd, .. } if !rd.is_zero())
+                || matches!(i, Inst::Jalr { .. })),
+            "depth 1 must be call-free"
+        );
+    }
+
+    #[test]
     fn generation_is_deterministic() {
-        let a = generate(0xB1AC, GenConfig { segments: 14 });
-        let b = generate(0xB1AC, GenConfig { segments: 14 });
+        let a = generate(0xB1AC, GenConfig { segments: 14, call_depth: 3 });
+        let b = generate(0xB1AC, GenConfig { segments: 14, call_depth: 3 });
         assert_eq!(a.text(), b.text());
         assert_eq!(a.data(), b.data());
     }
@@ -358,6 +514,16 @@ mod tests {
     fn generated_programs_halt_in_the_interpreter() {
         for seed in 0..20 {
             let prog = generate(seed, GenConfig::default());
+            let mut it = blackjack_isa::Interp::new(&prog);
+            it.run(1_000_000).expect("interprets cleanly");
+            assert!(it.halted(), "seed {seed} must halt");
+        }
+    }
+
+    #[test]
+    fn call_bearing_programs_halt_in_the_interpreter() {
+        for seed in 0..20 {
+            let prog = generate(seed, GenConfig { segments: 6, call_depth: 3 });
             let mut it = blackjack_isa::Interp::new(&prog);
             it.run(1_000_000).expect("interprets cleanly");
             assert!(it.halted(), "seed {seed} must halt");

@@ -188,7 +188,7 @@ mod tests {
 
     #[test]
     fn frontend_faults_on_generated_programs_are_sound() {
-        let prog = generate(7, GenConfig { segments: 6 });
+        let prog = generate(7, GenConfig { segments: 6, ..GenConfig::default() });
         let analysis = SiteAnalysis::analyze(&prog, &FuCounts::default()).unwrap();
         let golden = golden_memory(&prog);
         for way in 0..2 {

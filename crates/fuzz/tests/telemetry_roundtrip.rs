@@ -10,7 +10,7 @@ use blackjack_fuzz::gen::{generate, GenConfig};
 use blackjack_sim::{Core, CoreConfig, Mode};
 
 fn trace_one(path: &std::path::Path, seed: u64, fault: Option<HardFault>) {
-    let prog = generate(seed, GenConfig { segments: 8 });
+    let prog = generate(seed, GenConfig { segments: 8, ..GenConfig::default() });
     let plan = fault.map_or_else(FaultPlan::new, FaultPlan::single);
     let mut core = Core::new(CoreConfig::with_mode(Mode::BlackJack), &prog, plan);
     core.enable_trace();

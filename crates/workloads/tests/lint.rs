@@ -6,12 +6,12 @@
 //! any of those kinds previously needed a (possibly silent) dynamic
 //! failure to surface.
 
-use blackjack_analysis::lint_program;
+use blackjack_analysis::{lint_program, Interproc};
 use blackjack_workloads::{build, Benchmark};
 
 #[test]
 fn all_kernels_lint_clean_at_scale_1() {
-    for bench in Benchmark::ALL {
+    for bench in Benchmark::ALL.into_iter().chain(Benchmark::CALL_KERNELS) {
         let prog = build(bench, 1);
         let report = lint_program(&prog).unwrap_or_else(|e| {
             panic!("{}: CFG construction failed: {e}", bench.name())
@@ -34,9 +34,31 @@ fn all_kernels_lint_clean_at_scale_1() {
 fn all_kernels_lint_clean_at_scale_3() {
     // Scale only changes loop trip counts (immediates), never the CFG
     // shape — but pin that assumption.
-    for bench in Benchmark::ALL {
+    for bench in Benchmark::ALL.into_iter().chain(Benchmark::CALL_KERNELS) {
         let report = lint_program(&build(bench, 3)).unwrap();
         assert!(report.is_clean(), "{} dirty at scale 3", bench.name());
+    }
+}
+
+#[test]
+fn call_kernels_fully_resolve_their_returns() {
+    // The acceptance bar for the interprocedural layer: every jalr in
+    // the call-bearing kernels is a proven return, rewired into real
+    // CFG edges — no blanket-conservative Indirect terminator remains.
+    for bench in Benchmark::CALL_KERNELS {
+        let ip = Interproc::analyze(&build(bench, 1)).unwrap();
+        assert!(ip.is_resolved(), "{}: {:?}", bench.name(), ip.resolution());
+        assert!(ip.fully_resolved(), "{}: unresolved jalr remains", bench.name());
+        assert!(
+            ip.resolved_returns() > 0,
+            "{}: expected at least one resolved return",
+            bench.name()
+        );
+        assert!(
+            ip.callgraph().functions.len() >= 2,
+            "{}: expected at least one helper function",
+            bench.name()
+        );
     }
 }
 

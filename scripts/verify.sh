@@ -14,6 +14,12 @@ cargo clippy -q --workspace --offline --all-targets -- -D warnings
 echo "== tier-1: test suite =="
 cargo test -q --workspace --offline
 
+echo "== tier-1: bj-lint --deny (16 kernels + call kernels + examples) =="
+# Every kernel and example must be statically clean under the
+# interprocedural lints; any finding anywhere fails the gate.
+cargo run --release -q --offline -p blackjack-bench --bin bj-lint -- \
+  --deny examples/programs/*.s >/dev/null
+
 echo "== tier-1: fig_all smoke (BJ_SCALE=1) =="
 BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin fig_all >/dev/null
 
@@ -64,6 +70,17 @@ echo "== tier-1: bench_earlyexit (refreshes BENCH_earlyexit.json) =="
 # and records the speedup with per-mechanism attribution.
 BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin bench_earlyexit >/dev/null
 grep -q '"reports_identical": true' BENCH_earlyexit.json
+
+echo "== tier-1: call-kernel equivalence smoke (ext_detection, perlbmk) =="
+# The call-bearing kernel's report rows must be byte-identical with
+# static pruning on and off (pruning changes only the trailing
+# pruned_sites block, stripped here).
+pr_off="$(BJ_SCALE=1 BJ_PRUNE=0 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench perlbmk 2>/dev/null | sed '/^pruned_sites/,$d')"
+pr_on="$(BJ_SCALE=1 BJ_PRUNE=1 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench perlbmk 2>/dev/null | sed '/^pruned_sites/,$d')"
+[ -n "$pr_on" ]
+diff <(printf '%s' "$pr_off") <(printf '%s' "$pr_on")
 
 echo "== tier-1: bj-fuzz smoke (fixed seed, 50 iterations) =="
 # Differential fuzz of the core against the interpreter: zero

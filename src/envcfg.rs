@@ -2,7 +2,8 @@
 //!
 //! The harnesses are steered by a handful of environment variables
 //! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`, `BJ_TRACE_DEPTH`,
-//! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`). Historically a typo like
+//! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`, `BJ_CALL_DEPTH`). Historically a
+//! typo like
 //! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
 //! back to a default) or surfaced as a panic deep inside a workload
 //! builder. This module centralizes parsing: every variable is either
@@ -251,6 +252,24 @@ pub fn writable_path_from_env(
     Ok(Some(path))
 }
 
+/// Default call depth for the fuzz generator's call trees: `main` plus
+/// one level of helpers — deep enough to exercise call/return machinery
+/// (RAS push/pop, return resolution) without dominating the program.
+pub const DEFAULT_CALL_DEPTH: usize = 2;
+
+/// Reads `BJ_CALL_DEPTH`: how many function levels the fuzz generator
+/// emits (`1` = `main` only, no calls; [`DEFAULT_CALL_DEPTH`] when
+/// unset). Zero is rejected — a program with no functions at all is not
+/// generable — as are non-numeric values, matching the
+/// `BJ_THREADS`/`BJ_SCALE` grammar.
+///
+/// # Errors
+///
+/// [`EnvError::NotANumber`] / [`EnvError::Zero`] per [`parse_positive`].
+pub fn call_depth_from_env() -> Result<usize, EnvError> {
+    Ok(positive_from_env::<usize>("BJ_CALL_DEPTH")?.unwrap_or(DEFAULT_CALL_DEPTH))
+}
+
 /// Prints `err` to stderr (prefixed with the program's purpose) and
 /// exits with status 2 — the shared failure path for harness binaries,
 /// which have no caller to propagate to.
@@ -392,6 +411,23 @@ mod tests {
         assert!(err.to_string().contains("BJ_EARLYEXIT"));
         if std::env::var("BJ_EARLYEXIT").is_err() {
             assert_eq!(earlyexit_from_env(), Ok(true));
+        }
+    }
+
+    #[test]
+    fn call_depth_rejects_zero_and_defaults_when_unset() {
+        assert_eq!(parse_positive::<usize>("BJ_CALL_DEPTH", "3"), Ok(3));
+        assert_eq!(parse_positive::<usize>("BJ_CALL_DEPTH", "1"), Ok(1));
+        assert_eq!(
+            parse_positive::<usize>("BJ_CALL_DEPTH", "0"),
+            Err(EnvError::Zero { var: "BJ_CALL_DEPTH" })
+        );
+        assert_eq!(
+            parse_positive::<usize>("BJ_CALL_DEPTH", "deep"),
+            Err(EnvError::NotANumber { var: "BJ_CALL_DEPTH", value: "deep".to_string() })
+        );
+        if std::env::var("BJ_CALL_DEPTH").is_err() {
+            assert_eq!(call_depth_from_env(), Ok(DEFAULT_CALL_DEPTH));
         }
     }
 
