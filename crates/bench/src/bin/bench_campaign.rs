@@ -1,5 +1,6 @@
 //! Simulator-throughput benchmark: runs a fixed simulation campaign and
-//! writes the measured throughput to `BENCH_campaign.json`.
+//! records the measured throughput in `BENCH_campaign.json` (unified
+//! bj-bench schema; see [`blackjack_bench::benchfmt`]).
 //!
 //! Two throughput views are reported:
 //!
@@ -13,65 +14,135 @@
 //!
 //! The benchmark always runs with tracing **off** — the number it
 //! records is the throughput of the allocation-free hot loop, and the
-//! emitted JSON says so (`"trace": "off"`) so regressions can't hide
+//! emitted document says so (`"trace": "off"`) so regressions can't hide
 //! behind an accidentally-traced run.
+//!
+//! On top of the plain (metrics-off) legs, the benchmark interleaves
+//! **metrics-on** legs — the same campaign through
+//! [`Campaign::run_observed`] with the metrics registry enabled — and
+//! records the median throughput of each side plus their ratio
+//! (`metrics_overhead_ratio`, off/on; 1.0 means the registry is free).
+//! Interleaving and median-of-reps are what make the ratio a property of
+//! the code rather than of which leg drew the host's hot interval.
 //!
 //! Usage: `cargo run --release -p blackjack-bench --bin bench_campaign`
 //! (optionally under `BJ_THREADS=n`).
 
+use std::path::Path;
 use std::time::Instant;
 
 use blackjack::faults::FaultPlan;
 use blackjack::sim::{Core, CoreConfig, Mode, SimStats};
 use blackjack::workloads::{build, Benchmark};
-use blackjack::{Campaign, CampaignStats};
+use blackjack::{Campaign, CampaignStats, Metrics, ObserveOpts};
+use blackjack_bench::benchfmt::{self, field, str_field, RunRecord};
 
-fn main() {
-    let campaign = Campaign::from_env_or_exit();
-    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex, Benchmark::Apsi];
+const REPS: usize = 3;
 
-    let jobs: Vec<_> = benchmarks
-        .iter()
-        .flat_map(|&b| Mode::ALL.iter().map(move |&m| (b, m)))
-        .map(|(b, m)| {
-            move || {
-                let prog = build(b, 1);
-                let mut core = Core::new(CoreConfig::with_mode(m), &prog, FaultPlan::new());
-                assert!(core.run(200_000_000).completed(), "{b} in {m}");
-                core.stats().clone()
-            }
-        })
-        .collect();
-    let n_jobs = jobs.len();
+/// One rep's numbers: (core wall s, core cps, campaign wall s,
+/// campaign cps, sim cycles).
+struct Leg {
+    core_wall: f64,
+    core_cps: f64,
+    campaign_wall: f64,
+    campaign_cps: f64,
+    sim_cycles: u64,
+    committed: u64,
+}
 
-    let t0 = Instant::now();
-    let runs = campaign.run(jobs);
-    let wall = t0.elapsed();
-
+fn tally(runs: &[SimStats], wall: std::time::Duration) -> Leg {
     let mut agg = CampaignStats::default();
     let mut merged = SimStats::default();
-    for s in &runs {
+    for s in runs {
         agg.tally(s);
         merged.merge(s);
     }
     agg.wall = wall;
+    Leg {
+        core_wall: merged.agg_wall_nanos as f64 / 1e9,
+        core_cps: merged.cycles_per_sec(),
+        campaign_wall: wall.as_secs_f64(),
+        campaign_cps: agg.cycles_per_sec(),
+        sim_cycles: agg.sim_cycles,
+        committed: agg.committed,
+    }
+}
 
-    let json = format!(
-        "{{\n  \"workers\": {},\n  \"jobs\": {},\n  \"trace\": \"off\",\n  \
-         \"sim_cycles\": {},\n  \
-         \"committed_insts\": {},\n  \"core_wall_seconds\": {:.3},\n  \
-         \"core_cycles_per_sec\": {:.0},\n  \"campaign_wall_seconds\": {:.3},\n  \
-         \"campaign_cycles_per_sec\": {:.0}\n}}\n",
-        campaign.workers(),
-        n_jobs,
-        agg.sim_cycles,
-        agg.committed,
-        merged.agg_wall_nanos as f64 / 1e9,
-        merged.cycles_per_sec(),
-        wall.as_secs_f64(),
-        agg.cycles_per_sec(),
-    );
-    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
-    print!("{json}");
-    eprintln!("wrote BENCH_campaign.json");
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let campaign = Campaign::from_env_or_exit();
+    let benchmarks = [Benchmark::Gzip, Benchmark::Wupwise, Benchmark::Vortex, Benchmark::Apsi];
+    let pairs: Vec<_> = benchmarks
+        .iter()
+        .flat_map(|&b| Mode::ALL.iter().map(move |&m| (b, m)))
+        .collect();
+    let n_jobs = pairs.len();
+    let run_one = |b: Benchmark, m: Mode| {
+        let prog = build(b, 1);
+        let mut core = Core::new(CoreConfig::with_mode(m), &prog, FaultPlan::new());
+        assert!(core.run(200_000_000).completed(), "{b} in {m}");
+        core.stats().clone()
+    };
+
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..REPS {
+        // Metrics-off leg: the plain pool, exactly what every harness
+        // without BJ_METRICS pays.
+        let jobs: Vec<_> = pairs.iter().map(|&(b, m)| move || run_one(b, m)).collect();
+        let t = Instant::now();
+        let runs = campaign.run(jobs);
+        off.push(tally(&runs, t.elapsed()));
+
+        // Metrics-on leg: same work through the observed engine with the
+        // registry live, so the recorded ratio prices the whole
+        // instrumentation path (sharding, counters, the merge).
+        let jobs: Vec<_> = pairs
+            .iter()
+            .map(|&(b, m)| move |_: &mut Metrics| run_one(b, m))
+            .collect();
+        let t = Instant::now();
+        let obs = campaign.run_observed(
+            jobs,
+            ObserveOpts { timings: false, metrics: true, progress: None },
+        );
+        on.push(tally(&obs.results, t.elapsed()));
+    }
+
+    let identical_work = off
+        .iter()
+        .chain(&on)
+        .all(|l| l.sim_cycles == off[0].sim_cycles && l.committed == off[0].committed);
+    let core_cps = median(off.iter().map(|l| l.core_cps).collect());
+    let on_core_cps = median(on.iter().map(|l| l.core_cps).collect());
+    let overhead = core_cps / on_core_cps.max(1e-9);
+
+    let run = RunRecord {
+        bench: "campaign",
+        config: vec![
+            field("workers", campaign.workers()),
+            field("jobs", n_jobs),
+            str_field("trace", "off"),
+            field("reps", REPS),
+            field("sim_cycles", off[0].sim_cycles),
+            field("committed_insts", off[0].committed),
+        ],
+        checks: vec![field("metrics_off_on_same_cycles", identical_work)],
+        metrics: vec![
+            field("core_wall_seconds", format!("{:.3}", median(off.iter().map(|l| l.core_wall).collect()))),
+            field("core_cycles_per_sec", format!("{core_cps:.0}")),
+            field("campaign_wall_seconds", format!("{:.3}", median(off.iter().map(|l| l.campaign_wall).collect()))),
+            field("campaign_cycles_per_sec", format!("{:.0}", median(off.iter().map(|l| l.campaign_cps).collect()))),
+            field("metrics_on_core_cycles_per_sec", format!("{on_core_cps:.0}")),
+            field("metrics_overhead_ratio", format!("{overhead:.3}")),
+        ],
+        default_tolerance: benchfmt::default_tolerance("campaign"),
+    };
+    let path = Path::new("BENCH_campaign.json");
+    benchfmt::record(path, run).expect("write BENCH_campaign.json");
+    print!("{}", std::fs::read_to_string(path).expect("just wrote it"));
+    eprintln!("wrote BENCH_campaign.json (metrics off/on overhead ratio {overhead:.3})");
 }

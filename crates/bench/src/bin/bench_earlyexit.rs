@@ -2,10 +2,12 @@
 //! under the PR-6-era snapshot baseline (`BJ_EARLYEXIT=0` semantics:
 //! fork-at-injection, every run simulated to its natural end) and under
 //! the early-exit path (`BJ_EARLYEXIT=1`, the default), verifies the
-//! reports are byte-identical, and writes the wall-time ratio to
-//! `BENCH_earlyexit.json` together with the per-mechanism attribution
-//! (how many runs each of activation / convergence / watchdog cut
-//! short).
+//! reports are byte-identical, and records the wall-time ratio in
+//! `BENCH_earlyexit.json` (unified bj-bench schema; see
+//! [`blackjack_bench::benchfmt`]) together with the per-mechanism
+//! attribution (how many runs each of activation / convergence /
+//! watchdog cut short). The attribution counts are deterministic for a
+//! given config, so the document's `tolerance.exact` gate pins them.
 //!
 //! The two legs are *interleaved* and each leg's wall time is the
 //! minimum over the repetitions: on a thermally-throttling single-CPU
@@ -17,9 +19,11 @@
 //! Usage: `cargo run --release -p blackjack-bench --bin bench_earlyexit`
 //! (optionally under `BJ_THREADS=n`).
 
+use std::path::Path;
 use std::time::Instant;
 
 use blackjack::{envcfg, Campaign};
+use blackjack_bench::benchfmt::{self, field, str_field, RunRecord};
 use blackjack_bench::detection::{
     default_benchmarks, run_detection, DetectionConfig, EarlyExitKind,
 };
@@ -65,23 +69,29 @@ fn main() {
     let watchdog = count(EarlyExitKind::Watchdog);
 
     let speedup = baseline_wall / earlyexit_wall.max(1e-9);
-    let json = format!(
-        "{{\n  \"campaign\": \"ext_detection\",\n  \"scale\": 1,\n  \"workers\": {},\n  \
-         \"jobs\": {},\n  \"reps\": {REPS},\n  \"reports_identical\": true,\n  \
-         \"baseline_wall_seconds\": {:.3},\n  \"earlyexit_wall_seconds\": {:.3},\n  \
-         \"speedup\": {:.2},\n  \"early_exits\": {{\n    \"activation\": {},\n    \
-         \"convergence\": {},\n    \"watchdog\": {},\n    \"total\": {}\n  }}\n}}\n",
-        campaign.workers(),
-        report.tallies.len(),
-        baseline_wall,
-        earlyexit_wall,
-        speedup,
-        activation,
-        convergence,
-        watchdog,
-        activation + convergence + watchdog,
-    );
-    std::fs::write("BENCH_earlyexit.json", &json).expect("write BENCH_earlyexit.json");
-    print!("{json}");
+    let run = RunRecord {
+        bench: "earlyexit",
+        config: vec![
+            str_field("campaign", "ext_detection"),
+            field("scale", 1),
+            field("workers", campaign.workers()),
+            field("jobs", report.tallies.len()),
+            field("reps", REPS),
+        ],
+        checks: vec![field("reports_identical", true)],
+        metrics: vec![
+            field("baseline_wall_seconds", format!("{baseline_wall:.3}")),
+            field("earlyexit_wall_seconds", format!("{earlyexit_wall:.3}")),
+            field("speedup", format!("{speedup:.2}")),
+            field("early_exits_activation", activation),
+            field("early_exits_convergence", convergence),
+            field("early_exits_watchdog", watchdog),
+            field("early_exits_total", activation + convergence + watchdog),
+        ],
+        default_tolerance: benchfmt::default_tolerance("earlyexit"),
+    };
+    let path = Path::new("BENCH_earlyexit.json");
+    benchfmt::record(path, run).expect("write BENCH_earlyexit.json");
+    print!("{}", std::fs::read_to_string(path).expect("just wrote it"));
     eprintln!("wrote BENCH_earlyexit.json");
 }

@@ -1,8 +1,9 @@
 //! Fork-at-injection speedup benchmark: runs the full `ext_detection`
 //! campaign twice — replay-from-zero (`BJ_SNAPSHOT=0` semantics) and
 //! snapshot-fork (`BJ_SNAPSHOT=1`, the default) — verifies the reports
-//! are byte-identical, and writes the wall-time ratio to
-//! `BENCH_snapshot.json`.
+//! are byte-identical, and records the wall-time ratio in
+//! `BENCH_snapshot.json` (unified bj-bench schema; see
+//! [`blackjack_bench::benchfmt`]).
 //!
 //! The replay path runs first so the snapshot path cannot borrow its
 //! warmed caches' advantage away; both runs use the same worker pool, the
@@ -12,9 +13,11 @@
 //! Usage: `cargo run --release -p blackjack-bench --bin bench_snapshot`
 //! (optionally under `BJ_THREADS=n`).
 
+use std::path::Path;
 use std::time::Instant;
 
 use blackjack::{envcfg, Campaign};
+use blackjack_bench::benchfmt::{self, field, str_field, RunRecord};
 use blackjack_bench::detection::{default_benchmarks, run_detection, DetectionConfig};
 
 fn main() {
@@ -40,18 +43,24 @@ fn main() {
     );
 
     let speedup = replay_wall.as_secs_f64() / snapshot_wall.as_secs_f64().max(1e-9);
-    let json = format!(
-        "{{\n  \"campaign\": \"ext_detection\",\n  \"scale\": 1,\n  \"workers\": {},\n  \
-         \"jobs\": {},\n  \"reports_identical\": true,\n  \
-         \"replay_wall_seconds\": {:.3},\n  \"snapshot_wall_seconds\": {:.3},\n  \
-         \"speedup\": {:.2}\n}}\n",
-        campaign.workers(),
-        replay.tallies.len(),
-        replay_wall.as_secs_f64(),
-        snapshot_wall.as_secs_f64(),
-        speedup,
-    );
-    std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
-    print!("{json}");
+    let run = RunRecord {
+        bench: "snapshot",
+        config: vec![
+            str_field("campaign", "ext_detection"),
+            field("scale", 1),
+            field("workers", campaign.workers()),
+            field("jobs", replay.tallies.len()),
+        ],
+        checks: vec![field("reports_identical", true)],
+        metrics: vec![
+            field("replay_wall_seconds", format!("{:.3}", replay_wall.as_secs_f64())),
+            field("snapshot_wall_seconds", format!("{:.3}", snapshot_wall.as_secs_f64())),
+            field("speedup", format!("{speedup:.2}")),
+        ],
+        default_tolerance: benchfmt::default_tolerance("snapshot"),
+    };
+    let path = Path::new("BENCH_snapshot.json");
+    benchfmt::record(path, run).expect("write BENCH_snapshot.json");
+    print!("{}", std::fs::read_to_string(path).expect("just wrote it"));
     eprintln!("wrote BENCH_snapshot.json");
 }

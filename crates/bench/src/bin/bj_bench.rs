@@ -1,0 +1,112 @@
+//! `bj-bench` — summarize, migrate, and regression-gate the committed
+//! `BENCH_*.json` documents.
+//!
+//! ```text
+//! bj-bench [files...]               print one status row per document,
+//!                                   migrating legacy files in place
+//! bj-bench --check [files...]       run the regression gate; exit 1 on
+//!                                   any violated tolerance or check
+//! bj-bench --rebaseline [files...]  promote each latest run to baseline
+//! ```
+//!
+//! Without file arguments the three standard documents at the repo root
+//! are used (`BENCH_campaign.json`, `BENCH_snapshot.json`,
+//! `BENCH_earlyexit.json`); absent ones are skipped with a note. The
+//! schema, migration, and gate semantics live in
+//! [`blackjack_bench::benchfmt`] — the bench harnesses themselves write
+//! the same unified shape through [`benchfmt::record`], so this binary
+//! never re-runs anything; it only reads, rewrites, and judges the
+//! documents.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use blackjack_bench::benchfmt::{
+    self, check_doc, is_unified, kind_of_path, load, migrate_legacy, pretty_doc, summary_row,
+};
+
+const DEFAULT_FILES: [&str; 3] =
+    ["BENCH_campaign.json", "BENCH_snapshot.json", "BENCH_earlyexit.json"];
+
+fn usage() -> ! {
+    eprintln!("usage: bj-bench [--check | --rebaseline] [BENCH_*.json ...]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut rebaseline = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--rebaseline" => rebaseline = true,
+            "--help" | "-h" => usage(),
+            f if f.starts_with('-') => usage(),
+            f => files.push(PathBuf::from(f)),
+        }
+    }
+    if check && rebaseline {
+        usage();
+    }
+    if files.is_empty() {
+        files = DEFAULT_FILES.iter().map(PathBuf::from).collect();
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let Some(kind) = kind_of_path(path) else {
+            eprintln!("bj-bench: {}: not a recognized BENCH_<kind>.json name", path.display());
+            failed = true;
+            continue;
+        };
+        if !path.exists() {
+            println!("{kind:<10} (absent, skipped)");
+            continue;
+        }
+        let Some(mut doc) = load(path) else {
+            eprintln!("bj-bench: {}: unparseable JSON", path.display());
+            failed = true;
+            continue;
+        };
+        if !is_unified(&doc) {
+            doc = migrate_legacy(kind, &doc);
+            if let Err(e) = std::fs::write(path, pretty_doc(&doc)) {
+                eprintln!("bj-bench: {}: migration write failed: {e}", path.display());
+                failed = true;
+                continue;
+            }
+            println!("{kind:<10} migrated to unified schema (legacy metrics seeded baseline)");
+        }
+        if rebaseline {
+            match benchfmt::rebaseline(path) {
+                Ok(true) => println!("{kind:<10} baseline <- latest"),
+                Ok(false) => println!("{kind:<10} nothing to rebaseline"),
+                Err(e) => {
+                    eprintln!("bj-bench: {}: rebaseline write failed: {e}", path.display());
+                    failed = true;
+                }
+            }
+            continue;
+        }
+        if check {
+            let fails = check_doc(&doc);
+            if fails.is_empty() {
+                println!("{kind:<10} gate ok");
+            } else {
+                failed = true;
+                println!("{kind:<10} gate FAIL:");
+                for f in &fails {
+                    println!("    {f}");
+                }
+            }
+        } else {
+            println!("{}", summary_row(&doc));
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

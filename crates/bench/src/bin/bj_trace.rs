@@ -16,6 +16,14 @@
 //!   complete, commit) and `!` for the detection stamp.
 //! * **detection** — the detection event's kind, cycle, seq, pc, ways.
 //!
+//! The `top` subcommand (`bj-trace top [trace.jsonl] [--follow]`)
+//! renders the schema-v2 observability records instead: the latest
+//! live-progress tick (progress bar, ETA, per-worker busy, early-exit
+//! attribution, snapshot reuse), the campaign phase-time attribution,
+//! and the metrics-registry headline. With `--follow` it polls the file
+//! until the campaign's final tick lands — a one-file `top` for a
+//! running campaign.
+//!
 //! Exits 0 on success — including on empty or unrecognized input, which
 //! prints a note and renders nothing (an empty trace is not an error:
 //! a harness may legitimately produce no telemetry). Exits 1 when the
@@ -24,28 +32,25 @@
 use std::io::Read as _;
 
 use blackjack::telemetry::{
-    json_str, json_str_array, json_u64, json_u64_array, summarize_campaign, SCHEMA_VERSION,
+    json_obj, json_str, json_str_array, json_u64, json_u64_array, summarize_campaign,
+    SCHEMA_VERSION,
 };
 
 /// Cycle columns shown in the pipeline timeline (the tail of the
 /// recorded window).
 const TIMELINE_CYCLES: u64 = 64;
 
+/// `--follow` poll cadence.
+const FOLLOW_POLL_MS: u64 = 300;
+
 fn usage() -> ! {
     eprintln!("usage: bj-trace [trace.jsonl | -]");
+    eprintln!("       bj-trace top [trace.jsonl | -] [--follow]");
     std::process::exit(2);
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let path = args.next();
-    if args.next().is_some() {
-        usage();
-    }
-    if path.as_deref() == Some("--help") || path.as_deref() == Some("-h") {
-        usage();
-    }
-    let text = match path.as_deref() {
+fn read_input(path: Option<&str>) -> String {
+    match path {
         None | Some("-") => {
             let mut buf = String::new();
             if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
@@ -58,7 +63,23 @@ fn main() {
             eprintln!("bj-trace: {p}: {e}");
             std::process::exit(1);
         }),
-    };
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("top") {
+        top_main(&args[1..]);
+        return;
+    }
+    if args.len() > 1 {
+        usage();
+    }
+    let path = args.first().map(String::as_str);
+    if path == Some("--help") || path == Some("-h") {
+        usage();
+    }
+    let text = read_input(path);
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     if lines.is_empty() {
         println!("bj-trace: no telemetry lines in input (nothing to render)");
@@ -77,6 +98,173 @@ fn main() {
     }
 }
 
+// ------------------------------------------------------------------- top
+
+fn top_main(args: &[String]) {
+    let mut path: Option<&str> = None;
+    let mut follow = false;
+    for a in args {
+        match a.as_str() {
+            "--follow" | "-f" => follow = true,
+            "--help" | "-h" => usage(),
+            p if path.is_none() && (p == "-" || !p.starts_with('-')) => path = Some(p),
+            _ => usage(),
+        }
+    }
+    if !follow {
+        let text = read_input(path);
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        if render_top(&lines) == 0 {
+            println!("bj-trace top: no observability records in input (nothing to render)");
+        }
+        return;
+    }
+    let Some(p) = path.filter(|p| *p != "-") else {
+        eprintln!("bj-trace top: --follow needs a file path (cannot follow stdin)");
+        std::process::exit(2);
+    };
+    // Follow mode: one compact line per fresh tick, a full render once
+    // the campaign's final tick lands. The file may not exist yet — a
+    // follower is typically started before the campaign.
+    let mut last: Option<String> = None;
+    loop {
+        let text = std::fs::read_to_string(p).unwrap_or_default();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        if let Some(tick) = latest_progress(&lines) {
+            if last.as_deref() != Some(tick) {
+                println!("{}", progress_line(tick));
+                last = Some(tick.to_string());
+            }
+            if tick.contains("\"done\":true") {
+                println!();
+                render_top(&lines);
+                return;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(FOLLOW_POLL_MS));
+    }
+}
+
+fn latest_progress<'a>(lines: &[&'a str]) -> Option<&'a str> {
+    of_type(lines, "progress").into_iter().last()
+}
+
+fn secs(nanos: u64) -> String {
+    format!("{:.1}s", nanos as f64 / 1e9)
+}
+
+/// The compact one-line progress view (`--follow`'s per-tick output).
+fn progress_line(p: &str) -> String {
+    let done = json_u64(p, "jobs_done").unwrap_or(0);
+    let total = json_u64(p, "jobs_total").unwrap_or(0).max(1);
+    let filled = (done * 24 / total) as usize;
+    let eta = json_u64(p, "eta_nanos").map_or("-".to_string(), secs);
+    let exits = json_obj(p, "early_exits").and_then(|e| json_u64(e, "total")).unwrap_or(0);
+    format!(
+        "[{}{}] {done}/{total} jobs  elapsed {}  eta {eta}  runs {}  early-exits {exits}",
+        "#".repeat(filled),
+        ".".repeat(24usize.saturating_sub(filled)),
+        json_u64(p, "elapsed_nanos").map_or("-".to_string(), secs),
+        json_u64(p, "runs").unwrap_or(0),
+    )
+}
+
+/// The full `top` view: latest progress tick, phase attribution, and the
+/// metrics headline. Returns the number of records rendered.
+fn render_top(lines: &[&str]) -> usize {
+    let mut rendered = 0usize;
+    if let Some(p) = latest_progress(lines) {
+        rendered += 1;
+        let state = if p.contains("\"done\":true") { "finished" } else { "running" };
+        println!("campaign: {state}  {}", progress_line(p));
+        println!(
+            "  workers: {}  forked runs: {}/{}",
+            json_u64(p, "workers").unwrap_or(0),
+            json_u64(p, "forked_runs").unwrap_or(0),
+            json_u64(p, "runs").unwrap_or(0),
+        );
+        if let Some(e) = json_obj(p, "early_exits") {
+            println!(
+                "  early exits: activation {}  convergence {}  watchdog {}",
+                json_u64(e, "activation").unwrap_or(0),
+                json_u64(e, "convergence").unwrap_or(0),
+                json_u64(e, "watchdog").unwrap_or(0),
+            );
+        }
+        if let Some(s) = json_obj(p, "snapshots") {
+            let taken = json_u64(s, "taken").unwrap_or(0);
+            let refilled = json_u64(s, "refilled").unwrap_or(0);
+            let rate = refilled as f64 / (taken + refilled).max(1) as f64;
+            println!(
+                "  snapshots: {taken} allocated, {refilled} refilled in place ({:.0}% reuse)",
+                rate * 100.0
+            );
+        }
+        if let (Some(busy), Some(elapsed)) =
+            (json_u64_array(p, "busy_nanos"), json_u64(p, "elapsed_nanos"))
+        {
+            let view: Vec<String> = busy
+                .iter()
+                .enumerate()
+                .map(|(w, &b)| {
+                    format!("w{w} {:.0}%", 100.0 * b as f64 / elapsed.max(1) as f64)
+                })
+                .collect();
+            println!("  worker busy: {}", view.join("  "));
+        }
+    }
+    if let Some(ph) = of_type(lines, "phase").into_iter().last() {
+        rendered += 1;
+        let wall = json_u64(ph, "wall_nanos").unwrap_or(0);
+        println!();
+        println!("phase attribution (cpu time; campaign wall {}):", secs(wall));
+        let phases =
+            ["setup_nanos", "snapshot_nanos", "simulate_nanos", "oracle_nanos", "reassembly_nanos"];
+        let total: u64 = phases.iter().filter_map(|k| json_u64(ph, k)).sum();
+        for k in phases {
+            let v = json_u64(ph, k).unwrap_or(0);
+            let share = v as f64 / total.max(1) as f64;
+            let bar = "#".repeat((share * 32.0).round() as usize);
+            println!(
+                "  {:<12} {:>10}  {:>5.1}%  {bar}",
+                k.trim_end_matches("_nanos"),
+                secs(v),
+                share * 100.0
+            );
+        }
+    }
+    if let Some(m) = of_type(lines, "metrics").into_iter().last() {
+        rendered += 1;
+        println!();
+        println!("metrics registry:");
+        if let Some(c) = json_obj(m, "counters") {
+            println!(
+                "  jobs {}  setups {}  runs simulated {}  forks {}  pruned {} (static {} / activation {})",
+                json_u64(c, "jobs").unwrap_or(0),
+                json_u64(c, "setups").unwrap_or(0),
+                json_u64(c, "runs_simulated").unwrap_or(0),
+                json_u64(c, "snapshot_forks").unwrap_or(0),
+                json_u64(c, "pruned_static").unwrap_or(0) + json_u64(c, "pruned_activation").unwrap_or(0),
+                json_u64(c, "pruned_static").unwrap_or(0),
+                json_u64(c, "pruned_activation").unwrap_or(0),
+            );
+            let exits = ["exit_completed", "exit_detected", "exit_cycle_limit", "exit_converged", "exit_stalled"];
+            let view: Vec<String> = exits
+                .iter()
+                .map(|k| format!("{} {}", k.trim_start_matches("exit_"), json_u64(c, k).unwrap_or(0)))
+                .collect();
+            println!("  exit reasons: {}", view.join("  "));
+        }
+        if let Some(h) = json_obj(m, "catchup_cycles") {
+            let total = json_u64(h, "total").unwrap_or(0);
+            if total > 0 {
+                println!("  fork catch-up: {total} forks measured (histogram in stream)");
+            }
+        }
+    }
+    rendered
+}
+
 fn of_type<'a>(lines: &[&'a str], ty: &str) -> Vec<&'a str> {
     lines
         .iter()
@@ -91,10 +279,12 @@ fn render_meta(lines: &[&str]) -> usize {
         let tool = json_str(m, "tool").unwrap_or_default();
         let schema = json_u64(m, "schema").unwrap_or(0);
         println!("trace: tool={tool} schema={schema}");
-        if schema != SCHEMA_VERSION {
+        // Older schemas are a strict subset of the current one (v2 only
+        // added record types), so only a *newer* stream merits a warning.
+        if schema > SCHEMA_VERSION {
             eprintln!(
-                "bj-trace: warning: schema {schema} != supported {SCHEMA_VERSION}; \
-                 rendering best-effort"
+                "bj-trace: warning: schema {schema} is newer than supported \
+                 {SCHEMA_VERSION}; rendering best-effort"
             );
         }
     }

@@ -15,27 +15,64 @@
 //! With `BJ_TRACE=<path>` set, per-job scheduling telemetry and a
 //! flight-recorder pipetrace of the first detected injection are written
 //! to `<path>` (render with `bj-trace`); stdout stays byte-identical.
-//! Wall-clock goes to stderr so stdout is fully deterministic.
+//! `BJ_METRICS=1` adds the campaign metrics registry and the per-phase
+//! wall-time attribution to the stream; `BJ_PROGRESS_SECS=<n>` streams a
+//! live `progress` record every `n` seconds (render with `bj-trace
+//! top`). Wall-clock goes to stderr so stdout is fully deterministic.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use blackjack::sim::{Core, CoreConfig, RunOutcome};
-use blackjack::telemetry::TraceWriter;
+use blackjack::telemetry::{ProgressMeter, TraceWriter};
 use blackjack::workloads::build;
-use blackjack::Campaign;
+use blackjack::{envcfg, Campaign};
 use blackjack_bench::detection::{
-    armed_plan, benchmarks_from_args, run_detection, DetectionConfig, MAX_CYCLES,
+    armed_plan, benchmarks_from_args, run_detection_observed, DetectionConfig, ObserveCtl,
+    MAX_CYCLES,
 };
 
 fn main() {
-    let mut writer = TraceWriter::from_env_or_exit("ext_detection");
+    let writer = TraceWriter::from_env_or_exit("ext_detection");
+    let metrics_on =
+        envcfg::metrics_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let progress_secs =
+        envcfg::progress_secs_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let campaign = Campaign::from_env_or_exit();
     let cfg = DetectionConfig::from_env_or_exit();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let benchmarks = benchmarks_from_args(&args);
 
     let t0 = Instant::now();
-    let report = run_detection(&campaign, cfg, &benchmarks, writer.is_some());
+    let (report, mut writer) = if let Some(w) = writer {
+        // Progress streaming rides the telemetry stream: the meter wraps
+        // the writer for the campaign's duration and hands it back for
+        // the post-campaign record families.
+        let meter = ProgressMeter::new(w);
+        let report = run_detection_observed(
+            &campaign,
+            cfg,
+            &benchmarks,
+            ObserveCtl {
+                traced: true,
+                metrics: metrics_on,
+                meter: Some(&meter),
+                progress_every: progress_secs.map(Duration::from_secs),
+            },
+        );
+        (report, Some(meter.into_writer()))
+    } else {
+        if progress_secs.is_some() {
+            eprintln!("warning: BJ_PROGRESS_SECS set without BJ_TRACE; no stream to write to");
+        }
+        let report = run_detection_observed(
+            &campaign,
+            cfg,
+            &benchmarks,
+            ObserveCtl { metrics: metrics_on, ..Default::default() },
+        );
+        (report, None)
+    };
+    let wall = t0.elapsed();
     print!("{}", report.text);
 
     if let (Some(w), Some(sched)) = (writer.as_mut(), report.trace.as_ref()) {
@@ -59,6 +96,10 @@ fn main() {
             }
         }
     }
+    if let (Some(w), Some(r)) = (writer.as_mut(), report.metrics.as_ref()) {
+        w.emit_phase(&r.phase_nanos(), wall.as_nanos() as u64);
+        w.emit_metrics(r);
+    }
 
     println!(
         "\nExpected shape: BlackJack converts SRT's silent corruptions into\n\
@@ -71,7 +112,7 @@ fn main() {
     eprintln!(
         "[{} injection runs in {:.1?}; {} workers; snapshot {}; early exit {}]",
         report.tallies.len(),
-        t0.elapsed(),
+        wall,
         campaign.workers(),
         if cfg.snapshot { "on" } else { "off" },
         if cfg.early_exit { format!("on ({early} runs cut short)") } else { "off".to_string() },

@@ -29,6 +29,7 @@
 //! for byte (`detection_equiv` tests enforce this).
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use blackjack::envcfg::DEFAULT_STALL_CYCLES;
 use blackjack::faults::{
@@ -38,8 +39,12 @@ use blackjack::isa::{Interp, Program};
 use blackjack::sim::{
     Core, CoreConfig, EarlyExitReason, FuCounts, Mode, RunOutcome, SiteUsage,
 };
+use blackjack::telemetry::ProgressMeter;
 use blackjack::workloads::{build, Benchmark};
-use blackjack::{arming_schedule, Campaign, CampaignTrace, SnapshotChain};
+use blackjack::{
+    arming_schedule, Campaign, CampaignTrace, Counter, Gauge, Metrics, MetricsRegistry,
+    ObserveOpts, ProgressHook, ProgressTick, SnapshotChain,
+};
 use blackjack_analysis::SiteAnalysis;
 
 /// Cycle budget per injection run — far above anything the kernels need.
@@ -202,6 +207,22 @@ impl DetectionGroup {
         cfg: DetectionConfig,
         golden: Arc<Interp>,
     ) -> DetectionGroup {
+        DetectionGroup::build_observed(mode, bench, cfg, golden, &mut Metrics::Off, None)
+    }
+
+    /// [`DetectionGroup::build`] recording setup/snapshot wall time, the
+    /// chain's build accounting, and the snapshot-reuse tally into
+    /// `metrics` and `meter` (either may be off/absent; with
+    /// [`Metrics::Off`] and no meter this is exactly `build`).
+    pub fn build_observed(
+        mode: Mode,
+        bench: Benchmark,
+        cfg: DetectionConfig,
+        golden: Arc<Interp>,
+        metrics: &mut Metrics,
+        meter: Option<&ProgressMeter>,
+    ) -> DetectionGroup {
+        let t0 = Instant::now();
         let prog = build(bench, 1);
         let analysis = SiteAnalysis::analyze(&prog, &FuCounts::default())
             .expect("workload programs are analyzable");
@@ -213,13 +234,19 @@ impl DetectionGroup {
         if cfg.early_exit {
             ff.enable_site_usage();
         }
+        // Wall time attribution: a reference pass that builds snapshots
+        // counts as snapshot time; one that only fixes the arming
+        // schedule counts as setup.
+        let mut snap_nanos = 0u64;
         let (fault_free_cycles, site_usage, periodic) = if cfg.early_exit && cfg.snapshot {
+            let ts = Instant::now();
             let (chain, mut done) = SnapshotChain::build_periodic(
                 ff,
                 SNAPSHOT_INTERVAL,
                 MAX_CYCLES,
                 Some(golden.icount()),
             );
+            snap_nanos += ts.elapsed().as_nanos() as u64;
             (done.cycle(), done.take_site_usage(), Some(chain))
         } else {
             assert!(ff.run(MAX_CYCLES).completed(), "fault-free runs must complete");
@@ -240,12 +267,29 @@ impl DetectionGroup {
                     .filter(|&(&s, _)| !(cfg.prune && analysis.prunable(s)))
                     .map(|(_, &a)| a)
                     .collect();
-                SnapshotChain::build(
+                let ts = Instant::now();
+                let chain = SnapshotChain::build(
                     Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new()),
                     &live,
-                )
+                );
+                snap_nanos += ts.elapsed().as_nanos() as u64;
+                chain
             })
         };
+        if let Some(chain) = &chain {
+            let s = chain.stats();
+            metrics.add(Counter::SnapshotsTaken, s.taken);
+            metrics.add(Counter::SnapshotsRefilled, s.refilled);
+            metrics.add(Counter::SnapshotsRetired, s.retired);
+            metrics.gauge_max(Gauge::PeakRetainedSnapshots, s.peak_retained);
+            if let Some(m) = meter {
+                m.note_snapshots(s.taken, s.refilled);
+            }
+        }
+        metrics.inc(Counter::Setups);
+        metrics.add(Counter::SnapshotBuildNanos, snap_nanos);
+        metrics
+            .add(Counter::SetupNanos, (t0.elapsed().as_nanos() as u64).saturating_sub(snap_nanos));
         DetectionGroup {
             cfg,
             mode,
@@ -266,8 +310,22 @@ impl DetectionGroup {
     /// chain (or replays from cycle 0) with mechanisms 2 and 3 armed when
     /// early exit is on.
     pub fn injection_tally(&self, site_idx: usize) -> (DetectionTally, Option<EarlyExitKind>) {
+        self.injection_tally_observed(site_idx, &mut Metrics::Off, None)
+    }
+
+    /// [`DetectionGroup::injection_tally`] recording run accounting —
+    /// prune attribution, fork count/latency/catch-up distance, simulate
+    /// and oracle wall time, exit reason — into `metrics` and the live
+    /// `meter` (either may be off/absent).
+    pub fn injection_tally_observed(
+        &self,
+        site_idx: usize,
+        metrics: &mut Metrics,
+        meter: Option<&ProgressMeter>,
+    ) -> (DetectionTally, Option<EarlyExitKind>) {
         let site = sites()[site_idx];
         if self.cfg.prune && self.analysis.prunable(site) {
+            metrics.inc(Counter::PrunedStatic);
             return (DetectionTally::pruned_site(), None);
         }
         let arm = self.arms[site_idx];
@@ -280,6 +338,10 @@ impl DetectionGroup {
         // simulation at all.
         if let Some(last) = last {
             if last.is_none_or(|l| l < arm) {
+                metrics.inc(Counter::PrunedActivation);
+                if let Some(m) = meter {
+                    m.note_early_activation();
+                }
                 return (
                     DetectionTally::of(DetectionOutcome::Benign),
                     Some(EarlyExitKind::Activation),
@@ -287,13 +349,24 @@ impl DetectionGroup {
             }
         }
         let plan = armed_plan(site, arm);
+        let forked = self.chain.is_some();
+        let tf = Instant::now();
         let mut core = match &self.chain {
             // The periodic chain rarely paused exactly at arm - 1; catch
             // up the few fault-free cycles in between.
-            Some(chain) if self.cfg.early_exit => chain.fork_catchup(arm, plan),
+            Some(chain) if self.cfg.early_exit => {
+                if metrics.is_on() {
+                    metrics.record_catchup(chain.catchup_cycles(arm));
+                }
+                chain.fork_catchup(arm, plan)
+            }
             Some(chain) => chain.fork(arm, plan),
             None => Core::new(CoreConfig::with_mode(self.mode), &self.prog, plan),
         };
+        if forked {
+            metrics.inc(Counter::SnapshotForks);
+            metrics.add(Counter::SnapshotForkNanos, tf.elapsed().as_nanos() as u64);
+        }
         if self.cfg.early_exit {
             // Mechanism 3 — stall watchdog.
             core.set_stall_window(Some(self.cfg.stall_cycles));
@@ -303,7 +376,15 @@ impl DetectionGroup {
                 core.set_quiesce_cycle(Some(l + 1));
             }
         }
-        let (outcome, kind) = outcome_of(&mut core, &self.golden);
+        let (outcome, kind) = outcome_of_observed(&mut core, &self.golden, metrics);
+        if let Some(m) = meter {
+            m.note_run(forked);
+            match kind {
+                Some(EarlyExitKind::Convergence) => m.note_early_convergence(),
+                Some(EarlyExitKind::Watchdog) => m.note_early_watchdog(),
+                _ => {}
+            }
+        }
         (DetectionTally::of(outcome), kind)
     }
 }
@@ -320,10 +401,32 @@ pub fn golden_run(prog: &Program) -> Interp {
 /// Drives `core` to its end and classifies the run against the golden
 /// memory image, attributing any early exit to its mechanism.
 pub fn outcome_of(core: &mut Core, golden: &Interp) -> (DetectionOutcome, Option<EarlyExitKind>) {
-    match core.run(MAX_CYCLES) {
+    outcome_of_observed(core, golden, &mut Metrics::Off)
+}
+
+/// [`outcome_of`] recording the run's simulate-phase wall stamp, its
+/// exit reason, and the oracle (golden memory compare) wall time.
+pub fn outcome_of_observed(
+    core: &mut Core,
+    golden: &Interp,
+    metrics: &mut Metrics,
+) -> (DetectionOutcome, Option<EarlyExitKind>) {
+    // A forked core inherits the reference pass's accumulated
+    // `wall_nanos` from its snapshot; only the delta across this run is
+    // simulate time (the prefix is already attributed to the snapshot
+    // phase).
+    let wall_before = core.stats().wall_nanos;
+    let out = core.run(MAX_CYCLES);
+    metrics.inc(Counter::RunsSimulated);
+    metrics.add(Counter::SimulateNanos, core.stats().wall_nanos - wall_before);
+    metrics.record_exit(core.stats().exit_reason);
+    match out {
         RunOutcome::Detected(_) => (DetectionOutcome::Detected, None),
         RunOutcome::Completed => {
-            if core.mem().first_difference(golden.mem()).is_some() {
+            let to = Instant::now();
+            let corrupted = core.mem().first_difference(golden.mem()).is_some();
+            metrics.add(Counter::OracleNanos, to.elapsed().as_nanos() as u64);
+            if corrupted {
                 (DetectionOutcome::SilentCorruption, None)
             } else {
                 (DetectionOutcome::Benign, None)
@@ -374,6 +477,25 @@ pub struct DetectionReport {
     pub text: String,
     /// Per-job scheduling telemetry, when requested.
     pub trace: Option<CampaignTrace>,
+    /// The merged campaign metrics registry, when `BJ_METRICS` was on.
+    /// Its deterministic prefix is byte-identical for any worker count.
+    pub metrics: Option<MetricsRegistry>,
+}
+
+/// Observability switches for [`run_detection_observed`] — the
+/// campaign-level analog of the per-fan-out [`ObserveOpts`]. Default is
+/// everything off, which is exactly [`run_detection`]'s untraced path.
+#[derive(Default, Clone, Copy)]
+pub struct ObserveCtl<'a> {
+    /// Collect per-job scheduling telemetry ([`DetectionReport::trace`]).
+    pub traced: bool,
+    /// Record the metrics registry ([`DetectionReport::metrics`]).
+    pub metrics: bool,
+    /// Live-progress sink; required for `progress_every` to take effect.
+    pub meter: Option<&'a ProgressMeter>,
+    /// Progress cadence for the injection fan-out (the campaign's long
+    /// phase); `None` disables mid-campaign ticks.
+    pub progress_every: Option<Duration>,
 }
 
 /// Compact job label for the telemetry stream: `mode/bench/site`.
@@ -396,9 +518,25 @@ pub fn run_detection(
     benchmarks: &[Benchmark],
     traced: bool,
 ) -> DetectionReport {
+    run_detection_observed(campaign, cfg, benchmarks, ObserveCtl { traced, ..Default::default() })
+}
+
+/// [`run_detection`] with the full observability surface: scheduling
+/// telemetry, the metrics registry, and live progress streaming, each
+/// opt-in through `ctl`. With everything off this takes exactly the
+/// unobserved paths (including the single-worker depth-first one), so
+/// the default campaign pays nothing.
+pub fn run_detection_observed(
+    campaign: &Campaign,
+    cfg: DetectionConfig,
+    benchmarks: &[Benchmark],
+    ctl: ObserveCtl<'_>,
+) -> DetectionReport {
     let all_sites = sites();
     let nb = benchmarks.len();
     let ns = all_sites.len();
+    let progress_every = ctl.progress_every.filter(|_| ctl.meter.is_some());
+    let observing = ctl.traced || ctl.metrics || progress_every.is_some();
 
     // One golden run per benchmark, shared by both modes' groups (the
     // functional interpreter knows nothing of pipeline mode).
@@ -408,12 +546,15 @@ pub fn run_detection(
     // Group setups, one per (mode, benchmark) — group index
     // g = mode_idx * nb + bench_idx, matching job order.
     let goldens_ref = &goldens;
+    let meter = ctl.meter;
     let setups: Vec<_> = MODES
         .iter()
         .flat_map(|&mode| {
             benchmarks.iter().enumerate().map(move |(bi, &bench)| {
                 let golden = Arc::clone(&goldens_ref[bi]);
-                move || DetectionGroup::build(mode, bench, cfg, golden)
+                move |m: &mut Metrics| {
+                    DetectionGroup::build_observed(mode, bench, cfg, golden, m, meter)
+                }
             })
         })
         .collect();
@@ -422,22 +563,49 @@ pub fn run_detection(
         .map(|i| {
             let g = i / ns;
             let site_idx = i % ns;
-            (g, move |group: &DetectionGroup| {
-                let (tally, early) = group.injection_tally(site_idx);
+            (g, move |group: &DetectionGroup, m: &mut Metrics| {
+                let (tally, early) = group.injection_tally_observed(site_idx, m, meter);
                 (group.mode, tally, early)
             })
         })
         .collect();
 
-    // The traced path stages manually so the fan-out goes through
-    // `run_traced`; the plain path is exactly `Campaign::run_staged`.
-    let (groups, results, trace) = if traced {
-        let groups = campaign.run(setups);
+    // The observed path stages manually so both fan-outs go through
+    // `run_observed` — the engine counts jobs and stamps job latency the
+    // same way at any worker count, which is what makes the merged
+    // registry's deterministic prefix worker-count-invariant. The
+    // unobserved paths are exactly the previous `run_staged` /
+    // depth-first code.
+    let (groups, results, trace, registry) = if observing {
+        let setup_obs = campaign
+            .run_observed(setups, ObserveOpts { timings: false, metrics: ctl.metrics, progress: None });
+        let groups = setup_obs.results;
         let groups_ref = &groups;
-        let bound: Vec<_> =
-            jobs.into_iter().map(|(g, f)| move || f(&groups_ref[g])).collect();
-        let (results, trace) = campaign.run_traced(bound);
-        (groups, results, Some(trace))
+        let bound: Vec<_> = jobs
+            .into_iter()
+            .map(|(g, f)| move |m: &mut Metrics| f(&groups_ref[g], m))
+            .collect();
+        let emit = move |t: &ProgressTick| {
+            if let Some(m) = meter {
+                m.emit_tick(t);
+            }
+        };
+        let hook = progress_every.map(|every| ProgressHook::new(every, &emit));
+        let job_obs = campaign.run_observed(
+            bound,
+            ObserveOpts { timings: ctl.traced, metrics: ctl.metrics, progress: hook.as_ref() },
+        );
+        let registry = ctl.metrics.then(|| {
+            let mut merged = MetricsRegistry::new();
+            for shard in setup_obs.shards.iter().chain(job_obs.shards.iter()) {
+                merged.merge(shard);
+            }
+            // Config facts enter after the merge: the shards themselves
+            // stay byte-identical for any worker count.
+            merged.gauge_max(Gauge::Workers, campaign.workers() as u64);
+            merged
+        });
+        (groups, job_obs.results, job_obs.trace, registry)
     } else if campaign.workers() == 1 {
         // Depth-first: with a single worker, breadth-first staging (all
         // setups, then all jobs) buys no parallelism but keeps every
@@ -452,20 +620,27 @@ pub fn run_detection(
         let mut results = Vec::with_capacity(jobs.len());
         let mut jobs = jobs.into_iter();
         for (g, setup) in setups.into_iter().enumerate() {
-            let mut group = setup();
+            let mut group = setup(&mut Metrics::Off);
             for _ in 0..ns {
                 let (jg, f) = jobs.next().expect("one job per (group, site)");
                 debug_assert_eq!(jg, g, "jobs must be grouped contiguously");
-                results.push(f(&group));
+                results.push(f(&group, &mut Metrics::Off));
             }
             group.release_fork_state();
             groups.push(group);
         }
-        (groups, results, None)
+        (groups, results, None, None)
     } else {
+        let setups: Vec<_> =
+            setups.into_iter().map(|s| move || s(&mut Metrics::Off)).collect();
+        let jobs: Vec<(usize, _)> = jobs
+            .into_iter()
+            .map(|(g, f)| (g, move |grp: &DetectionGroup| f(grp, &mut Metrics::Off)))
+            .collect();
         let (groups, results) = campaign.run_staged(setups, jobs);
-        (groups, results, None)
+        (groups, results, None, None)
     };
+    let t_reassembly = Instant::now();
     let tallies: Vec<(Mode, DetectionTally)> = results.iter().map(|&(m, t, _)| (m, t)).collect();
     let early_exits: Vec<Option<EarlyExitKind>> = results.iter().map(|&(_, _, e)| e).collect();
 
@@ -491,7 +666,11 @@ pub fn run_detection(
         .collect();
 
     let text = report_text(cfg.prune, benchmarks, &groups[..nb], &tallies);
-    DetectionReport { tallies, early_exits, labels, meta, text, trace }
+    let metrics = registry.map(|mut r| {
+        r.add(Counter::ReassemblyNanos, t_reassembly.elapsed().as_nanos() as u64);
+        r
+    });
+    DetectionReport { tallies, early_exits, labels, meta, text, trace, metrics }
 }
 
 /// Renders the deterministic report. `bench_groups` must be the per-

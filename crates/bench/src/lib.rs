@@ -12,6 +12,7 @@
 //! | `ext_detection` | detection-rate sweep under injected faults |
 //! | `ext_ablation` | slack sweep + design-choice ablation |
 //! | `bench_campaign` | simulator throughput; writes `BENCH_campaign.json` |
+//! | `bj-bench` | summarizes/migrates/gates the `BENCH_*.json` documents |
 //!
 //! Run with `cargo run --release -p blackjack-bench --bin <name>`. The
 //! harnesses fan out over a worker pool ([`blackjack::Campaign`]); set
@@ -21,6 +22,7 @@
 
 use blackjack::{envcfg, Experiment};
 
+pub mod benchfmt;
 pub mod detection;
 
 /// Builds the standard experiment at the scale used by the harnesses

@@ -40,6 +40,16 @@ pub enum ExitReason {
 }
 
 impl ExitReason {
+    /// Every reason, in stable (telemetry/metrics) order — campaign
+    /// metrics key per-reason counters off this enumeration.
+    pub const ALL: [ExitReason; 5] = [
+        ExitReason::Completed,
+        ExitReason::Detected,
+        ExitReason::CycleLimit,
+        ExitReason::Converged,
+        ExitReason::Stalled,
+    ];
+
     /// Stable telemetry token for the reason.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -58,7 +68,9 @@ pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
     /// Wall-clock nanoseconds spent inside [`Core::run`](crate::Core::run)
-    /// for **this run**. [`SimStats::merge`] leaves it untouched: summing
+    /// for **this run** — campaign observability reads it as the run's
+    /// *simulate*-phase stamp when attributing wall time to phases.
+    /// [`SimStats::merge`] leaves it untouched: summing
     /// the wall-clock of runs that executed in parallel on different
     /// campaign workers would not measure any real elapsed interval. For
     /// campaign-level wall-clock throughput use

@@ -71,6 +71,37 @@ echo "== tier-1: bench_earlyexit (refreshes BENCH_earlyexit.json) =="
 BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench --bin bench_earlyexit >/dev/null
 grep -q '"reports_identical": true' BENCH_earlyexit.json
 
+echo "== tier-1: bj-bench --check (bench regression gate) =="
+# The unified BENCH_*.json documents (just refreshed above) must pass
+# their committed tolerances: speedup floors, throughput ratio bounds,
+# and the exact early-exit attribution counts.
+cargo run --release -q --offline -p blackjack-bench --bin bj-bench -- --check
+
+echo "== tier-1: observability smoke (BJ_METRICS + BJ_PROGRESS_SECS) =="
+# A metrics-and-progress run must stream at least one well-formed
+# progress record (the guaranteed done:true tick), the phase and metrics
+# record families, render through bj-trace top — and leave stdout
+# byte-identical to the unobserved run.
+obs_file="$(mktemp /tmp/bj_obs_smoke.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file" "$obs_file"' EXIT
+obs_out="$(BJ_SCALE=1 BJ_METRICS=1 BJ_PROGRESS_SECS=1 BJ_TRACE="$obs_file" \
+  cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+plain_out="$(BJ_SCALE=1 cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+[ -n "$obs_out" ]
+diff <(printf '%s' "$plain_out") <(printf '%s' "$obs_out")
+# The final progress tick is guaranteed and carries the full shape.
+grep '"type":"progress"' "$obs_file" | tail -1 | grep -q '"done":true'
+grep '"type":"progress"' "$obs_file" | tail -1 | grep -q '"jobs_total":'
+grep '"type":"progress"' "$obs_file" | tail -1 | grep -q '"nondet":\["elapsed_nanos"'
+grep -q '"type":"phase"' "$obs_file"
+grep -q '"type":"metrics"' "$obs_file"
+top_out="$(cargo run --release -q --offline -p blackjack-bench --bin bj-trace -- top "$obs_file")"
+echo "$top_out" | grep -q "campaign:"
+echo "$top_out" | grep -q "phase attribution"
+echo "$top_out" | grep -q "metrics registry:"
+
 echo "== tier-1: call-kernel equivalence smoke (ext_detection, perlbmk) =="
 # The call-bearing kernel's report rows must be byte-identical with
 # static pruning on and off (pruning changes only the trailing

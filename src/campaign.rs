@@ -26,10 +26,12 @@
 //! assert_eq!(squares[7], 49);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
+
+use crate::metrics::{Counter, Metrics, MetricsRegistry};
 
 /// A worker pool executing a flat list of independent jobs.
 ///
@@ -208,68 +210,274 @@ impl Campaign {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        let obs = self.run_observed(
+            jobs.into_iter().map(|j| move |_: &mut Metrics| j()).collect(),
+            ObserveOpts { timings: true, metrics: false, progress: None },
+        );
+        (obs.results, obs.trace.expect("timings were requested"))
+    }
+
+    /// The fully-observed fan-out: [`Campaign::run`]'s determinism
+    /// contract plus, each opt-in:
+    ///
+    /// * **timings** — per-job scheduling records ([`CampaignTrace`]),
+    /// * **metrics** — one [`MetricsRegistry`] shard per worker; each job
+    ///   receives `&mut Metrics` (the worker's shard, or [`Metrics::Off`]
+    ///   when metrics are off — the off path shares `run`'s zero
+    ///   overhead). The engine itself records [`Counter::Jobs`] and the
+    ///   job-latency histogram into each shard; jobs add their domain
+    ///   counters — never config facts like the worker count, so shard
+    ///   merges stay byte-identical across worker counts. Shards
+    ///   come back in worker-index order; merging them (any order — the
+    ///   algebra commutes) yields totals that are byte-identical for any
+    ///   worker count.
+    /// * **progress** — a wall-clock-cadence [`ProgressHook`] called from
+    ///   whichever worker crosses the deadline at a job boundary, plus
+    ///   one final call (with [`ProgressTick::done`]) when the last job
+    ///   retires. Only timing fields of a tick vary run to run.
+    pub fn run_observed<T, F>(&self, jobs: Vec<F>, opts: ObserveOpts) -> Observed<T>
+    where
+        T: Send,
+        F: FnOnce(&mut Metrics) -> T + Send,
+    {
         let n = jobs.len();
         let t0 = Instant::now();
+        let workers = self.workers.min(n).max(1);
+        let done = AtomicUsize::new(0);
+        let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        // Next progress deadline, nanos since t0. Workers race on it with
+        // CAS so each cadence interval emits exactly one tick.
+        let deadline = AtomicU64::new(opts.progress.map_or(u64::MAX, |h| h.every_nanos()));
+
+        let finish = |results: Vec<(T, JobTiming)>, shards: Vec<MetricsRegistry>| {
+            let wall = t0.elapsed();
+            if let Some(hook) = opts.progress {
+                hook.emit(&ProgressTick {
+                    jobs_done: done.load(Ordering::Relaxed),
+                    jobs_total: n,
+                    workers: self.workers,
+                    done: true,
+                    elapsed: wall,
+                    eta: Some(Duration::ZERO),
+                    busy: busy.iter().map(|b| Duration::from_nanos(b.load(Ordering::Relaxed))).collect(),
+                });
+            }
+            let mut out = Vec::with_capacity(n);
+            let mut timings = Vec::with_capacity(n);
+            for (v, t) in results {
+                out.push(v);
+                timings.push(t);
+            }
+            Observed {
+                results: out,
+                trace: opts.timings.then_some(CampaignTrace {
+                    workers: self.workers,
+                    wall,
+                    timings,
+                }),
+                shards,
+            }
+        };
+
         if n == 0 {
-            return (
-                Vec::new(),
-                CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings: Vec::new() },
-            );
+            return finish(Vec::new(), Vec::new());
         }
         if self.workers == 1 || n == 1 {
             // Inline path: everything runs on "worker 0" sequentially.
-            let mut out = Vec::with_capacity(n);
-            let mut timings = Vec::with_capacity(n);
+            let mut metrics = Metrics::when(opts.metrics);
+            let mut results = Vec::with_capacity(n);
             for (i, job) in jobs.into_iter().enumerate() {
                 let queue_wait = t0.elapsed();
                 let jt0 = Instant::now();
-                out.push(job());
-                timings.push(JobTiming { job: i, worker: 0, queue_wait, run: jt0.elapsed() });
+                let out = job(&mut metrics);
+                let run = jt0.elapsed();
+                metrics.inc(Counter::Jobs);
+                metrics.record_job_nanos(run.as_nanos() as u64);
+                busy[0].fetch_add(run.as_nanos() as u64, Ordering::Relaxed);
+                done.fetch_add(1, Ordering::Relaxed);
+                results.push((out, JobTiming { job: i, worker: 0, queue_wait, run }));
+                if let Some(hook) = opts.progress {
+                    hook.maybe_tick(t0, &deadline, &done, n, self.workers, &busy);
+                }
             }
-            return (out, CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings });
+            let shards = metrics.into_registry().map(|r| vec![*r]).unwrap_or_default();
+            return finish(results, shards);
         }
 
         let slots: Vec<Mutex<Option<F>>> =
             jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let results: Vec<Mutex<Option<(T, JobTiming)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
+        let shards: Vec<Mutex<Option<MetricsRegistry>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let workers = self.workers.min(n);
 
         let (slots_ref, results_ref, next_ref) = (&slots, &results, &next);
+        let (shards_ref, done_ref, busy_ref, deadline_ref) = (&shards, &done, &busy, &deadline);
+        let opts_ref = &opts;
         thread::scope(|s| {
             for worker in 0..workers {
-                s.spawn(move || loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                s.spawn(move || {
+                    let mut metrics = Metrics::when(opts_ref.metrics);
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let queue_wait = t0.elapsed();
+                        let job = slots_ref[i]
+                            .lock()
+                            .expect("job slot poisoned")
+                            .take()
+                            .expect("each job claimed exactly once");
+                        let jt0 = Instant::now();
+                        let out = job(&mut metrics);
+                        let run = jt0.elapsed();
+                        metrics.inc(Counter::Jobs);
+                        metrics.record_job_nanos(run.as_nanos() as u64);
+                        busy_ref[worker].fetch_add(run.as_nanos() as u64, Ordering::Relaxed);
+                        done_ref.fetch_add(1, Ordering::Relaxed);
+                        let timing = JobTiming { job: i, worker, queue_wait, run };
+                        *results_ref[i].lock().expect("result slot poisoned") =
+                            Some((out, timing));
+                        if let Some(hook) = opts_ref.progress {
+                            hook.maybe_tick(t0, deadline_ref, done_ref, n, self.workers, busy_ref);
+                        }
                     }
-                    let queue_wait = t0.elapsed();
-                    let job = slots_ref[i]
-                        .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("each job claimed exactly once");
-                    let jt0 = Instant::now();
-                    let out = job();
-                    let timing = JobTiming { job: i, worker, queue_wait, run: jt0.elapsed() };
-                    *results_ref[i].lock().expect("result slot poisoned") = Some((out, timing));
+                    if let Some(r) = metrics.into_registry() {
+                        *shards_ref[worker].lock().expect("shard slot poisoned") = Some(*r);
+                    }
                 });
             }
         });
 
-        let mut out = Vec::with_capacity(n);
-        let mut timings = Vec::with_capacity(n);
-        for m in results {
-            let (v, t) = m
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index below n was executed");
-            out.push(v);
-            timings.push(t);
-        }
-        (out, CampaignTrace { workers: self.workers, wall: t0.elapsed(), timings })
+        let results: Vec<(T, JobTiming)> = results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index below n was executed")
+            })
+            .collect();
+        let shards: Vec<MetricsRegistry> = shards
+            .into_iter()
+            .filter_map(|m| m.into_inner().expect("shard slot poisoned"))
+            .collect();
+        finish(results, shards)
     }
+}
+
+/// What [`Campaign::run_observed`] should observe.
+#[derive(Clone, Copy, Default)]
+pub struct ObserveOpts<'a> {
+    /// Collect per-job scheduling timings ([`Observed::trace`]).
+    pub timings: bool,
+    /// Give each worker a [`MetricsRegistry`] shard ([`Observed::shards`]).
+    pub metrics: bool,
+    /// Emit live progress ticks on this hook's cadence.
+    pub progress: Option<&'a ProgressHook<'a>>,
+}
+
+/// [`Campaign::run_observed`]'s bundle: results in job order, plus the
+/// requested observations.
+pub struct Observed<T> {
+    /// Job results, in job order (same contract as [`Campaign::run`]).
+    pub results: Vec<T>,
+    /// Scheduling telemetry, when requested.
+    pub trace: Option<CampaignTrace>,
+    /// Per-worker metric shards in worker-index order, when requested
+    /// (workers that ran no job still contribute their — near-empty —
+    /// shard; with metrics off this is empty).
+    pub shards: Vec<MetricsRegistry>,
+}
+
+/// A live-progress callback with a wall-clock cadence, for
+/// [`Campaign::run_observed`]. The callback runs on whichever worker
+/// crosses the deadline, so it must be cheap and `Sync` (the telemetry
+/// [`ProgressMeter`](crate::telemetry::ProgressMeter) serializes through
+/// its writer lock).
+pub struct ProgressHook<'a> {
+    every: Duration,
+    emit: &'a (dyn Fn(&ProgressTick) + Sync),
+}
+
+impl<'a> ProgressHook<'a> {
+    /// A hook emitting via `emit` every `every` of wall-clock (plus one
+    /// final tick at campaign end).
+    pub fn new(every: Duration, emit: &'a (dyn Fn(&ProgressTick) + Sync)) -> ProgressHook<'a> {
+        ProgressHook { every, emit }
+    }
+
+    fn every_nanos(&self) -> u64 {
+        u64::try_from(self.every.as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn emit(&self, tick: &ProgressTick) {
+        (self.emit)(tick);
+    }
+
+    /// Emits a mid-campaign tick if the cadence deadline has passed; the
+    /// CAS guarantees one emitter per interval.
+    fn maybe_tick(
+        &self,
+        t0: Instant,
+        deadline: &AtomicU64,
+        done: &AtomicUsize,
+        total: usize,
+        workers: usize,
+        busy: &[AtomicU64],
+    ) {
+        let elapsed = t0.elapsed();
+        let now = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let d = deadline.load(Ordering::Acquire);
+        if now < d
+            || deadline
+                .compare_exchange(
+                    d,
+                    now.saturating_add(self.every_nanos()),
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+        {
+            return;
+        }
+        let jobs_done = done.load(Ordering::Relaxed);
+        let eta = (jobs_done > 0).then(|| {
+            Duration::from_nanos(
+                (now as u128 * (total - jobs_done) as u128 / jobs_done as u128) as u64,
+            )
+        });
+        self.emit(&ProgressTick {
+            jobs_done,
+            jobs_total: total,
+            workers,
+            done: false,
+            elapsed,
+            eta,
+            busy: busy.iter().map(|b| Duration::from_nanos(b.load(Ordering::Relaxed))).collect(),
+        });
+    }
+}
+
+/// One live-progress observation from the campaign engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressTick {
+    /// Jobs retired so far.
+    pub jobs_done: usize,
+    /// Jobs submitted.
+    pub jobs_total: usize,
+    /// Campaign worker count.
+    pub workers: usize,
+    /// True for the single end-of-campaign tick (always emitted).
+    pub done: bool,
+    /// Wall-clock since campaign start.
+    pub elapsed: Duration,
+    /// Naive remaining-time estimate — `elapsed × remaining / done` —
+    /// `None` before the first job retires.
+    pub eta: Option<Duration>,
+    /// Cumulative per-worker job-execution time.
+    pub busy: Vec<Duration>,
 }
 
 /// One job's scheduling record from [`Campaign::run_traced`].

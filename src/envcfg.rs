@@ -2,7 +2,8 @@
 //!
 //! The harnesses are steered by a handful of environment variables
 //! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`, `BJ_TRACE_DEPTH`,
-//! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`, `BJ_CALL_DEPTH`). Historically a
+//! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`, `BJ_CALL_DEPTH`, `BJ_METRICS`,
+//! `BJ_PROGRESS_SECS`). Historically a
 //! typo like
 //! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
 //! back to a default) or surfaced as a panic deep inside a workload
@@ -270,6 +271,31 @@ pub fn call_depth_from_env() -> Result<usize, EnvError> {
     Ok(positive_from_env::<usize>("BJ_CALL_DEPTH")?.unwrap_or(DEFAULT_CALL_DEPTH))
 }
 
+/// Reads the `BJ_METRICS` flag: whether campaigns record the typed
+/// metrics registry (`metrics::MetricsRegistry`) while they run. Default
+/// off — the registry is the observability layer's opt-in, and the
+/// metrics-off path must stay the zero-overhead hot path.
+///
+/// # Errors
+///
+/// [`EnvError::NotAFlag`] for set, non-empty, non-flag values.
+pub fn metrics_from_env() -> Result<bool, EnvError> {
+    flag_from_env("BJ_METRICS", false)
+}
+
+/// Reads `BJ_PROGRESS_SECS`: the wall-clock cadence (seconds) of live
+/// `progress` telemetry records during a campaign. `Ok(None)` when unset
+/// (no progress streaming); zero is rejected — a zero cadence would emit
+/// a record at every job boundary and swamp the stream — as are
+/// non-numeric values, matching the `BJ_THREADS`/`BJ_SCALE` grammar.
+///
+/// # Errors
+///
+/// [`EnvError::NotANumber`] / [`EnvError::Zero`] per [`parse_positive`].
+pub fn progress_secs_from_env() -> Result<Option<u64>, EnvError> {
+    positive_from_env::<u64>("BJ_PROGRESS_SECS")
+}
+
 /// Prints `err` to stderr (prefixed with the program's purpose) and
 /// exits with status 2 — the shared failure path for harness binaries,
 /// which have no caller to propagate to.
@@ -428,6 +454,39 @@ mod tests {
         );
         if std::env::var("BJ_CALL_DEPTH").is_err() {
             assert_eq!(call_depth_from_env(), Ok(DEFAULT_CALL_DEPTH));
+        }
+    }
+
+    #[test]
+    fn metrics_flag_accepts_and_rejects_like_prune() {
+        assert_eq!(parse_flag("BJ_METRICS", "1"), Ok(true));
+        assert_eq!(parse_flag("BJ_METRICS", "off"), Ok(false));
+        let err = parse_flag("BJ_METRICS", "all").unwrap_err();
+        assert_eq!(err, EnvError::NotAFlag { var: "BJ_METRICS", value: "all".to_string() });
+        assert!(err.to_string().contains("BJ_METRICS"));
+        // Unset defaults to off: metrics are opt-in.
+        if std::env::var("BJ_METRICS").is_err() {
+            assert_eq!(metrics_from_env(), Ok(false));
+        }
+    }
+
+    #[test]
+    fn progress_secs_rejects_zero_and_non_numeric_like_threads() {
+        assert_eq!(parse_positive::<u64>("BJ_PROGRESS_SECS", "5"), Ok(5));
+        assert_eq!(parse_positive::<u64>("BJ_PROGRESS_SECS", " 1 "), Ok(1));
+        assert_eq!(
+            parse_positive::<u64>("BJ_PROGRESS_SECS", "0"),
+            Err(EnvError::Zero { var: "BJ_PROGRESS_SECS" })
+        );
+        for bad in ["soon", "-1", "2.5"] {
+            assert_eq!(
+                parse_positive::<u64>("BJ_PROGRESS_SECS", bad),
+                Err(EnvError::NotANumber { var: "BJ_PROGRESS_SECS", value: bad.to_string() }),
+                "{bad}"
+            );
+        }
+        if std::env::var("BJ_PROGRESS_SECS").is_err() {
+            assert_eq!(progress_secs_from_env(), Ok(None));
         }
     }
 

@@ -14,10 +14,15 @@ pub use blackjack_workloads as workloads;
 mod campaign;
 pub mod envcfg;
 mod experiment;
+pub mod metrics;
 pub mod snapshot;
 pub mod telemetry;
 
-pub use campaign::{Campaign, CampaignStats, CampaignTrace, JobTiming};
+pub use campaign::{
+    Campaign, CampaignStats, CampaignTrace, JobTiming, Observed, ObserveOpts, ProgressHook,
+    ProgressTick,
+};
 pub use envcfg::EnvError;
 pub use experiment::{BenchmarkResult, Experiment, ExperimentResult, ModeResult};
-pub use snapshot::{arming_schedule, SnapshotChain};
+pub use metrics::{Counter, Gauge, Metrics, MetricsRegistry};
+pub use snapshot::{arming_schedule, ChainStats, SnapshotChain};

@@ -56,6 +56,25 @@ pub struct SnapshotChain {
     /// retention compacts this vector every snapshot — through a `Box`
     /// that's a 16-byte move per element instead of a deep memmove.
     snaps: Vec<(u64, Box<CoreSnapshot>)>,
+    stats: ChainStats,
+}
+
+/// Lifetime accounting of a [`SnapshotChain`]'s build. Always on — the
+/// counters tick once per *snapshot*, not per cycle, so the cost is
+/// unmeasurable — and read by the campaign metrics registry when
+/// `BJ_METRICS` is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainStats {
+    /// Snapshots taken from a fresh allocation.
+    pub taken: u64,
+    /// Snapshots taken by refilling a retired spare in place
+    /// (allocation-free; the periodic builder's steady state).
+    pub refilled: u64,
+    /// Snapshots retired behind the sliding horizon (or thinned when the
+    /// interval doubled).
+    pub retired: u64,
+    /// High-water mark of simultaneously retained snapshots.
+    pub peak_retained: u64,
 }
 
 impl SnapshotChain {
@@ -78,7 +97,8 @@ impl SnapshotChain {
             core.run(arm.saturating_sub(1));
             snaps.push((arm, Box::new(core.snapshot())));
         }
-        SnapshotChain { snaps }
+        let stats = ChainStats { taken: snaps.len() as u64, peak_retained: snaps.len() as u64, ..ChainStats::default() };
+        SnapshotChain { snaps, stats }
     }
 
     /// Builds a chain in one fault-free pass to *completion*, snapshotting
@@ -131,6 +151,7 @@ impl SnapshotChain {
         // the allocator, which is most of its overhead over a plain
         // reference run.
         let mut spare: Vec<Box<CoreSnapshot>> = Vec::new();
+        let mut stats = ChainStats { taken: 1, peak_retained: 1, ..ChainStats::default() };
         let mut snaps: Vec<(u64, Box<CoreSnapshot>)> =
             vec![(core.cycle(), Box::new(core.snapshot()))];
         while !core.finished() {
@@ -149,9 +170,13 @@ impl SnapshotChain {
             let snap = match spare.pop() {
                 Some(mut s) => {
                     s.refill_from(&core);
+                    stats.refilled += 1;
                     s
                 }
-                None => Box::new(core.snapshot()),
+                None => {
+                    stats.taken += 1;
+                    Box::new(core.snapshot())
+                }
             };
             snaps.push((core.cycle(), snap));
             // The run so far is a lower bound on its final length N, and
@@ -159,6 +184,7 @@ impl SnapshotChain {
             // no longer be the nearest donor for any arm.
             let horizon = (core.cycle() / 2).saturating_sub(interval);
             let cut = snaps.partition_point(|&(c, _)| c < horizon);
+            stats.retired += cut as u64;
             spare.extend(snaps.drain(..cut).map(|(_, s)| s));
             if snaps.len() > MAX_RETAINED {
                 interval *= 2;
@@ -168,10 +194,12 @@ impl SnapshotChain {
                     if c % iv == 0 {
                         snaps.push((c, s));
                     } else {
+                        stats.retired += 1;
                         spare.push(s);
                     }
                 }
             }
+            stats.peak_retained = stats.peak_retained.max(snaps.len() as u64);
         }
         if let Some(insts) = expected_insts {
             assert_eq!(
@@ -181,7 +209,7 @@ impl SnapshotChain {
                  (a wrong bound could have skipped a needed donor snapshot)"
             );
         }
-        (SnapshotChain { snaps }, core)
+        (SnapshotChain { snaps, stats }, core)
     }
 
     /// A core continuing from the snapshot for `arm` under `plan` — the
@@ -224,6 +252,26 @@ impl SnapshotChain {
         core.run(target);
         core.set_plan(plan);
         core
+    }
+
+    /// The chain's build-time accounting.
+    pub fn stats(&self) -> ChainStats {
+        self.stats
+    }
+
+    /// Fault-free cycles a [`SnapshotChain::fork_catchup`] of `arm` will
+    /// replay: the gap between `arm - 1` and its donor snapshot. Lets
+    /// callers record catch-up cost without changing the fork signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as `fork_catchup`: no snapshot at
+    /// or before `arm - 1`.
+    pub fn catchup_cycles(&self, arm: u64) -> u64 {
+        let target = arm.saturating_sub(1);
+        let i = self.snaps.partition_point(|(_, s)| s.cycle() <= target);
+        assert!(i > 0, "no snapshot at or before cycle {target} for arming cycle {arm}");
+        target - self.snaps[i - 1].1.cycle()
     }
 
     /// Number of distinct snapshots held.

@@ -12,6 +12,9 @@
 //! | `heatmap`      | traced run         | per-`(class, way)` issue counts, both ctxs  |
 //! | `flight_event` | flight-recorder ev | cycle, kind, uid, ctx, seq, pc, way, packet |
 //! | `detection`    | detection event    | kind, cycle, seq, pc, ways                  |
+//! | `progress`     | cadence tick (v2)  | jobs done/total, busy, ETA, exit tallies    |
+//! | `phase`        | campaign (v2)      | wall nanos per campaign phase               |
+//! | `metrics`      | campaign (v2)      | merged [`MetricsRegistry`], inlined         |
 //!
 //! Everything is hand-emitted and hand-parsed: the repo builds offline
 //! with no serde, and the schema is flat enough that a
@@ -20,18 +23,31 @@
 //! needs. The emit path buffers through [`std::io::BufWriter`] and is
 //! only ever constructed when `BJ_TRACE` is set, so the default
 //! (untraced) harness path allocates nothing and writes nothing.
+//!
+//! **Schema v2 and the `nondet` contract.** Version 2 adds the three
+//! observability records; every v1 record is emitted unchanged, and the
+//! per-line parser is schema-agnostic, so v1 files still parse. Any
+//! record carrying wall-clock values places them *after* a
+//! `"nondet":[...]` marker listing their names — everything before the
+//! marker is deterministic for a given workload and config, so
+//! `sed 's/,"nondet":.*/}/'` (or [`strip_nondet`]) reduces a line to its
+//! reproducible prefix. Verification scripts diff those prefixes across
+//! runs with different worker counts.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use blackjack_sim::{DetectionEvent, FlightEvent, SimStats, TraceState, WayHeat};
 
-use crate::campaign::CampaignTrace;
+use crate::campaign::{CampaignTrace, ProgressTick};
 use crate::envcfg::{self, EnvError};
+use crate::metrics::MetricsRegistry;
 
 /// Telemetry schema version emitted in the `meta` line.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSONL telemetry sink.
 pub struct TraceWriter {
@@ -184,6 +200,29 @@ impl TraceWriter {
         ));
     }
 
+    /// One `phase` line attributing campaign wall time. Every field but
+    /// the discriminator is wall-clock, so the whole payload sits behind
+    /// the `nondet` marker; stripping leaves `{"type":"phase"}`.
+    pub fn emit_phase(&mut self, phases: &[(&'static str, u64)], wall_nanos: u64) {
+        let mut names: Vec<String> =
+            phases.iter().map(|&(n, _)| format!("\"{n}_nanos\"")).collect();
+        names.push("\"wall_nanos\"".to_string());
+        let fields: String =
+            phases.iter().map(|&(n, v)| format!(",\"{n}_nanos\":{v}")).collect();
+        self.line(&format!(
+            "{{\"type\":\"phase\",\"nondet\":[{}]{fields},\"wall_nanos\":{wall_nanos}}}",
+            names.join(",")
+        ));
+    }
+
+    /// One `metrics` line: the merged registry's fields inlined at top
+    /// level (not nested), so the registry's own `nondet` marker keeps
+    /// the whole line brace-balanced after stripping.
+    pub fn emit_metrics(&mut self, registry: &MetricsRegistry) {
+        let body = registry.to_json();
+        self.line(&format!("{{\"type\":\"metrics\",{}", &body[1..]));
+    }
+
     /// Flushes buffered lines to disk.
     ///
     /// # Errors
@@ -197,6 +236,135 @@ impl TraceWriter {
 impl Drop for TraceWriter {
     fn drop(&mut self) {
         let _ = self.out.flush();
+    }
+}
+
+/// Live-progress emitter: owns the [`TraceWriter`] for a campaign's
+/// duration, accumulates domain counters (runs, forks, early exits,
+/// snapshot reuse) from worker threads via relaxed atomics, and turns
+/// each [`ProgressTick`] from the campaign's
+/// [`ProgressHook`](crate::campaign::ProgressHook) into one `progress`
+/// line, flushed immediately so `bj-trace top --follow` sees it live.
+///
+/// Mid-campaign ticks are inherently racy (which jobs have retired when
+/// is scheduling-dependent); the final tick — `"done":true`, emitted
+/// unconditionally after the last job — is deterministic up to its
+/// `nondet` suffix, and is what verification compares across runs.
+pub struct ProgressMeter {
+    writer: Mutex<TraceWriter>,
+    runs: AtomicU64,
+    forked_runs: AtomicU64,
+    early_activation: AtomicU64,
+    early_convergence: AtomicU64,
+    early_watchdog: AtomicU64,
+    snapshots_taken: AtomicU64,
+    snapshots_refilled: AtomicU64,
+}
+
+impl ProgressMeter {
+    /// Wraps `writer` for the campaign's duration.
+    pub fn new(writer: TraceWriter) -> ProgressMeter {
+        ProgressMeter {
+            writer: Mutex::new(writer),
+            runs: AtomicU64::new(0),
+            forked_runs: AtomicU64::new(0),
+            early_activation: AtomicU64::new(0),
+            early_convergence: AtomicU64::new(0),
+            early_watchdog: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
+            snapshots_refilled: AtomicU64::new(0),
+        }
+    }
+
+    /// Hands the writer back for the post-campaign record families.
+    pub fn into_writer(self) -> TraceWriter {
+        self.writer.into_inner().expect("trace writer poisoned")
+    }
+
+    /// Runs the closure against the wrapped writer (for mid-campaign
+    /// emission other than progress — rarely needed).
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut TraceWriter) -> R) -> R {
+        f(&mut self.writer.lock().expect("trace writer poisoned"))
+    }
+
+    /// Counts one simulator run; `forked` when it continued from a
+    /// snapshot rather than a cold `Core::new`.
+    pub fn note_run(&self, forked: bool) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if forked {
+            self.forked_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one activation-pruned injection (skipped without a run).
+    pub fn note_early_activation(&self) {
+        self.early_activation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one convergence-sealed early exit.
+    pub fn note_early_convergence(&self) {
+        self.early_convergence.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one stall-watchdog early exit.
+    pub fn note_early_watchdog(&self) {
+        self.early_watchdog.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one snapshot chain's build accounting in.
+    pub fn note_snapshots(&self, taken: u64, refilled: u64) {
+        self.snapshots_taken.fetch_add(taken, Ordering::Relaxed);
+        self.snapshots_refilled.fetch_add(refilled, Ordering::Relaxed);
+    }
+
+    /// Emits one `progress` line for `t`. Deterministic fields first,
+    /// wall-clock fields behind the `nondet` marker.
+    pub fn emit_tick(&self, t: &ProgressTick) {
+        let (a, c, w) = (
+            self.early_activation.load(Ordering::Relaxed),
+            self.early_convergence.load(Ordering::Relaxed),
+            self.early_watchdog.load(Ordering::Relaxed),
+        );
+        let eta = t
+            .eta
+            .map_or("null".to_string(), |d| d.as_nanos().to_string());
+        let busy: Vec<String> =
+            t.busy.iter().map(|d| d.as_nanos().to_string()).collect();
+        let line = format!(
+            "{{\"type\":\"progress\",\"jobs_done\":{},\"jobs_total\":{},\"workers\":{},\
+             \"done\":{},\"runs\":{},\"forked_runs\":{},\
+             \"early_exits\":{{\"activation\":{a},\"convergence\":{c},\"watchdog\":{w},\
+             \"total\":{}}},\
+             \"snapshots\":{{\"taken\":{},\"refilled\":{}}},\
+             \"nondet\":[\"elapsed_nanos\",\"eta_nanos\",\"busy_nanos\"],\
+             \"elapsed_nanos\":{},\"eta_nanos\":{eta},\"busy_nanos\":[{}]}}",
+            t.jobs_done,
+            t.jobs_total,
+            t.workers,
+            t.done,
+            self.runs.load(Ordering::Relaxed),
+            self.forked_runs.load(Ordering::Relaxed),
+            a + c + w,
+            self.snapshots_taken.load(Ordering::Relaxed),
+            self.snapshots_refilled.load(Ordering::Relaxed),
+            t.elapsed.as_nanos(),
+            busy.join(","),
+        );
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        writer.line(&line);
+        // A follower tailing the file must see the tick now, not at the
+        // next BufWriter spill.
+        let _ = writer.flush();
+    }
+}
+
+/// Reduces a telemetry line to its deterministic prefix: everything from
+/// the `,"nondet":` marker on is replaced by the closing brace — the
+/// programmatic twin of the `sed 's/,"nondet":.*/}/'` used in shell.
+pub fn strip_nondet(line: &str) -> String {
+    match line.find(",\"nondet\":") {
+        Some(i) => format!("{}}}", &line[..i]),
+        None => line.to_string(),
     }
 }
 
@@ -662,6 +830,101 @@ mod tests {
         assert_eq!(s.max_queue_wait_nanos, 410);
         assert_eq!(s.busy, vec![0.9, 0.6]);
         assert_eq!(summarize_campaign(&["{\"type\":\"meta\"}"]), None);
+    }
+
+    #[test]
+    fn progress_record_roundtrips_and_strips_to_deterministic_prefix() {
+        let path = std::env::temp_dir().join("bj_telemetry_progress_test.jsonl");
+        let meter = ProgressMeter::new(TraceWriter::create(&path, "unit-test").unwrap());
+        meter.note_run(true);
+        meter.note_run(false);
+        meter.note_early_activation();
+        meter.note_early_watchdog();
+        meter.note_snapshots(3, 14);
+        meter.emit_tick(&ProgressTick {
+            jobs_done: 2,
+            jobs_total: 8,
+            workers: 4,
+            done: false,
+            elapsed: std::time::Duration::from_nanos(5_000),
+            eta: Some(std::time::Duration::from_nanos(15_000)),
+            busy: vec![
+                std::time::Duration::from_nanos(4_000),
+                std::time::Duration::from_nanos(3_000),
+            ],
+        });
+        drop(meter.into_writer());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().nth(1).unwrap();
+        // Byte-exact round-trip through the generic parser.
+        assert_eq!(emit_line(&parse_line(line).unwrap()), line);
+        // Typed extraction of both halves.
+        assert_eq!(json_str(line, "type").as_deref(), Some("progress"));
+        assert_eq!(json_u64(line, "jobs_done"), Some(2));
+        assert_eq!(json_u64(line, "runs"), Some(2));
+        assert_eq!(json_u64(line, "forked_runs"), Some(1));
+        let exits = json_obj(line, "early_exits").unwrap();
+        assert_eq!(json_u64(exits, "activation"), Some(1));
+        assert_eq!(json_u64(exits, "watchdog"), Some(1));
+        assert_eq!(json_u64(exits, "total"), Some(2));
+        let snaps = json_obj(line, "snapshots").unwrap();
+        assert_eq!(json_u64(snaps, "refilled"), Some(14));
+        assert_eq!(json_u64(line, "elapsed_nanos"), Some(5_000));
+        assert_eq!(json_u64_array(line, "busy_nanos"), Some(vec![4_000, 3_000]));
+        // The strip contract: deterministic prefix, balanced, no timing.
+        let stripped = strip_nondet(line);
+        assert!(stripped.ends_with("\"refilled\":14}}"), "{stripped}");
+        assert!(parse_line(&stripped).is_some(), "stripped line stays well-formed");
+        assert!(!stripped.contains("elapsed_nanos"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn phase_and_metrics_records_strip_balanced() {
+        let path = std::env::temp_dir().join("bj_telemetry_phase_test.jsonl");
+        {
+            let mut w = TraceWriter::create(&path, "unit-test").unwrap();
+            let mut r = MetricsRegistry::new();
+            r.inc(crate::metrics::Counter::Jobs);
+            r.add(crate::metrics::Counter::SimulateNanos, 1234);
+            w.emit_phase(&r.phase_nanos(), 9999);
+            w.emit_metrics(&r);
+            w.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let phase = text.lines().nth(1).unwrap();
+        let metrics = text.lines().nth(2).unwrap();
+        assert_eq!(emit_line(&parse_line(phase).unwrap()), phase);
+        assert_eq!(emit_line(&parse_line(metrics).unwrap()), metrics);
+        assert_eq!(json_u64(phase, "simulate_nanos"), Some(1234));
+        assert_eq!(json_u64(phase, "wall_nanos"), Some(9999));
+        // Phase is all wall-clock: stripping leaves only the type tag.
+        assert_eq!(strip_nondet(phase), "{\"type\":\"phase\"}");
+        // Metrics strip to the registry's deterministic prefix, inlined.
+        let stripped = strip_nondet(metrics);
+        assert!(parse_line(&stripped).is_some(), "{stripped}");
+        assert_eq!(json_obj(&stripped, "counters").map(|c| json_u64(c, "jobs")), Some(Some(1)));
+        assert!(!stripped.contains("simulate_nanos"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn v1_lines_still_parse_under_v2() {
+        // Pinned verbatim from a schema-1 capture: the parser is
+        // per-line and schema-agnostic, so a v2 reader must take these
+        // byte-for-byte.
+        let v1 = [
+            "{\"type\":\"meta\",\"schema\":1,\"tool\":\"ext_detection\"}",
+            "{\"type\":\"campaign\",\"workers\":2,\"wall_nanos\":1000,\"jobs\":3}",
+            "{\"type\":\"job\",\"job\":0,\"worker\":0,\"queue_wait_nanos\":10,\"run_nanos\":400,\"label\":\"gzip/BlackJack\"}",
+            "{\"type\":\"detection\",\"kind\":\"BackendMismatch\",\"cycle\":70,\"seq\":9,\"pc\":40,\"lead_back_way\":4,\"trail_back_way\":0,\"front_ways\":null}",
+        ];
+        for line in v1 {
+            assert_eq!(emit_line(&parse_line(line).unwrap()), line);
+            // No nondet marker → stripping is the identity.
+            assert_eq!(strip_nondet(line), line);
+        }
+        assert!(summarize_campaign(v1.as_ref()).is_some());
     }
 
     #[test]
