@@ -130,7 +130,18 @@ impl SiteAnalysis {
                 let (t, _) = self.fu.way_type(way);
                 !self.static_mix.exercises(t)
             }
-            FaultSite::Frontend { .. } | FaultSite::PayloadRam { .. } => false,
+            // Frontend ways and payload RAMs process instructions of
+            // every class; the uncore sites (cache arrays, store buffer,
+            // DTQ/LVQ payload RAM) are exercised by any memory traffic
+            // and depend on dynamic addresses/occupancy, which no static
+            // argument covers.
+            FaultSite::Frontend { .. }
+            | FaultSite::PayloadRam { .. }
+            | FaultSite::CacheData { .. }
+            | FaultSite::CacheTag { .. }
+            | FaultSite::StoreBuffer { .. }
+            | FaultSite::DtqPayload { .. }
+            | FaultSite::LvqPayload { .. } => false,
         }
     }
 
@@ -157,14 +168,46 @@ impl SiteAnalysis {
     /// * **Payload-RAM entries** — payload corruption also reaches
     ///   leading load values before LVQ capture, the same escape path.
     /// * **Pruned (dead-class) backend ways** — never exercised at all.
+    ///
+    /// This is the ECC-off view; see
+    /// [`SiteAnalysis::detection_guaranteed_with`].
     pub fn detection_guaranteed(&self, site: FaultSite) -> bool {
+        self.detection_guaranteed_with(site, false)
+    }
+
+    /// [`SiteAnalysis::detection_guaranteed`], parameterized by whether
+    /// the LVQ payload RAM carries SEC-DED ECC (`CoreConfig::lvq_ecc`).
+    ///
+    /// The ECC check bits are generated over the *clean* load value at
+    /// the protected end of the load path, so every corruption striking
+    /// between there and the trailing read port — `MemPort` backend
+    /// ways, leading payload-RAM entries, the cache data array — is
+    /// repaired (or flagged as a DUE) before the trailing copy consumes
+    /// it. The trailing copy then diverges from the corrupt leading
+    /// copy and the pair checks fire, which promotes exactly the
+    /// escape-path sites to guaranteed.
+    ///
+    /// Sites guaranteed regardless of ECC:
+    ///
+    /// * **Cache tag array** — a tag defect only forces spurious misses
+    ///   (latency), never wrong data.
+    /// * **Store buffer entries** — corrupt buffered leading data can
+    ///   only fail the trailing store check; memory is written on match
+    ///   only.
+    /// * **DTQ / LVQ payload entries** — both strike the trailing copy
+    ///   only, and memory is driven by the leading thread.
+    pub fn detection_guaranteed_with(&self, site: FaultSite, ecc: bool) -> bool {
         match site {
             FaultSite::Frontend { .. } => true,
             FaultSite::Backend { way } => {
                 let (t, _) = self.fu.way_type(way);
-                t != FuType::MemPort && self.static_mix.exercises(t)
+                self.static_mix.exercises(t) && (t != FuType::MemPort || ecc)
             }
-            FaultSite::PayloadRam { .. } => false,
+            FaultSite::PayloadRam { .. } | FaultSite::CacheData { .. } => ecc,
+            FaultSite::CacheTag { .. }
+            | FaultSite::StoreBuffer { .. }
+            | FaultSite::DtqPayload { .. }
+            | FaultSite::LvqPayload { .. } => true,
         }
     }
 
@@ -280,6 +323,35 @@ mod tests {
         assert!(!a.detection_guaranteed(FaultSite::Backend {
             way: fu.global_way(FuType::FpDiv, 0)
         }));
+    }
+
+    #[test]
+    fn ecc_promotes_exactly_the_load_escape_sites() {
+        let a = analyze(".text\n li x1, 3\n ld x1, 0(x2)\n sd x1, 0(x2)\n halt\n");
+        let fu = FuCounts::default();
+        let mem_way = FaultSite::Backend { way: fu.global_way(FuType::MemPort, 0) };
+        // The three escape-path site classes flip to guaranteed with ECC.
+        for site in [mem_way, FaultSite::PayloadRam { entry: 0 }, FaultSite::CacheData { index: 3 }] {
+            assert!(!a.detection_guaranteed_with(site, false), "{site}: best-effort without ECC");
+            assert!(a.detection_guaranteed_with(site, true), "{site}: guaranteed with ECC");
+        }
+        // The trailing-only / latency-only uncore sites never needed it.
+        for site in [
+            FaultSite::CacheTag { index: 0 },
+            FaultSite::StoreBuffer { entry: 1 },
+            FaultSite::DtqPayload { entry: 2 },
+            FaultSite::LvqPayload { entry: 3 },
+        ] {
+            assert!(a.detection_guaranteed_with(site, false), "{site}");
+            assert!(a.detection_guaranteed_with(site, true), "{site}");
+        }
+        // ECC does not resurrect dead backend classes.
+        let dead = FaultSite::Backend { way: fu.global_way(FuType::FpDiv, 0) };
+        assert!(!a.detection_guaranteed_with(dead, true));
+        // And uncore sites are never prunable.
+        assert!(!a.prunable(FaultSite::CacheData { index: 0 }));
+        assert!(!a.prunable(FaultSite::LvqPayload { entry: 0 }));
+        assert!(!a.prunable(FaultSite::StoreBuffer { entry: 0 }));
     }
 
     #[test]

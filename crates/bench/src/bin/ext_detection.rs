@@ -12,6 +12,11 @@
 //!
 //! `--bench <name>` restricts the sweep to one benchmark (used by the
 //! `verify.sh` equivalence smoke). `BJ_PRUNE=0` disables static pruning.
+//! `BJ_FAULT_KINDS` (comma list: `hard`, `transient`,
+//! `intermittent[:PERIOD:ON]`) runs one campaign per temporal fault
+//! model — the default is the byte-stable hard-fault sweep alone.
+//! `BJ_ECC=1` turns on the LVQ SEC-DED layer in every run; each report
+//! carries the CE/DUE/SDC taxonomy beneath the legacy table.
 //! With `BJ_TRACE=<path>` set, per-job scheduling telemetry and a
 //! flight-recorder pipetrace of the first detected injection are written
 //! to `<path>` (render with `bj-trace`); stdout stays byte-identical.
@@ -22,12 +27,12 @@
 
 use std::time::{Duration, Instant};
 
-use blackjack::sim::{Core, CoreConfig, RunOutcome};
+use blackjack::sim::{Core, RunOutcome};
 use blackjack::telemetry::{ProgressMeter, TraceWriter};
 use blackjack::workloads::build;
 use blackjack::{envcfg, Campaign};
 use blackjack_bench::detection::{
-    armed_plan, benchmarks_from_args, run_detection_observed, DetectionConfig, ObserveCtl,
+    armed_plan_kind, benchmarks_from_args, run_detection_observed, DetectionConfig, ObserveCtl,
     MAX_CYCLES,
 };
 
@@ -38,7 +43,9 @@ fn main() {
     let progress_secs =
         envcfg::progress_secs_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let campaign = Campaign::from_env_or_exit();
-    let cfg = DetectionConfig::from_env_or_exit();
+    let kinds = envcfg::fault_kinds_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let mut cfg = DetectionConfig::from_env_or_exit();
+    cfg.kind = kinds[0];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let benchmarks = benchmarks_from_args(&args);
 
@@ -75,6 +82,20 @@ fn main() {
     let wall = t0.elapsed();
     print!("{}", report.text);
 
+    // Any further BJ_FAULT_KINDS entries run their own campaign; the
+    // first kind keeps the full observability surface (telemetry,
+    // metrics, the flight re-run below), the rest report plain.
+    for &kind in &kinds[1..] {
+        let extra = run_detection_observed(
+            &campaign,
+            DetectionConfig { kind, ..cfg },
+            &benchmarks,
+            ObserveCtl::default(),
+        );
+        println!();
+        print!("{}", extra.text);
+    }
+
     if let (Some(w), Some(sched)) = (writer.as_mut(), report.trace.as_ref()) {
         w.emit_campaign(sched, &report.labels);
         // Re-run the first detected injection with the flight recorder
@@ -83,8 +104,11 @@ fn main() {
         if let Some(i) = report.tallies.iter().position(|(_, t)| t.detected > 0) {
             let m = report.meta[i];
             let prog = build(m.bench, 1);
-            let mut core =
-                Core::new(CoreConfig::with_mode(m.mode), &prog, armed_plan(m.site, m.arm));
+            let mut core = Core::new(
+                cfg.core_config(m.mode),
+                &prog,
+                armed_plan_kind(m.site, m.arm, cfg.kind),
+            );
             core.enable_trace();
             let outcome = core.run(MAX_CYCLES);
             let state = core.take_trace().expect("tracing was enabled");

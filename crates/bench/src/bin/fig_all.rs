@@ -6,7 +6,7 @@
 //! one `run` line per simulation (with occupancy histograms) are written
 //! to `<path>` as JSONL; stdout is unchanged. Render with `bj-trace`.
 
-use blackjack::faults::{DetectionTally, FaultPlan, FaultSite, HardFault};
+use blackjack::faults::{DetectionTally, FaultPlan, FaultSite, HardFault, TaxonomyTally};
 use blackjack::isa::asm::assemble_named;
 use blackjack::sim::{table1, Core, CoreConfig, Mode, RunOutcome};
 use blackjack::telemetry::TraceWriter;
@@ -270,42 +270,78 @@ fn experiments_md(r: &blackjack::ExperimentResult) -> String {
          address/size/data), then final registers, memory, and commit counts.\n\
          Fault injections are judged against the static site classification from\n\
          `blackjack-analysis`.\n\n\
-         The acceptance run \u{2014} `bj-fuzz --seed 0xB1AC --iters 200`, byte-identical\n\
-         across invocations, ~2 s release:\n\n\
+         The acceptance runs \u{2014} `bj-fuzz --seed 0xB1AC --iters 200`, byte-identical\n\
+         across invocations, ~3 s release each:\n\n\
          ```text\n\
-         bj-fuzz: seed=0xb1ac iters=200\n\
+         bj-fuzz: seed=0xb1ac iters=200 kinds=hard ecc=off\n\
          \x20 differential: 200 programs x 4 modes, 0 failures\n\
-         \x20 faults: 600 injected; pruned-clean 8; guaranteed [detected 347 watchdog 3 masked 14 escaped 0]; best-effort [detected 61 watchdog 0 masked 167 escaped 0]\n\
+         \x20 faults: 800 injected; pruned-clean 5; guaranteed [detected 367 watchdog 5 masked 161 escaped 0]; best-effort [detected 80 watchdog 0 masked 182 escaped 0]\n\
+         \x20 all checks passed\n\n\
+         bj-fuzz: seed=0xb1ac iters=200 kinds=hard,transient,intermittent:64:8 ecc=on\n\
+         \x20 differential: 200 programs x 4 modes, 0 failures\n\
+         \x20 faults: 2400 injected; pruned-clean 27; guaranteed [detected 769 watchdog 1 masked 1603 escaped 0]; best-effort [detected 0 watchdog 0 masked 0 escaped 0]\n\
          \x20 all checks passed\n\
          ```\n\n\
          Reading: zero differential mismatches and zero fault-free false\n\
-         detections in 800 mode-runs; on detection-guaranteed sites (frontend\n\
-         ways, live non-MemPort backend ways) every one of 364 injections was\n\
-         detected, watchdog-contained, or architecturally masked \u{2014} **escaped 0**\n\
-         is the paper's hard-error guarantee, checked mechanically. The\n\
-         best-effort bucket (MemPort backend ways, payload RAM) is where the\n\
-         LVQ's load-value forwarding genuinely forgives corruption; escapes\n\
-         there would be tallied, and this run happened to see none. Failures, if\n\
-         ever found, are ddmin-minimized (NOP replacement, layout-preserving)\n\
-         and saved as `.bjcase` files; ten generator-mined high-occupancy cases\n\
-         (plus the hand-written adversarial-convergence case of DESIGN \u{a7}2.12)\n\
-         live in `tests/corpus/` and replay in `cargo test --workspace`.\n\n",
+         detections in 800 mode-runs; on detection-guaranteed sites every\n\
+         injection was detected, watchdog-contained, or architecturally masked\n\
+         \u{2014} **escaped 0** is the paper's hard-error guarantee, checked\n\
+         mechanically across all eight site families (frontend/backend ways,\n\
+         payload RAM, cache data/tag arrays, store buffer, DTQ/LVQ payload\n\
+         RAM) and all three temporal models. The best-effort bucket (MemPort\n\
+         backend ways, payload RAM, cache data \u{2014} the paths that corrupt a\n\
+         leading load value before LVQ capture) is where escapes are tolerated;\n\
+         the second run shows that turning the LVQ SEC-DED layer on (`BJ_ECC=1`)\n\
+         empties that bucket entirely \u{2014} every load-value site is promoted to\n\
+         guaranteed, over 2400 injections spanning hard, transient, and\n\
+         duty-cycled intermittent plans. Failures, if ever found, are\n\
+         ddmin-minimized (NOP replacement, layout-preserving) and saved as\n\
+         `.bjcase` files; ten generator-mined high-occupancy cases (plus the\n\
+         hand-written adversarial-convergence case of DESIGN \u{a7}2.12 and the\n\
+         three taxonomy goldens of \u{a7}2.15) live in `tests/corpus/` and replay\n\
+         in `cargo test --workspace`.\n\n",
     );
     s.push_str("## Extensions (beyond the paper's figures)\n\n");
     // The `BJ_SCALE=1` sweep's per-mode tallies, formatted by the same
     // `DetectionTally::summary` the `ext_detection` report uses.
     let srt_tally =
-        DetectionTally { detected: 40, corrupted: 1, benign: 39, stuck: 0, pruned: 34 };
+        DetectionTally { detected: 45, corrupted: 2, benign: 53, stuck: 0, pruned: 34 };
     let bj_tally =
-        DetectionTally { detected: 45, corrupted: 0, benign: 35, stuck: 0, pruned: 34 };
+        DetectionTally { detected: 52, corrupted: 1, benign: 47, stuck: 0, pruned: 34 };
     s.push_str(&format!(
         "* **Detection-rate sweep** (`ext_detection`): one wear-out bit flip per\n\
-         \x20 backend/frontend way per run, armed in the late half of the\n\
-         \x20 fault-free run; BlackJack converts SRT's silent corruptions into\n\
-         \x20 detections before any corrupt store reaches memory. Measured at\n\
-         \x20 `BJ_SCALE=1`: SRT {}; BlackJack {}.\n\
+         \x20 site per run \u{2014} backend/frontend ways plus the uncore sites (cache\n\
+         \x20 data/tag arrays, store buffer, DTQ/LVQ payload RAM) \u{2014} armed in the\n\
+         \x20 late half of the fault-free run; BlackJack converts SRT's silent\n\
+         \x20 corruptions into detections before any corrupt store reaches\n\
+         \x20 memory. Measured at `BJ_SCALE=1`: SRT {}; BlackJack {}.\n\
 "
     , srt_tally.summary(), bj_tally.summary()));
+    // The same sweep's CE/DUE/SDC split, per temporal model, with the
+    // LVQ SEC-DED layer on (`BJ_ECC=1 BJ_FAULT_KINDS=hard,transient,intermittent`).
+    let tax = [
+        ("hard", TaxonomyTally { ce: 2, due: 45, sdc: 1, benign: 52 },
+         TaxonomyTally { ce: 2, due: 52, sdc: 0, benign: 46 }),
+        ("transient", TaxonomyTally { ce: 1, due: 14, sdc: 0, benign: 85 },
+         TaxonomyTally { ce: 0, due: 14, sdc: 0, benign: 86 }),
+        ("intermittent 8-of-64", TaxonomyTally { ce: 1, due: 42, sdc: 0, benign: 57 },
+         TaxonomyTally { ce: 1, due: 47, sdc: 0, benign: 52 }),
+    ];
+    s.push_str(
+        "* **CE/DUE/SDC taxonomy** (`BJ_ECC=1`, same sweep): every injection\n\
+         \x20 lands in exactly one bucket \u{2014} corrected (ECC repaired the read and\n\
+         \x20 the run stayed clean), detected-unrecoverable (a pair check or the\n\
+         \x20 watchdog fired), silent corruption, or benign. With the SEC-DED\n\
+         \x20 layer on, BlackJack's SDC column is zero for all three temporal\n\
+         \x20 models \u{2014} the surviving SDC without ECC is the cache-data/LVQ\n\
+         \x20 escape the layer closes. Measured at `BJ_SCALE=1`:\n\n\
+         \x20 | fault model | SRT | BlackJack |\n\
+         \x20 |---|---|---|\n",
+    );
+    for (kind, srt, bj) in tax {
+        s.push_str(&format!("  | {kind} | {} | {} |\n", srt.summary(), bj.summary()));
+    }
+    s.push('\n');
     s.push_str(
         "\
          * **Active-probe online diagnosis** (`ext_diagnosis`): per-class serial\n\

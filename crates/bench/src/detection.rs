@@ -33,7 +33,8 @@ use std::time::{Duration, Instant};
 
 use blackjack::envcfg::DEFAULT_STALL_CYCLES;
 use blackjack::faults::{
-    Corruption, DetectionOutcome, DetectionTally, FaultPlan, FaultSite, HardFault, Trigger,
+    Corruption, DetectionOutcome, DetectionTally, FaultKind, FaultPlan, FaultSite, HardFault,
+    Taxonomy, TaxonomyTally, Trigger,
 };
 use blackjack::isa::{Interp, Program};
 use blackjack::sim::{
@@ -63,26 +64,43 @@ pub fn default_benchmarks() -> Vec<Benchmark> {
     vec![Benchmark::Gzip, Benchmark::Fma3d, Benchmark::Vortex, Benchmark::Apsi]
 }
 
-/// Every injected fault site: one per backend way, plus the four frontend
-/// ways.
+/// Every injected fault site: one per backend way, the four frontend
+/// ways, then one representative entry of each uncore structure — L1D
+/// data and tag arrays (set 0, where the campaign kernels' data bases
+/// land), a store-buffer entry, and the DTQ/LVQ payload RAMs. The
+/// uncore entries are index 0 because physical-entry slots are keyed by
+/// sequence number modulo capacity, so entry 0 is exercised by every
+/// workload that touches the structure at all.
 pub fn sites() -> Vec<FaultSite> {
     let counts = FuCounts::default();
     let mut sites: Vec<FaultSite> =
         (0..counts.total()).map(|w| FaultSite::Backend { way: w }).collect();
     sites.extend((0..4).map(|w| FaultSite::Frontend { way: w }));
+    sites.push(FaultSite::CacheData { index: 0 });
+    sites.push(FaultSite::CacheTag { index: 0 });
+    sites.push(FaultSite::StoreBuffer { entry: 0 });
+    sites.push(FaultSite::DtqPayload { entry: 0 });
+    sites.push(FaultSite::LvqPayload { entry: 0 });
     sites
 }
 
-/// The campaign's standard fault for `site`, armed at cycle `arm`: a bit
-/// flip in the immediate field for frontend sites (so the corrupted word
-/// still decodes) and in a low value bit for everything else.
+/// The campaign's standard hard fault for `site`, armed at cycle `arm`:
+/// a bit flip in the immediate field for frontend sites (so the
+/// corrupted word still decodes) and in a low value bit for everything
+/// else.
 pub fn armed_plan(site: FaultSite, arm: u64) -> FaultPlan {
+    armed_plan_kind(site, arm, FaultKind::Hard)
+}
+
+/// [`armed_plan`] with the temporal model threaded in: the same flipped
+/// bit, present permanently, for one cycle, or in duty-cycled bursts.
+pub fn armed_plan_kind(site: FaultSite, arm: u64, kind: FaultKind) -> FaultPlan {
     let bit = match site {
         FaultSite::Frontend { .. } => 1, // immediate-field bit
         _ => 5,
     };
     let fault = HardFault { site, corruption: Corruption::FlipBit { bit }, trigger: Trigger::Always };
-    FaultPlan::single(fault).arm_at(arm)
+    FaultPlan::single(fault).arm_at(arm).with_kind(kind)
 }
 
 /// The campaign's switches, normally read from the environment
@@ -104,6 +122,13 @@ pub struct DetectionConfig {
     /// The early-exit stall watchdog's no-progress window in cycles
     /// (`BJ_STALL_CYCLES`).
     pub stall_cycles: u64,
+    /// The temporal fault model every injection in the campaign uses
+    /// (one entry of `BJ_FAULT_KINDS`; the harness runs one campaign per
+    /// listed kind). [`FaultKind::Hard`] is the byte-stable legacy sweep.
+    pub kind: FaultKind,
+    /// Run every core with the LVQ SEC-DED layer on (`BJ_ECC`,
+    /// default off).
+    pub ecc: bool,
 }
 
 impl Default for DetectionConfig {
@@ -113,14 +138,18 @@ impl Default for DetectionConfig {
             snapshot: true,
             early_exit: true,
             stall_cycles: DEFAULT_STALL_CYCLES,
+            kind: FaultKind::Hard,
+            ecc: false,
         }
     }
 }
 
 impl DetectionConfig {
-    /// Reads `BJ_PRUNE`, `BJ_SNAPSHOT`, `BJ_EARLYEXIT` and
-    /// `BJ_STALL_CYCLES`, exiting with status 2 (the harness convention)
-    /// on a malformed value.
+    /// Reads `BJ_PRUNE`, `BJ_SNAPSHOT`, `BJ_EARLYEXIT`,
+    /// `BJ_STALL_CYCLES` and `BJ_ECC`, exiting with status 2 (the
+    /// harness convention) on a malformed value. `kind` stays
+    /// [`FaultKind::Hard`]; the harness overrides it per `BJ_FAULT_KINDS`
+    /// entry.
     pub fn from_env_or_exit() -> DetectionConfig {
         use blackjack::envcfg;
         let or_exit = |r: Result<bool, envcfg::EnvError>| {
@@ -132,7 +161,17 @@ impl DetectionConfig {
             early_exit: or_exit(envcfg::earlyexit_from_env()),
             stall_cycles: envcfg::stall_cycles_from_env()
                 .unwrap_or_else(|e| envcfg::exit_invalid(&e)),
+            kind: FaultKind::Hard,
+            ecc: or_exit(envcfg::ecc_from_env()),
         }
+    }
+
+    /// The core configuration every run in a campaign under this config
+    /// uses: `mode`, plus the ECC switch.
+    pub fn core_config(&self, mode: Mode) -> CoreConfig {
+        let mut c = CoreConfig::with_mode(mode);
+        c.lvq_ecc = self.ecc;
+        c
     }
 }
 
@@ -230,7 +269,7 @@ impl DetectionGroup {
         // Every path runs the fault-free pass: the arming schedule is
         // derived from its cycle count, and identical arms are what make
         // all the paths' reports byte-identical.
-        let mut ff = Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new());
+        let mut ff = Core::new(cfg.core_config(mode), &prog, FaultPlan::new());
         if cfg.early_exit {
             ff.enable_site_usage();
         }
@@ -269,7 +308,7 @@ impl DetectionGroup {
                     .collect();
                 let ts = Instant::now();
                 let chain = SnapshotChain::build(
-                    Core::new(CoreConfig::with_mode(mode), &prog, FaultPlan::new()),
+                    Core::new(cfg.core_config(mode), &prog, FaultPlan::new()),
                     &live,
                 );
                 snap_nanos += ts.elapsed().as_nanos() as u64;
@@ -303,13 +342,17 @@ impl DetectionGroup {
         }
     }
 
-    /// One injection run: site `site_idx` of [`sites`], tallied, with the
-    /// early-exit mechanism that decided it (if any). A pruned site is
-    /// tallied benign without simulating; an activation-pruned site
+    /// One injection run: site `site_idx` of [`sites`], tallied both in
+    /// the legacy detect/escape table and the CE/DUE/SDC taxonomy, with
+    /// the early-exit mechanism that decided it (if any). A pruned site
+    /// is tallied benign without simulating; an activation-pruned site
     /// likewise (mechanism 1); otherwise the core forks from the group's
     /// chain (or replays from cycle 0) with mechanisms 2 and 3 armed when
     /// early exit is on.
-    pub fn injection_tally(&self, site_idx: usize) -> (DetectionTally, Option<EarlyExitKind>) {
+    pub fn injection_tally(
+        &self,
+        site_idx: usize,
+    ) -> (DetectionTally, TaxonomyTally, Option<EarlyExitKind>) {
         self.injection_tally_observed(site_idx, &mut Metrics::Off, None)
     }
 
@@ -322,11 +365,15 @@ impl DetectionGroup {
         site_idx: usize,
         metrics: &mut Metrics,
         meter: Option<&ProgressMeter>,
-    ) -> (DetectionTally, Option<EarlyExitKind>) {
+    ) -> (DetectionTally, TaxonomyTally, Option<EarlyExitKind>) {
         let site = sites()[site_idx];
         if self.cfg.prune && self.analysis.prunable(site) {
             metrics.inc(Counter::PrunedStatic);
-            return (DetectionTally::pruned_site(), None);
+            return (
+                DetectionTally::pruned_site(),
+                TaxonomyTally::of(Taxonomy::Benign),
+                None,
+            );
         }
         let arm = self.arms[site_idx];
         let last = self.site_usage.as_ref().map(|u| u.last_use(site));
@@ -344,11 +391,12 @@ impl DetectionGroup {
                 }
                 return (
                     DetectionTally::of(DetectionOutcome::Benign),
+                    TaxonomyTally::of(Taxonomy::Benign),
                     Some(EarlyExitKind::Activation),
                 );
             }
         }
-        let plan = armed_plan(site, arm);
+        let plan = armed_plan_kind(site, arm, self.cfg.kind);
         let forked = self.chain.is_some();
         let tf = Instant::now();
         let mut core = match &self.chain {
@@ -361,7 +409,7 @@ impl DetectionGroup {
                 chain.fork_catchup(arm, plan)
             }
             Some(chain) => chain.fork(arm, plan),
-            None => Core::new(CoreConfig::with_mode(self.mode), &self.prog, plan),
+            None => Core::new(self.cfg.core_config(self.mode), &self.prog, plan),
         };
         if forked {
             metrics.inc(Counter::SnapshotForks);
@@ -385,7 +433,15 @@ impl DetectionGroup {
                 _ => {}
             }
         }
-        (DetectionTally::of(outcome), kind)
+        // Zero activations imply zero corrections, so the early-exit
+        // paths (which never see a correction by construction) agree
+        // with the natural-end runs on the CE/benign split.
+        let corrected = core.stats().ecc_corrected > 0;
+        (
+            DetectionTally::of(outcome),
+            TaxonomyTally::of(Taxonomy::of(outcome, corrected)),
+            kind,
+        )
     }
 }
 
@@ -463,6 +519,9 @@ pub struct JobMeta {
 pub struct DetectionReport {
     /// `(mode, tally)` per job, in job order.
     pub tallies: Vec<(Mode, DetectionTally)>,
+    /// `(mode, CE/DUE/SDC taxonomy)` per job, in job order — the same
+    /// runs as `tallies`, classified on the reliability axis.
+    pub taxonomies: Vec<(Mode, TaxonomyTally)>,
     /// Which early-exit mechanism decided each job, in job order (`None`
     /// when the run went to its natural end — always, with early exit
     /// off). Kept apart from `tallies` so the report text and the
@@ -498,12 +557,18 @@ pub struct ObserveCtl<'a> {
     pub progress_every: Option<Duration>,
 }
 
-/// Compact job label for the telemetry stream: `mode/bench/site`.
+/// Compact job label for the telemetry stream: `mode/bench/site`, in
+/// the same site spellings the corpus format and `bjsim --fault` use.
 pub fn site_label(mode: Mode, bench: &str, site: FaultSite) -> String {
     let s = match site {
         FaultSite::Backend { way } => format!("backend:{way}"),
         FaultSite::Frontend { way } => format!("frontend:{way}"),
         FaultSite::PayloadRam { entry } => format!("payload:{entry}"),
+        FaultSite::CacheData { index } => format!("cachedata:{index}"),
+        FaultSite::CacheTag { index } => format!("cachetag:{index}"),
+        FaultSite::StoreBuffer { entry } => format!("sbuf:{entry}"),
+        FaultSite::DtqPayload { entry } => format!("dtq:{entry}"),
+        FaultSite::LvqPayload { entry } => format!("lvq:{entry}"),
     };
     format!("{mode}/{bench}/{s}")
 }
@@ -564,8 +629,8 @@ pub fn run_detection_observed(
             let g = i / ns;
             let site_idx = i % ns;
             (g, move |group: &DetectionGroup, m: &mut Metrics| {
-                let (tally, early) = group.injection_tally_observed(site_idx, m, meter);
-                (group.mode, tally, early)
+                let (tally, tax, early) = group.injection_tally_observed(site_idx, m, meter);
+                (group.mode, tally, tax, early)
             })
         })
         .collect();
@@ -641,8 +706,12 @@ pub fn run_detection_observed(
         (groups, results, None, None)
     };
     let t_reassembly = Instant::now();
-    let tallies: Vec<(Mode, DetectionTally)> = results.iter().map(|&(m, t, _)| (m, t)).collect();
-    let early_exits: Vec<Option<EarlyExitKind>> = results.iter().map(|&(_, _, e)| e).collect();
+    let tallies: Vec<(Mode, DetectionTally)> =
+        results.iter().map(|&(m, t, _, _)| (m, t)).collect();
+    let taxonomies: Vec<(Mode, TaxonomyTally)> =
+        results.iter().map(|&(m, _, x, _)| (m, x)).collect();
+    let early_exits: Vec<Option<EarlyExitKind>> =
+        results.iter().map(|&(_, _, _, e)| e).collect();
 
     let labels: Vec<String> = MODES
         .iter()
@@ -665,12 +734,12 @@ pub fn run_detection_observed(
         })
         .collect();
 
-    let text = report_text(cfg.prune, benchmarks, &groups[..nb], &tallies);
+    let text = report_text(cfg, benchmarks, &groups[..nb], &tallies, &taxonomies);
     let metrics = registry.map(|mut r| {
         r.add(Counter::ReassemblyNanos, t_reassembly.elapsed().as_nanos() as u64);
         r
     });
-    DetectionReport { tallies, early_exits, labels, meta, text, trace, metrics }
+    DetectionReport { tallies, taxonomies, early_exits, labels, meta, text, trace, metrics }
 }
 
 /// Renders the deterministic report. `bench_groups` must be the per-
@@ -679,15 +748,24 @@ pub fn run_detection_observed(
 /// are deliberately absent — the report is byte-identical for any
 /// `BJ_THREADS` and every `BJ_SNAPSHOT` / `BJ_EARLYEXIT` path.
 fn report_text(
-    prune: bool,
+    cfg: DetectionConfig,
     benchmarks: &[Benchmark],
     bench_groups: &[DetectionGroup],
     tallies: &[(Mode, DetectionTally)],
+    taxonomies: &[(Mode, TaxonomyTally)],
 ) -> String {
+    let prune = cfg.prune;
     let counts = FuCounts::default();
     let n_sites = sites().len();
     let mut s = String::new();
-    s.push_str("extension: detection outcomes per injected hard fault\n");
+    let kind_label = match cfg.kind {
+        FaultKind::Hard => "hard".to_string(),
+        FaultKind::Transient => "transient".to_string(),
+        FaultKind::Intermittent { period, on } => {
+            format!("intermittent {on}-of-{period}")
+        }
+    };
+    s.push_str(&format!("extension: detection outcomes per injected {kind_label} fault\n"));
     s.push_str(&format!(
         "(one wear-out bit flip per run, arming in the late half of the \
          fault-free run;\n {} sites x {} benchmarks per mode)\n\n",
@@ -723,6 +801,23 @@ fn report_text(
     s.push('\n');
     for &(mode, t) in &per_mode {
         s.push_str(&format!("{:12} | {}\n", format!("{mode} rates"), t.summary()));
+    }
+
+    // The CE/DUE/SDC taxonomy rides below the legacy table: the rows
+    // above stay byte-identical to the pre-taxonomy report for hard
+    // faults, and the reliability classification is additive.
+    s.push_str(&format!(
+        "\ntaxonomy (ECC {}):\n",
+        if cfg.ecc { "on" } else { "off" }
+    ));
+    for &mode in &MODES {
+        let mut t = TaxonomyTally::default();
+        for (m, tax) in taxonomies {
+            if *m == mode {
+                t.merge(tax);
+            }
+        }
+        s.push_str(&format!("{:12} | {}\n", mode.to_string(), t.summary()));
     }
 
     if prune {

@@ -5,6 +5,7 @@
 //! test fast; the full sweep's equivalence is re-checked by `verify.sh`,
 //! `bench_snapshot` and `bench_earlyexit`.
 
+use blackjack::faults::FaultKind;
 use blackjack::workloads::Benchmark;
 use blackjack::Campaign;
 use blackjack_bench::detection::{run_detection, DetectionConfig, EarlyExitKind};
@@ -34,7 +35,41 @@ fn report_identical_across_paths_and_worker_counts() {
         let which = format!("snapshot={snapshot} early_exit={early_exit} workers={workers}");
         assert_eq!(got.text, base.text, "{which} changed the report");
         assert_eq!(got.tallies, base.tallies, "{which}");
+        assert_eq!(got.taxonomies, base.taxonomies, "{which} changed the CE/DUE/SDC split");
         assert_eq!(got.meta, base.meta, "arming schedules must not depend on the path");
+    }
+}
+
+#[test]
+fn transient_and_intermittent_reports_are_worker_deterministic() {
+    // The temporal fault models ride the same campaign machinery, with
+    // the ECC layer on so the CE column is live; the report (legacy
+    // table and taxonomy both) must not depend on the worker count or
+    // on the snapshot/early-exit path.
+    let benches = [Benchmark::Gzip];
+    for kind in [FaultKind::Transient, FaultKind::Intermittent { period: 64, on: 8 }] {
+        let mk = |snapshot, early_exit| DetectionConfig {
+            kind,
+            ecc: true,
+            ..cfg(snapshot, early_exit)
+        };
+        let base = run_detection(&Campaign::with_workers(1), mk(true, true), &benches, false);
+        assert!(!base.text.is_empty());
+        // Worker-count determinism on the fast path for both kinds; the
+        // expensive replay-from-zero cross-check once, on the transient
+        // campaign (the hard-fault slow path is covered above).
+        let mut others = vec![(true, true, 8)];
+        if kind == FaultKind::Transient {
+            others.push((false, false, 1));
+        }
+        for (snapshot, early_exit, workers) in others {
+            let got =
+                run_detection(&Campaign::with_workers(workers), mk(snapshot, early_exit), &benches, false);
+            let which =
+                format!("{kind:?} snapshot={snapshot} early_exit={early_exit} workers={workers}");
+            assert_eq!(got.text, base.text, "{which} changed the report");
+            assert_eq!(got.taxonomies, base.taxonomies, "{which} changed the CE/DUE/SDC split");
+        }
     }
 }
 

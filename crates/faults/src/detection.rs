@@ -104,6 +104,120 @@ impl DetectionTally {
     }
 }
 
+/// The standard reliability taxonomy for one injection run's outcome.
+///
+/// Every run lands in exactly one bucket: **CE** (corrected error — the
+/// ECC layer repaired the upset and the run finished architecturally
+/// clean), **DUE** (detected uncorrectable error — any detection, be it
+/// a pair-check mismatch, an ECC double-bit flag, or a watchdog
+/// timeout), **SDC** (silent data corruption — the run finished with
+/// wrong architectural state), or **Benign** (the fault was never
+/// exercised or was logically masked, and nothing corrected anything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Taxonomy {
+    /// Corrected error: repaired in flight, clean completion.
+    Ce,
+    /// Detected uncorrectable error.
+    Due,
+    /// Silent data corruption.
+    Sdc,
+    /// Masked or never exercised.
+    Benign,
+}
+
+impl Taxonomy {
+    /// Maps a detection-experiment outcome into the taxonomy.
+    /// `corrected` reports whether an ECC correction fired during the
+    /// run; it only matters for clean completions (a corrected upset
+    /// that still ends in a detection is a DUE — the correction did not
+    /// save the run).
+    pub fn of(outcome: DetectionOutcome, corrected: bool) -> Taxonomy {
+        match outcome {
+            DetectionOutcome::Detected | DetectionOutcome::Stuck => Taxonomy::Due,
+            DetectionOutcome::SilentCorruption => Taxonomy::Sdc,
+            DetectionOutcome::Benign if corrected => Taxonomy::Ce,
+            DetectionOutcome::Benign => Taxonomy::Benign,
+        }
+    }
+
+    /// Report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Taxonomy::Ce => "CE",
+            Taxonomy::Due => "DUE",
+            Taxonomy::Sdc => "SDC",
+            Taxonomy::Benign => "benign",
+        }
+    }
+}
+
+/// Counts of [`Taxonomy`] outcomes over a set of injection runs.
+/// Merging is commutative and associative, like [`DetectionTally`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaxonomyTally {
+    /// Corrected errors.
+    pub ce: u32,
+    /// Detected uncorrectable errors.
+    pub due: u32,
+    /// Silent data corruptions.
+    pub sdc: u32,
+    /// Masked or unexercised faults.
+    pub benign: u32,
+}
+
+impl TaxonomyTally {
+    /// Records one run.
+    pub fn record(&mut self, t: Taxonomy) {
+        match t {
+            Taxonomy::Ce => self.ce += 1,
+            Taxonomy::Due => self.due += 1,
+            Taxonomy::Sdc => self.sdc += 1,
+            Taxonomy::Benign => self.benign += 1,
+        }
+    }
+
+    /// A tally of a single run — the unit campaign workers return.
+    pub fn of(t: Taxonomy) -> TaxonomyTally {
+        let mut tally = TaxonomyTally::default();
+        tally.record(t);
+        tally
+    }
+
+    /// Sums another tally into this one.
+    pub fn merge(&mut self, other: &TaxonomyTally) {
+        self.ce += other.ce;
+        self.due += other.due;
+        self.sdc += other.sdc;
+        self.benign += other.benign;
+    }
+
+    /// Total runs recorded.
+    pub fn total(&self) -> u32 {
+        self.ce + self.due + self.sdc + self.benign
+    }
+
+    /// `count` as a share of the total — same formatting as
+    /// [`DetectionTally::share`].
+    pub fn share(&self, count: u32) -> String {
+        match self.total() {
+            0 => format!("{count}"),
+            total => format!("{count} ({:.1}%)", 100.0 * f64::from(count) / f64::from(total)),
+        }
+    }
+
+    /// One-line CE/DUE/SDC/benign summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "CE {}, DUE {}, SDC {}, benign {} of {} injections",
+            self.share(self.ce),
+            self.share(self.due),
+            self.share(self.sdc),
+            self.share(self.benign),
+            self.total(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +275,37 @@ mod tests {
         );
         // Empty tallies degrade to bare counts, never divide by zero.
         assert_eq!(DetectionTally::default().share(0), "0");
+    }
+
+    #[test]
+    fn taxonomy_mapping_is_total() {
+        use DetectionOutcome as O;
+        assert_eq!(Taxonomy::of(O::Detected, false), Taxonomy::Due);
+        assert_eq!(Taxonomy::of(O::Detected, true), Taxonomy::Due, "correction can't save a detected run");
+        assert_eq!(Taxonomy::of(O::Stuck, false), Taxonomy::Due, "a timeout is a detection");
+        assert_eq!(Taxonomy::of(O::SilentCorruption, false), Taxonomy::Sdc);
+        assert_eq!(Taxonomy::of(O::SilentCorruption, true), Taxonomy::Sdc, "a correction elsewhere doesn't excuse SDC");
+        assert_eq!(Taxonomy::of(O::Benign, true), Taxonomy::Ce);
+        assert_eq!(Taxonomy::of(O::Benign, false), Taxonomy::Benign);
+    }
+
+    #[test]
+    fn taxonomy_tally_merges_like_detection_tally() {
+        let runs = [Taxonomy::Ce, Taxonomy::Due, Taxonomy::Due, Taxonomy::Sdc, Taxonomy::Benign];
+        let mut all = TaxonomyTally::default();
+        for &t in &runs {
+            all.record(t);
+        }
+        let mut merged = TaxonomyTally::default();
+        for &t in &runs {
+            merged.merge(&TaxonomyTally::of(t));
+        }
+        assert_eq!(all, merged);
+        assert_eq!((all.ce, all.due, all.sdc, all.benign), (1, 2, 1, 1));
+        assert_eq!(all.total(), 5);
+        assert_eq!(
+            all.summary(),
+            "CE 1 (20.0%), DUE 2 (40.0%), SDC 1 (20.0%), benign 1 (20.0%) of 5 injections"
+        );
     }
 }

@@ -37,6 +37,44 @@ pub enum FaultSite {
         /// Issue-queue entry index.
         entry: usize,
     },
+    /// One set of the L1 data-cache data array (uncore). Corrupts the
+    /// value of every load whose address maps to the set, *before* the
+    /// leading thread captures it into the LVQ — so both threads agree on
+    /// the corrupt value unless an ECC layer intervenes.
+    CacheData {
+        /// Cache set index.
+        index: usize,
+    },
+    /// One set of the L1 data-cache tag array (uncore). A tag defect can
+    /// only force spurious misses here (the model never fabricates false
+    /// hits), so it perturbs latency without corrupting architectural
+    /// state.
+    CacheTag {
+        /// Cache set index.
+        index: usize,
+    },
+    /// One entry of the store buffer holding leading stores awaiting
+    /// their trailing check. Corrupts the buffered store data, so the
+    /// pair check sees a leading/trailing disagreement.
+    StoreBuffer {
+        /// Store-buffer entry index.
+        entry: usize,
+    },
+    /// One entry of the DTQ payload RAM carrying the pristine instruction
+    /// word to the trailing thread. Corrupts only the trailing copy —
+    /// memory is driven by the leading thread, so this can never escape.
+    DtqPayload {
+        /// DTQ entry index.
+        entry: usize,
+    },
+    /// One entry of the LVQ payload RAM holding captured load values for
+    /// the trailing thread. Without ECC this corrupts the trailing load
+    /// value (detected by the pair checks); with SEC-DED ECC enabled a
+    /// single-bit defect is corrected and a multi-bit one raises a DUE.
+    LvqPayload {
+        /// LVQ entry index.
+        entry: usize,
+    },
 }
 
 impl fmt::Display for FaultSite {
@@ -45,6 +83,74 @@ impl fmt::Display for FaultSite {
             FaultSite::Frontend { way } => write!(f, "frontend way {way}"),
             FaultSite::Backend { way } => write!(f, "backend way {way}"),
             FaultSite::PayloadRam { entry } => write!(f, "payload RAM entry {entry}"),
+            FaultSite::CacheData { index } => write!(f, "L1D data array set {index}"),
+            FaultSite::CacheTag { index } => write!(f, "L1D tag array set {index}"),
+            FaultSite::StoreBuffer { entry } => write!(f, "store buffer entry {entry}"),
+            FaultSite::DtqPayload { entry } => write!(f, "DTQ payload entry {entry}"),
+            FaultSite::LvqPayload { entry } => write!(f, "LVQ payload entry {entry}"),
+        }
+    }
+}
+
+/// The temporal model of a fault plan: when, relative to the arming
+/// cycle, the plan's faults are physically present.
+///
+/// Hard faults are the paper's subject — permanent from arming onwards.
+/// Transient and intermittent faults extend the universe per the uncore
+/// soft-error literature: a transient is a single-cycle upset, an
+/// intermittent fault cycles between broken and healthy with a duty
+/// cycle (burst faults from marginal hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultKind {
+    /// Permanent: active on every cycle at or after arming.
+    #[default]
+    Hard,
+    /// Single-cycle upset: active only on the arming cycle itself.
+    Transient,
+    /// Duty-cycled burst: starting at the arming cycle, active for the
+    /// first `on` cycles of every `period`-cycle window.
+    Intermittent {
+        /// Window length in cycles (≥ 1).
+        period: u64,
+        /// Active cycles at the start of each window (1 ..= period).
+        on: u64,
+    },
+}
+
+impl FaultKind {
+    /// True if a fault of this kind is physically present at `cycle`,
+    /// given the plan armed at `arm`.
+    pub fn active(self, cycle: u64, arm: u64) -> bool {
+        if cycle < arm {
+            return false;
+        }
+        match self {
+            FaultKind::Hard => true,
+            FaultKind::Transient => cycle == arm,
+            FaultKind::Intermittent { period, on } => {
+                debug_assert!(period >= 1 && (1..=period).contains(&on));
+                (cycle - arm) % period < on
+            }
+        }
+    }
+
+    /// Short lower-case name used in reports and env parsing.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Hard => "hard",
+            FaultKind::Transient => "transient",
+            FaultKind::Intermittent { .. } => "intermittent",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Intermittent { period, on } => {
+                write!(f, "intermittent({on}/{period})")
+            }
+            other => f.write_str(other.name()),
         }
     }
 }
@@ -170,7 +276,13 @@ impl fmt::Display for HardFault {
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<HardFault>,
+    kind: FaultKind,
     arm_cycle: u64,
+    /// The simulator's current cycle, published by [`FaultPlan::
+    /// observe_cycle`] once per step so the temporal model can decide
+    /// whether the faults are present when a hook fires. An atomic only
+    /// for the same `Sync` reason as the counters.
+    now: AtomicU64,
     exercised: AtomicU64,
     activations: AtomicU64,
 }
@@ -181,7 +293,9 @@ impl Clone for FaultPlan {
     fn clone(&self) -> FaultPlan {
         FaultPlan {
             faults: self.faults.clone(),
+            kind: self.kind,
             arm_cycle: self.arm_cycle,
+            now: AtomicU64::new(self.now.load(Ordering::Relaxed)),
             exercised: AtomicU64::new(self.exercised()),
             activations: AtomicU64::new(self.activations()),
         }
@@ -209,6 +323,28 @@ impl FaultPlan {
     /// The cycle at which the faults begin to manifest.
     pub fn arm_cycle(&self) -> u64 {
         self.arm_cycle
+    }
+
+    /// Sets the plan's temporal model (default: [`FaultKind::Hard`]).
+    pub fn with_kind(mut self, kind: FaultKind) -> FaultPlan {
+        if let FaultKind::Intermittent { period, on } = kind {
+            assert!(period >= 1 && (1..=period).contains(&on), "intermittent duty cycle must satisfy 1 <= on <= period");
+        }
+        self.kind = kind;
+        self
+    }
+
+    /// The plan's temporal model.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Publishes the simulator's current cycle. The core calls this once
+    /// at the top of every step; hooks firing later in the same cycle
+    /// consult it to decide whether the faults are physically present
+    /// under the plan's temporal model.
+    pub fn observe_cycle(&self, cycle: u64) {
+        self.now.store(cycle, Ordering::Relaxed);
     }
 
     /// Adds a fault.
@@ -249,7 +385,15 @@ impl FaultPlan {
 
     /// Applies every fault at `site` to `v`, counting matches and
     /// value changes.
+    ///
+    /// Under a non-hard temporal model the faults are only present on
+    /// the cycles [`FaultKind::active`] admits: a dormant structure is
+    /// momentarily healthy, so the read neither exercises nor activates
+    /// anything.
     fn apply_site(&self, site: FaultSite, v: u64) -> u64 {
+        if !self.kind.active(self.now.load(Ordering::Relaxed), self.arm_cycle) {
+            return v;
+        }
         let mut out = v;
         for f in &self.faults {
             if f.site == site {
@@ -286,6 +430,49 @@ impl FaultPlan {
         self.apply_site(FaultSite::PayloadRam { entry }, word as u64) as u32
     }
 
+    /// Applies every fault on L1D data-array set `index` to a load value
+    /// read from the cache (before LVQ capture).
+    pub fn corrupt_cache_data(&self, index: usize, value: u64) -> u64 {
+        self.apply_site(FaultSite::CacheData { index }, value)
+    }
+
+    /// Applies every fault on store-buffer entry `entry` to buffered
+    /// store data.
+    pub fn corrupt_store_buffer(&self, entry: usize, value: u64) -> u64 {
+        self.apply_site(FaultSite::StoreBuffer { entry }, value)
+    }
+
+    /// Applies every fault on DTQ payload entry `entry` to the carried
+    /// instruction word.
+    pub fn corrupt_dtq_payload(&self, entry: usize, word: u32) -> u32 {
+        self.apply_site(FaultSite::DtqPayload { entry }, word as u64) as u32
+    }
+
+    /// Applies every fault on LVQ payload entry `entry` to the captured
+    /// load value read by the trailing thread.
+    pub fn corrupt_lvq_payload(&self, entry: usize, value: u64) -> u64 {
+        self.apply_site(FaultSite::LvqPayload { entry }, value)
+    }
+
+    /// True if a fault on L1D *tag* set `index` is physically present
+    /// right now (tag faults only perturb latency, so the hook is a
+    /// predicate rather than a value transform). Counts as exercised —
+    /// the defective set was consulted.
+    pub fn cache_tag_miss(&self, index: usize) -> bool {
+        if !self.kind.active(self.now.load(Ordering::Relaxed), self.arm_cycle) {
+            return false;
+        }
+        let hit = self.faults.iter().any(|f| f.site == FaultSite::CacheTag { index });
+        if hit {
+            // A forced miss perturbs timing, so the run is no longer
+            // bit-identical to its fault-free twin: count it as an
+            // activation so the convergence seal stays conservative.
+            self.exercised.fetch_add(1, Ordering::Relaxed);
+            self.activations.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// True if any fault targets the given frontend way.
     pub fn has_frontend(&self, way: usize) -> bool {
         self.faults.iter().any(|f| f.site == FaultSite::Frontend { way })
@@ -294,6 +481,11 @@ impl FaultPlan {
     /// True if any fault targets the given backend way.
     pub fn has_backend(&self, way: usize) -> bool {
         self.faults.iter().any(|f| f.site == FaultSite::Backend { way })
+    }
+
+    /// True if any fault targets the given site.
+    pub fn has_site(&self, site: FaultSite) -> bool {
+        self.faults.iter().any(|f| f.site == site)
     }
 }
 
@@ -420,5 +612,99 @@ mod tests {
         let f = HardFault::stuck_bit(FaultSite::Frontend { way: 2 }, 0);
         assert!(f.to_string().contains("frontend way 2"));
         assert!(FaultSite::PayloadRam { entry: 3 }.to_string().contains("entry 3"));
+        assert!(FaultSite::LvqPayload { entry: 9 }.to_string().contains("LVQ payload entry 9"));
+        assert_eq!(FaultKind::Hard.to_string(), "hard");
+        assert_eq!(FaultKind::Transient.to_string(), "transient");
+        assert_eq!(
+            FaultKind::Intermittent { period: 64, on: 8 }.to_string(),
+            "intermittent(8/64)"
+        );
+    }
+
+    #[test]
+    fn kind_activity_windows() {
+        // Hard: on from arming forever.
+        assert!(!FaultKind::Hard.active(9, 10));
+        assert!(FaultKind::Hard.active(10, 10));
+        assert!(FaultKind::Hard.active(1_000_000, 10));
+        // Transient: exactly the arming cycle.
+        assert!(!FaultKind::Transient.active(9, 10));
+        assert!(FaultKind::Transient.active(10, 10));
+        assert!(!FaultKind::Transient.active(11, 10));
+        // Intermittent 2-on / 5-period windows starting at arm.
+        let i = FaultKind::Intermittent { period: 5, on: 2 };
+        assert!(!i.active(9, 10));
+        assert!(i.active(10, 10) && i.active(11, 10));
+        assert!(!i.active(12, 10) && !i.active(14, 10));
+        assert!(i.active(15, 10) && i.active(16, 10));
+        assert!(!i.active(17, 10));
+    }
+
+    #[test]
+    fn transient_plan_fires_only_on_the_arming_cycle() {
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 0))
+            .arm_at(100)
+            .with_kind(FaultKind::Transient);
+        plan.observe_cycle(99);
+        assert_eq!(plan.corrupt_backend(0, 0), 0, "pre-arm: healthy");
+        assert_eq!((plan.exercised(), plan.activations()), (0, 0));
+        plan.observe_cycle(100);
+        assert_eq!(plan.corrupt_backend(0, 0), 1, "arming cycle: upset");
+        assert_eq!((plan.exercised(), plan.activations()), (1, 1));
+        plan.observe_cycle(101);
+        assert_eq!(plan.corrupt_backend(0, 0), 0, "one cycle later: healthy again");
+        assert_eq!((plan.exercised(), plan.activations()), (1, 1), "dormant reads count nothing");
+    }
+
+    #[test]
+    fn intermittent_plan_follows_the_duty_cycle() {
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::LvqPayload { entry: 3 }, 2))
+            .arm_at(50)
+            .with_kind(FaultKind::Intermittent { period: 4, on: 1 });
+        for cycle in 48..58 {
+            plan.observe_cycle(cycle);
+            let expect = cycle >= 50 && (cycle - 50) % 4 == 0;
+            let out = plan.corrupt_lvq_payload(3, 0);
+            assert_eq!(out != 0, expect, "cycle {cycle}");
+        }
+    }
+
+    #[test]
+    fn uncore_sites_route_independently() {
+        let mut plan = FaultPlan::new();
+        plan.add(HardFault::stuck_bit(FaultSite::CacheData { index: 5 }, 0));
+        plan.add(HardFault::stuck_bit(FaultSite::StoreBuffer { entry: 2 }, 1));
+        plan.add(HardFault::stuck_bit(FaultSite::DtqPayload { entry: 7 }, 2));
+        plan.add(HardFault::stuck_bit(FaultSite::LvqPayload { entry: 9 }, 3));
+        assert_eq!(plan.corrupt_cache_data(5, 0), 1);
+        assert_eq!(plan.corrupt_cache_data(4, 0), 0);
+        assert_eq!(plan.corrupt_store_buffer(2, 0), 2);
+        assert_eq!(plan.corrupt_store_buffer(3, 0), 0);
+        assert_eq!(plan.corrupt_dtq_payload(7, 0), 4);
+        assert_eq!(plan.corrupt_dtq_payload(6, 0), 0);
+        assert_eq!(plan.corrupt_lvq_payload(9, 0), 8);
+        assert_eq!(plan.corrupt_lvq_payload(8, 0), 0);
+        assert!(plan.has_site(FaultSite::CacheData { index: 5 }));
+        assert!(!plan.has_site(FaultSite::CacheData { index: 4 }));
+    }
+
+    #[test]
+    fn cache_tag_predicate_counts_as_activation() {
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::CacheTag { index: 1 }, 0));
+        assert!(!plan.cache_tag_miss(0), "other sets healthy");
+        assert_eq!((plan.exercised(), plan.activations()), (0, 0));
+        assert!(plan.cache_tag_miss(1));
+        assert_eq!((plan.exercised(), plan.activations()), (1, 1));
+    }
+
+    #[test]
+    fn clone_preserves_kind_and_observed_cycle() {
+        let plan = FaultPlan::single(HardFault::stuck_bit(FaultSite::Backend { way: 0 }, 0))
+            .arm_at(10)
+            .with_kind(FaultKind::Transient);
+        plan.observe_cycle(10);
+        let copy = plan.clone();
+        assert_eq!(copy.kind(), FaultKind::Transient);
+        assert_eq!(copy.corrupt_backend(0, 0), 1, "copy still sees the arming cycle");
     }
 }

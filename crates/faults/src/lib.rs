@@ -29,9 +29,11 @@
 mod coverage;
 mod detection;
 mod diagnosis;
+pub mod ecc;
 mod fault;
 
 pub use coverage::{AreaModel, CoverageAccum};
-pub use detection::{DetectionOutcome, DetectionTally};
+pub use detection::{DetectionOutcome, DetectionTally, Taxonomy, TaxonomyTally};
 pub use diagnosis::DiagnosisTable;
-pub use fault::{Corruption, FaultPlan, FaultSite, HardFault, Trigger};
+pub use ecc::EccOutcome;
+pub use fault::{Corruption, FaultKind, FaultPlan, FaultSite, HardFault, Trigger};

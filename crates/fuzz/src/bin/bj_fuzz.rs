@@ -18,26 +18,31 @@
 //! Environment: `BJ_FUZZ_SEED` and `BJ_FUZZ_ITERS` provide defaults for
 //! `--seed`/`--iters` (flags win); `BJ_CALL_DEPTH` sets the generator's
 //! function-nesting depth (default 2: `main` plus one helper, `1`
-//! disables calls); invalid values exit with status 2.
+//! disables calls); `BJ_FAULT_KINDS` picks the temporal fault models
+//! the soundness sample sweeps (default `hard`); `BJ_ECC` replays the
+//! sample with the LVQ SEC-DED layer on, which promotes the load-value
+//! escape sites to guaranteed; invalid values exit with status 2.
 //!
 //! Each iteration generates a lint-clean program, checks it
 //! differentially against the interpreter in all four modes, and
-//! injects a sample of hard faults whose outcome is judged against the
-//! static site classification. Output is fully deterministic for a
-//! given seed — no timestamps, no wall-clock. Exit status: 0 when every
-//! check passed, 1 when any failure was found (failures are minimized
-//! and saved for replay), 2 on usage errors.
+//! injects a sample of faults — core sites every iteration plus one
+//! rotating uncore site (cache data/tag, store buffer, DTQ/LVQ payload
+//! RAM), across every configured temporal kind — whose outcome is
+//! judged against the static site classification. Output is fully
+//! deterministic for a given seed — no timestamps, no wall-clock. Exit
+//! status: 0 when every check passed, 1 when any failure was found
+//! (failures are minimized and saved for replay), 2 on usage errors.
 
 use std::path::PathBuf;
 use std::process::exit;
 
 use blackjack::envcfg;
 use blackjack_analysis::SiteAnalysis;
-use blackjack_faults::{FaultSite, HardFault};
+use blackjack_faults::{FaultKind, FaultSite, HardFault};
 use blackjack_fuzz::diff::MAX_STEPS;
 use blackjack_fuzz::gen::{generate, GenConfig};
 use blackjack_fuzz::minimize::{live_instructions, minimize};
-use blackjack_fuzz::oracle::{check_fault, classify_sites, FaultVerdict, SiteClass};
+use blackjack_fuzz::oracle::{check_fault_universe, classify_sites_ecc, FaultVerdict, SiteClass};
 use blackjack_fuzz::{check_fault_free, Case, CaseKind};
 use blackjack_isa::{Interp, Program};
 use blackjack_rng::Rng;
@@ -64,6 +69,9 @@ fn main() {
         .unwrap_or(200);
     let call_depth: usize = envcfg::call_depth_from_env()
         .unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let kinds: Vec<FaultKind> =
+        envcfg::fault_kinds_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
+    let ecc: bool = envcfg::ecc_from_env().unwrap_or_else(|e| envcfg::exit_invalid(&e));
     let mut out_dir = PathBuf::from("fuzz-failures");
     let mut mine: Option<PathBuf> = None;
     let mut quiet = false;
@@ -122,13 +130,13 @@ fn main() {
                 live_instructions(&prog),
                 live_instructions(&shrunk)
             );
-            let case = Case {
-                name: format!("diff-{sub_seed:#x}"),
-                kind: CaseKind::Failure,
-                seed: Some(sub_seed),
-                program: shrunk,
-                fault: None,
-            };
+            let case = Case::new(
+                format!("diff-{sub_seed:#x}"),
+                CaseKind::Failure,
+                Some(sub_seed),
+                shrunk,
+                None,
+            );
             match case.save(&out_dir) {
                 Ok(p) => println!("  saved {}", p.display()),
                 Err(e) => eprintln!("  could not save case: {e}"),
@@ -137,8 +145,9 @@ fn main() {
         }
 
         // Fault-soundness sample: one frontend way, one backend way, one
-        // payload entry per iteration, with fault bits drawn from the
-        // corrupted structure's width.
+        // payload entry, and one rotating uncore site per iteration, with
+        // fault bits drawn from the corrupted structure's width. Every
+        // site is replayed under each configured temporal kind.
         let analysis = match SiteAnalysis::analyze(&prog, &fu) {
             Ok(a) => a,
             Err(e) => {
@@ -154,6 +163,18 @@ fn main() {
             let _ = it.run(MAX_STEPS);
             it
         };
+        let uncore = match iter % 5 {
+            0 => (FaultSite::CacheData { index: rng.random_range(0usize..256) },
+                  rng.random_range(0u8..64)),
+            1 => (FaultSite::CacheTag { index: rng.random_range(0usize..256) },
+                  rng.random_range(0u8..64)),
+            2 => (FaultSite::StoreBuffer { entry: rng.random_range(0usize..64) },
+                  rng.random_range(0u8..64)),
+            3 => (FaultSite::DtqPayload { entry: rng.random_range(0usize..1024) },
+                  rng.random_range(0u8..32)),
+            _ => (FaultSite::LvqPayload { entry: rng.random_range(0usize..128) },
+                  rng.random_range(0u8..64)),
+        };
         let sites = [
             (FaultSite::Frontend { way: rng.random_range(0usize..4) },
              rng.random_range(0u8..32)),
@@ -161,47 +182,62 @@ fn main() {
              rng.random_range(0u8..64)),
             (FaultSite::PayloadRam { entry: rng.random_range(0usize..64) },
              rng.random_range(0u8..32)),
+            uncore,
         ];
         for (site, bit) in sites {
             let fault = HardFault::stuck_bit(site, bit);
-            fault_runs += 1;
-            match check_fault(&prog, &analysis, fault, golden.mem()) {
-                Ok(verdict) => {
-                    let tally = match classify_sites(&analysis, site) {
-                        SiteClass::Pruned => {
-                            pruned_clean += 1;
-                            continue;
+            // Transient and intermittent plans draw a fresh arm cycle per
+            // site so the sample walks the program's whole timeline over
+            // the course of a campaign; hard faults stay armed from 0.
+            for &kind in &kinds {
+                let arm = match kind {
+                    FaultKind::Hard => 0,
+                    _ => rng.random_range(0u64..600),
+                };
+                fault_runs += 1;
+                match check_fault_universe(&prog, &analysis, fault, kind, arm, ecc, golden.mem())
+                {
+                    Ok(verdict) => {
+                        let tally = match classify_sites_ecc(&analysis, site, ecc) {
+                            SiteClass::Pruned => {
+                                pruned_clean += 1;
+                                continue;
+                            }
+                            SiteClass::Guaranteed => &mut guaranteed,
+                            SiteClass::BestEffort => &mut best_effort,
+                        };
+                        match verdict {
+                            FaultVerdict::Detected => tally.detected += 1,
+                            FaultVerdict::Watchdog => tally.watchdog += 1,
+                            FaultVerdict::Masked => tally.masked += 1,
+                            FaultVerdict::Escaped => tally.escaped += 1,
                         }
-                        SiteClass::Guaranteed => &mut guaranteed,
-                        SiteClass::BestEffort => &mut best_effort,
-                    };
-                    match verdict {
-                        FaultVerdict::Detected => tally.detected += 1,
-                        FaultVerdict::Watchdog => tally.watchdog += 1,
-                        FaultVerdict::Masked => tally.masked += 1,
-                        FaultVerdict::Escaped => tally.escaped += 1,
                     }
-                }
-                Err(unsound) => {
-                    failures += 1;
-                    println!("iter {iter}: FAULT-SOUNDNESS FAILURE seed={sub_seed:#x}");
-                    println!("  {unsound}");
-                    let shrunk = minimize(&prog, |p| fault_still_unsound(p, fault, &fu));
-                    println!(
-                        "  minimized {} -> {} live instructions",
-                        live_instructions(&prog),
-                        live_instructions(&shrunk)
-                    );
-                    let case = Case {
-                        name: format!("fault-{sub_seed:#x}-{bit}"),
-                        kind: CaseKind::Failure,
-                        seed: Some(sub_seed),
-                        program: shrunk,
-                        fault: Some(fault),
-                    };
-                    match case.save(&out_dir) {
-                        Ok(p) => println!("  saved {}", p.display()),
-                        Err(e) => eprintln!("  could not save case: {e}"),
+                    Err(unsound) => {
+                        failures += 1;
+                        println!("iter {iter}: FAULT-SOUNDNESS FAILURE seed={sub_seed:#x}");
+                        println!("  {unsound}");
+                        let shrunk =
+                            minimize(&prog, |p| fault_still_unsound(p, fault, kind, arm, ecc, &fu));
+                        println!(
+                            "  minimized {} -> {} live instructions",
+                            live_instructions(&prog),
+                            live_instructions(&shrunk)
+                        );
+                        let mut case = Case::new(
+                            format!("fault-{sub_seed:#x}-{bit}"),
+                            CaseKind::Failure,
+                            Some(sub_seed),
+                            shrunk,
+                            Some(fault),
+                        );
+                        case.temporal = kind;
+                        case.arm = arm;
+                        case.ecc = ecc;
+                        match case.save(&out_dir) {
+                            Ok(p) => println!("  saved {}", p.display()),
+                            Err(e) => eprintln!("  could not save case: {e}"),
+                        }
                     }
                 }
             }
@@ -230,13 +266,13 @@ fn main() {
         interesting.sort_by(|a, b| b.cmp(a)); // highest score first, then latest
         for (rank, &(score, _iter, sub_seed, segments)) in interesting.iter().take(10).enumerate() {
             let prog = generate(sub_seed, GenConfig { segments, call_depth });
-            let case = Case {
-                name: format!("interesting-{:02}-{sub_seed:#x}", rank),
-                kind: CaseKind::Interesting,
-                seed: Some(sub_seed),
-                program: prog,
-                fault: None,
-            };
+            let case = Case::new(
+                format!("interesting-{:02}-{sub_seed:#x}", rank),
+                CaseKind::Interesting,
+                Some(sub_seed),
+                prog,
+                None,
+            );
             match case.save(&dir) {
                 Ok(p) => {
                     if !quiet {
@@ -248,7 +284,19 @@ fn main() {
         }
     }
 
-    println!("bj-fuzz: seed={seed:#x} iters={iters}");
+    let kinds_label = kinds
+        .iter()
+        .map(|k| match k {
+            FaultKind::Hard => "hard".to_string(),
+            FaultKind::Transient => "transient".to_string(),
+            FaultKind::Intermittent { period, on } => format!("intermittent:{period}:{on}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "bj-fuzz: seed={seed:#x} iters={iters} kinds={kinds_label} ecc={}",
+        if ecc { "on" } else { "off" }
+    );
     println!("  differential: {diff_runs} programs x 4 modes, {failures} failures");
     println!(
         "  faults: {fault_runs} injected; pruned-clean {pruned_clean}; guaranteed \
@@ -270,9 +318,16 @@ fn main() {
     println!("  all checks passed");
 }
 
-/// Minimizer oracle for fault-soundness failures: does `fault` still
-/// violate its site contract on this mutant?
-fn fault_still_unsound(p: &Program, fault: HardFault, fu: &FuCounts) -> bool {
+/// Minimizer oracle for fault-soundness failures: does `fault` under the
+/// same temporal plan still violate its site contract on this mutant?
+fn fault_still_unsound(
+    p: &Program,
+    fault: HardFault,
+    kind: FaultKind,
+    arm: u64,
+    ecc: bool,
+    fu: &FuCounts,
+) -> bool {
     let mut it = Interp::new(p);
     let _ = it.run(MAX_STEPS);
     if !it.halted() {
@@ -281,5 +336,5 @@ fn fault_still_unsound(p: &Program, fault: HardFault, fu: &FuCounts) -> bool {
     let Ok(analysis) = SiteAnalysis::analyze(p, fu) else {
         return false;
     };
-    check_fault(p, &analysis, fault, it.mem()).is_err()
+    check_fault_universe(p, &analysis, fault, kind, arm, ecc, it.mem()).is_err()
 }

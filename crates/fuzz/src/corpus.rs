@@ -21,14 +21,26 @@
 //! ```
 //!
 //! `entry` is implied (`text_base`); `fault` is `SITE:WAY[:BIT]` in the
-//! same spelling `bjsim --fault` accepts. Loading rebuilds the exact
-//! program via [`ProgramBuilder::push_raw`], so a case replays bit-for-
-//! bit with no assembler in the loop.
+//! same spelling `bjsim --fault` accepts (`frontend`, `backend`,
+//! `payload`, `cachedata`, `cachetag`, `sbuf`, `dtq`, `lvq`). Three
+//! optional headers extend a fault across the temporal and ECC
+//! dimensions, each omitted when at its default so pre-existing cases
+//! stay byte-identical:
+//!
+//! * `temporal hard:ARM` / `transient:ARM` / `intermittent:ARM:PERIOD:ON`
+//!   — the fault's [`FaultKind`] and arming cycle (default `hard:0`).
+//! * `ecc 1` — replay with the LVQ SEC-DED layer on (default off).
+//! * `expect CE|DUE|SDC|benign` — the [`Taxonomy`] verdict the replay
+//!   test asserts (default: no assertion).
+//!
+//! Loading rebuilds the exact program via
+//! [`ProgramBuilder::push_raw`], so a case replays bit-for-bit with no
+//! assembler in the loop.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use blackjack_faults::{FaultSite, HardFault};
+use blackjack_faults::{FaultKind, FaultPlan, FaultSite, HardFault, Taxonomy};
 use blackjack_isa::{Program, ProgramBuilder};
 
 /// Why a case is in the corpus.
@@ -71,9 +83,44 @@ pub struct Case {
     pub program: Program,
     /// A fault to inject on replay, if the case is about injection.
     pub fault: Option<HardFault>,
+    /// The fault's temporal model (plan-level).
+    pub temporal: FaultKind,
+    /// The fault's arming cycle.
+    pub arm: u64,
+    /// Replay with the LVQ SEC-DED layer on.
+    pub ecc: bool,
+    /// Taxonomy verdict the replay must reproduce, if pinned.
+    pub expect: Option<Taxonomy>,
 }
 
 impl Case {
+    /// A case with the default fault dimensions: hard fault armed at
+    /// cycle 0, ECC off, no pinned verdict.
+    pub fn new(
+        name: String,
+        kind: CaseKind,
+        seed: Option<u64>,
+        program: Program,
+        fault: Option<HardFault>,
+    ) -> Case {
+        Case {
+            name,
+            kind,
+            seed,
+            program,
+            fault,
+            temporal: FaultKind::Hard,
+            arm: 0,
+            ecc: false,
+            expect: None,
+        }
+    }
+
+    /// The injection plan the case describes, if it carries a fault.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        self.fault
+            .map(|f| FaultPlan::single(f).arm_at(self.arm).with_kind(self.temporal))
+    }
     /// Serializes the case to `.bjcase` text.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -90,6 +137,11 @@ impl Case {
                 FaultSite::Frontend { way } => ("frontend", way),
                 FaultSite::Backend { way } => ("backend", way),
                 FaultSite::PayloadRam { entry } => ("payload", entry),
+                FaultSite::CacheData { index } => ("cachedata", index),
+                FaultSite::CacheTag { index } => ("cachetag", index),
+                FaultSite::StoreBuffer { entry } => ("sbuf", entry),
+                FaultSite::DtqPayload { entry } => ("dtq", entry),
+                FaultSite::LvqPayload { entry } => ("lvq", entry),
             };
             let bit = match f.corruption {
                 blackjack_faults::Corruption::StuckAt { bit, .. } => bit,
@@ -97,6 +149,27 @@ impl Case {
                 blackjack_faults::Corruption::XorMask { .. } => 0,
             };
             let _ = writeln!(out, "fault {site}:{way}:{bit}");
+        }
+        // The fault-dimension headers are omitted at their defaults so
+        // cases minted before these dimensions existed re-serialize
+        // byte-identically.
+        match self.temporal {
+            FaultKind::Hard if self.arm == 0 => {}
+            FaultKind::Hard => {
+                let _ = writeln!(out, "temporal hard:{}", self.arm);
+            }
+            FaultKind::Transient => {
+                let _ = writeln!(out, "temporal transient:{}", self.arm);
+            }
+            FaultKind::Intermittent { period, on } => {
+                let _ = writeln!(out, "temporal intermittent:{}:{period}:{on}", self.arm);
+            }
+        }
+        if self.ecc {
+            let _ = writeln!(out, "ecc 1");
+        }
+        if let Some(t) = self.expect {
+            let _ = writeln!(out, "expect {}", t.name());
         }
         let _ = writeln!(out, "text");
         for w in self.program.text() {
@@ -127,6 +200,10 @@ impl Case {
         let mut text_base = blackjack_isa::TEXT_BASE;
         let mut data_base = blackjack_isa::DATA_BASE;
         let mut fault = None;
+        let mut temporal = FaultKind::Hard;
+        let mut arm = 0u64;
+        let mut ecc = false;
+        let mut expect = None;
         let mut words: Vec<u32> = Vec::new();
         let mut data: Vec<u8> = Vec::new();
 
@@ -172,6 +249,22 @@ impl Case {
                             Some(f) => fault = Some(f),
                             None => return err("bad fault spec"),
                         },
+                        "temporal" => match parse_temporal(rest.trim()) {
+                            Some((k, a)) => {
+                                temporal = k;
+                                arm = a;
+                            }
+                            None => return err("bad temporal spec"),
+                        },
+                        "ecc" => match rest.trim() {
+                            "1" => ecc = true,
+                            "0" => ecc = false,
+                            _ => return err("bad ecc flag"),
+                        },
+                        "expect" => match parse_taxonomy(rest.trim()) {
+                            Some(t) => expect = Some(t),
+                            None => return err("bad expect verdict"),
+                        },
                         "text" => section = Section::Text,
                         _ => return err("unknown header key"),
                     }
@@ -214,7 +307,7 @@ impl Case {
         for w in words {
             b.push_raw(w);
         }
-        Ok(Case { name, kind, seed, program: b.build(), fault })
+        Ok(Case { name, kind, seed, program: b.build(), fault, temporal, arm, ecc, expect })
     }
 
     /// Writes the case to `dir/<name>.bjcase`.
@@ -261,9 +354,42 @@ fn parse_fault(s: &str) -> Option<HardFault> {
         "frontend" => FaultSite::Frontend { way },
         "backend" => FaultSite::Backend { way },
         "payload" => FaultSite::PayloadRam { entry: way },
+        "cachedata" => FaultSite::CacheData { index: way },
+        "cachetag" => FaultSite::CacheTag { index: way },
+        "sbuf" => FaultSite::StoreBuffer { entry: way },
+        "dtq" => FaultSite::DtqPayload { entry: way },
+        "lvq" => FaultSite::LvqPayload { entry: way },
         _ => return None,
     };
     Some(HardFault::stuck_bit(site, bit))
+}
+
+/// Parses `KIND:ARM[:PERIOD:ON]` — `hard:200`, `transient:450`,
+/// `intermittent:300:64:8`.
+fn parse_temporal(s: &str) -> Option<(FaultKind, u64)> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let arm: u64 = parts.get(1)?.parse().ok()?;
+    match (parts[0], parts.len()) {
+        ("hard", 2) => Some((FaultKind::Hard, arm)),
+        ("transient", 2) => Some((FaultKind::Transient, arm)),
+        ("intermittent", 4) => {
+            let period: u64 = parts[2].parse().ok()?;
+            let on: u64 = parts[3].parse().ok()?;
+            (period >= 1 && (1..=period).contains(&on))
+                .then_some((FaultKind::Intermittent { period, on }, arm))
+        }
+        _ => None,
+    }
+}
+
+fn parse_taxonomy(s: &str) -> Option<Taxonomy> {
+    match s {
+        "CE" => Some(Taxonomy::Ce),
+        "DUE" => Some(Taxonomy::Due),
+        "SDC" => Some(Taxonomy::Sdc),
+        "benign" => Some(Taxonomy::Benign),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -274,13 +400,13 @@ mod tests {
     #[test]
     fn round_trips_a_generated_program() {
         let prog = generate(42, GenConfig { segments: 4, ..GenConfig::default() });
-        let case = Case {
-            name: "rt".into(),
-            kind: CaseKind::Interesting,
-            seed: Some(42),
-            program: prog.clone(),
-            fault: Some(HardFault::stuck_bit(FaultSite::Frontend { way: 1 }, 9)),
-        };
+        let case = Case::new(
+            "rt".into(),
+            CaseKind::Interesting,
+            Some(42),
+            prog.clone(),
+            Some(HardFault::stuck_bit(FaultSite::Frontend { way: 1 }, 9)),
+        );
         let text = case.to_text();
         let back = Case::from_text(&text).unwrap();
         assert_eq!(back.name, "rt");
@@ -297,10 +423,101 @@ mod tests {
     }
 
     #[test]
+    fn default_fault_dimensions_write_no_headers() {
+        let prog = generate(42, GenConfig { segments: 4, ..GenConfig::default() });
+        let case = Case::new(
+            "legacy".into(),
+            CaseKind::Failure,
+            None,
+            prog,
+            Some(HardFault::stuck_bit(FaultSite::Backend { way: 2 }, 5)),
+        );
+        let text = case.to_text();
+        for header in ["temporal", "ecc", "expect"] {
+            assert!(
+                !text.lines().any(|l| l.starts_with(header)),
+                "default-dimension case grew a `{header}` header"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_fault_universe_dimensions() {
+        let prog = generate(43, GenConfig { segments: 4, ..GenConfig::default() });
+        for (site, temporal, arm, ecc, expect) in [
+            (
+                FaultSite::LvqPayload { entry: 3 },
+                FaultKind::Hard,
+                120,
+                true,
+                Some(Taxonomy::Ce),
+            ),
+            (
+                FaultSite::CacheData { index: 0 },
+                FaultKind::Transient,
+                77,
+                false,
+                Some(Taxonomy::Sdc),
+            ),
+            (
+                FaultSite::StoreBuffer { entry: 1 },
+                FaultKind::Intermittent { period: 64, on: 8 },
+                300,
+                false,
+                Some(Taxonomy::Due),
+            ),
+            (FaultSite::DtqPayload { entry: 5 }, FaultKind::Hard, 0, false, None),
+            (
+                FaultSite::CacheTag { index: 9 },
+                FaultKind::Transient,
+                1,
+                false,
+                Some(Taxonomy::Benign),
+            ),
+        ] {
+            let mut case = Case::new(
+                "dims".into(),
+                CaseKind::Interesting,
+                None,
+                prog.clone(),
+                Some(HardFault::stuck_bit(site, 2)),
+            );
+            case.temporal = temporal;
+            case.arm = arm;
+            case.ecc = ecc;
+            case.expect = expect;
+            let text = case.to_text();
+            let back = Case::from_text(&text).unwrap_or_else(|e| panic!("{site:?}: {e}"));
+            assert_eq!(back.fault, case.fault, "{site:?}");
+            assert_eq!(back.temporal, temporal, "{site:?}");
+            assert_eq!(back.arm, arm, "{site:?}");
+            assert_eq!(back.ecc, ecc, "{site:?}");
+            assert_eq!(back.expect, expect, "{site:?}");
+            assert_eq!(back.to_text(), text, "{site:?} second trip not byte-stable");
+            let plan = back.plan().expect("case carries a fault");
+            assert_eq!(plan.kind(), temporal, "{site:?}");
+            assert_eq!(plan.arm_cycle(), arm, "{site:?}");
+        }
+    }
+
+    #[test]
     fn rejects_malformed_cases() {
         assert!(Case::from_text("").is_err());
         assert!(Case::from_text("name x\ntext\nzzzzzzzz\nend\n").is_err());
         assert!(Case::from_text("name x\ntext\n00000013\n").is_err(), "missing end");
         assert!(Case::from_text("bogus line\ntext\n00000013\nend\n").is_err());
+        for bad in [
+            "temporal sometimes:3",
+            "temporal intermittent:1:0:0",
+            "temporal intermittent:1:4:9",
+            "temporal transient",
+            "ecc maybe",
+            "expect corrected",
+            "fault lvq",
+            "fault tlb:0:1",
+        ] {
+            let text = format!("name x\n{bad}\ntext\n00000013\nend\n");
+            assert!(Case::from_text(&text).is_err(), "`{bad}` should be rejected");
+        }
     }
 }

@@ -33,4 +33,7 @@ pub use corpus::{Case, CaseKind};
 pub use diff::{check_fault_free, DiffFailure, DiffFailureKind, DiffStats};
 pub use gen::{generate, GenConfig};
 pub use minimize::minimize;
-pub use oracle::{check_fault, classify_sites, FaultVerdict, SiteClass, Soundness};
+pub use oracle::{
+    check_fault, check_fault_universe, classify_sites, classify_sites_ecc, run_taxonomy,
+    FaultVerdict, SiteClass, Soundness,
+};

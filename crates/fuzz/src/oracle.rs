@@ -23,7 +23,7 @@
 //! which is containment, not silence.
 
 use blackjack_analysis::SiteAnalysis;
-use blackjack_faults::{FaultPlan, FaultSite, HardFault};
+use blackjack_faults::{FaultKind, FaultPlan, FaultSite, HardFault, Taxonomy};
 use blackjack_isa::{Interp, PagedMem, Program};
 use blackjack_sim::{Core, CoreConfig, Mode, RunOutcome};
 
@@ -75,11 +75,19 @@ impl std::fmt::Display for Soundness {
     }
 }
 
-/// Classifies `site` for `prog` under the default backend.
+/// Classifies `site` for `prog` under the default backend (ECC off).
 pub fn classify_sites(analysis: &SiteAnalysis, site: FaultSite) -> SiteClass {
+    classify_sites_ecc(analysis, site, false)
+}
+
+/// [`classify_sites`] with the LVQ SEC-DED layer's state threaded in:
+/// with `ecc` on, the load-value escape paths (`MemPort` backend ways,
+/// payload RAM, cache data arrays) are corrected or flagged at the
+/// trailing LVQ read, promoting those sites to [`SiteClass::Guaranteed`].
+pub fn classify_sites_ecc(analysis: &SiteAnalysis, site: FaultSite, ecc: bool) -> SiteClass {
     if analysis.prunable(site) {
         SiteClass::Pruned
-    } else if analysis.detection_guaranteed(site) {
+    } else if analysis.detection_guaranteed_with(site, ecc) {
         SiteClass::Guaranteed
     } else {
         SiteClass::BestEffort
@@ -101,12 +109,32 @@ pub fn check_fault(
     fault: HardFault,
     golden_mem: &PagedMem,
 ) -> Result<FaultVerdict, Soundness> {
-    let class = classify_sites(analysis, fault.site);
-    let mut core = Core::new(
-        CoreConfig::with_mode(Mode::BlackJack),
-        prog,
-        FaultPlan::single(fault),
-    );
+    check_fault_universe(prog, analysis, fault, FaultKind::Hard, 0, false, golden_mem)
+}
+
+/// [`check_fault`] over the full fault universe: `kind` and `arm` pick
+/// the temporal model (permanent from `arm`, single-cycle at `arm`, or
+/// duty-cycled burst), `ecc` turns the LVQ SEC-DED layer on. The site
+/// contract is judged against the ECC-aware classification
+/// ([`classify_sites_ecc`]) — with ECC on, an escape on a promoted site
+/// (payload RAM, `MemPort` way, cache data) is a soundness failure.
+///
+/// # Errors
+///
+/// Returns [`Soundness`] exactly as [`check_fault`] does.
+pub fn check_fault_universe(
+    prog: &Program,
+    analysis: &SiteAnalysis,
+    fault: HardFault,
+    kind: FaultKind,
+    arm: u64,
+    ecc: bool,
+    golden_mem: &PagedMem,
+) -> Result<FaultVerdict, Soundness> {
+    let class = classify_sites_ecc(analysis, fault.site, ecc);
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    cfg.lvq_ecc = ecc;
+    let mut core = Core::new(cfg, prog, FaultPlan::single(fault).arm_at(arm).with_kind(kind));
     let outcome = core.run(MAX_CYCLES);
     let stats = core.stats();
     let verdict = match outcome {
@@ -178,6 +206,35 @@ pub fn golden_memory(prog: &Program) -> PagedMem {
     let _ = it.run(MAX_STEPS);
     assert!(it.halted(), "golden run must halt before fault injection");
     it.mem().clone()
+}
+
+/// Replays `prog` in BlackJack mode with `plan` injected and maps the
+/// run into the CE/DUE/SDC/benign taxonomy against `golden_mem` — the
+/// verdict the corpus taxonomy goldens pin down. Any detection
+/// (pair-check, ECC double-bit flag, watchdog) is a DUE; a clean
+/// completion is a CE exactly when an ECC correction fired.
+pub fn run_taxonomy(
+    prog: &Program,
+    plan: FaultPlan,
+    ecc: bool,
+    golden_mem: &PagedMem,
+) -> Taxonomy {
+    let mut cfg = CoreConfig::with_mode(Mode::BlackJack);
+    cfg.lvq_ecc = ecc;
+    let mut core = Core::new(cfg, prog, plan);
+    match core.run(MAX_CYCLES) {
+        RunOutcome::Detected(_) | RunOutcome::CycleLimit => Taxonomy::Due,
+        RunOutcome::Completed => {
+            if core.mem().first_difference(golden_mem).is_some() {
+                Taxonomy::Sdc
+            } else if core.stats().ecc_corrected > 0 {
+                Taxonomy::Ce
+            } else {
+                Taxonomy::Benign
+            }
+        }
+        RunOutcome::EarlyExit(r) => unreachable!("early exit ({r}) without early-exit config"),
+    }
 }
 
 #[cfg(test)]

@@ -82,13 +82,13 @@ fn adversarial_case() -> Case {
     );
     let program = assemble_named(&src, "adversarial-convergence")
         .expect("adversarial program assembles");
-    Case {
-        name: "adversarial-convergence".into(),
-        kind: CaseKind::Interesting,
-        seed: None,
+    Case::new(
+        "adversarial-convergence".into(),
+        CaseKind::Interesting,
+        None,
         program,
-        fault: Some(mul_fault()),
-    }
+        Some(mul_fault()),
+    )
 }
 
 #[test]

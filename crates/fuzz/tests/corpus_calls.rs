@@ -108,13 +108,13 @@ fn corpus_dir() -> PathBuf {
 }
 
 fn case_for(name: &str, src: &str) -> Case {
-    Case {
-        name: name.to_string(),
-        kind: CaseKind::Interesting,
-        seed: None,
-        program: assemble_named(src, name).unwrap_or_else(|e| panic!("{name}: {e}")),
-        fault: None,
-    }
+    Case::new(
+        name.to_string(),
+        CaseKind::Interesting,
+        None,
+        assemble_named(src, name).unwrap_or_else(|e| panic!("{name}: {e}")),
+        None,
+    )
 }
 
 #[test]

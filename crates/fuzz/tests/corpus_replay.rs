@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 
 use blackjack_analysis::SiteAnalysis;
-use blackjack_fuzz::oracle::{check_fault, golden_memory};
+use blackjack_fuzz::oracle::{check_fault_universe, golden_memory, run_taxonomy};
 use blackjack_fuzz::{check_fault_free, Case};
 use blackjack_sim::FuCounts;
 
@@ -57,13 +57,28 @@ fn corpus_cases_replay_clean() {
         // Differential surface first: all four modes, commit-log replay.
         check_fault_free(&case.program)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        // Cases that carry a fault spec must also replay soundly.
+        // Cases that carry a fault spec must also replay soundly, under
+        // their own temporal model and ECC setting; cases that pin a
+        // CE/DUE/SDC verdict must reproduce it exactly.
         if let Some(fault) = case.fault {
             let analysis = SiteAnalysis::analyze(&case.program, &FuCounts::default())
                 .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
             let golden = golden_memory(&case.program);
-            check_fault(&case.program, &analysis, fault, &golden)
-                .unwrap_or_else(|s| panic!("{}: unsound replay: {s}", path.display()));
+            check_fault_universe(
+                &case.program,
+                &analysis,
+                fault,
+                case.temporal,
+                case.arm,
+                case.ecc,
+                &golden,
+            )
+            .unwrap_or_else(|s| panic!("{}: unsound replay: {s}", path.display()));
+            if let Some(want) = case.expect {
+                let plan = case.plan().expect("fault is present");
+                let got = run_taxonomy(&case.program, plan, case.ecc, &golden);
+                assert_eq!(got, want, "{}: taxonomy drifted", path.display());
+            }
         }
     }
 }

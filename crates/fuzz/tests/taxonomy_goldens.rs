@@ -1,0 +1,161 @@
+//! Taxonomy goldens: three hand-written corpus cases that pin one
+//! CE/DUE/SDC verdict each, exercising the fault-universe dimensions the
+//! `.bjcase` format carries (`temporal`, `ecc`, `expect`):
+//!
+//! * `taxonomy-ce-lvq-corrected` — a single stuck bit in the LVQ payload
+//!   RAM with the SEC-DED layer on: the trailing read is repaired in
+//!   flight, the run completes with golden memory, and the correction
+//!   counter makes it a CE.
+//! * `taxonomy-due-intermittent-burst` — a duty-cycled (8-of-16) stuck
+//!   bit on backend way 0 under an ALU loop: some burst lands on a live
+//!   computation, the pair checks fire, DUE.
+//! * `taxonomy-sdc-cache-data` — a stuck bit in the L1D data array (set
+//!   0) with ECC off: the corrupt load value is captured into the LVQ,
+//!   both threads agree on the wrong value, and the pair-matched store
+//!   writes it to memory — the known escape, SDC.
+//!
+//! The cases are checked in under `tests/corpus/` (regenerate with
+//! `BJ_BLESS=1 cargo test -p blackjack-fuzz --test taxonomy_goldens`),
+//! so the standard corpus replay covers them too; here each one is
+//! additionally replayed through `run_taxonomy` against its pinned
+//! `expect` verdict.
+
+use std::path::PathBuf;
+
+use blackjack_faults::{FaultKind, FaultSite, HardFault, Taxonomy};
+use blackjack_fuzz::oracle::{golden_memory, run_taxonomy};
+use blackjack_fuzz::{Case, CaseKind};
+use blackjack_isa::asm::assemble_named;
+
+/// Scratch memory above the data segment (same convention as the
+/// workload kernels); maps to L1D set 0 (0x40_0000 / 64 % 256 == 0).
+const HEAP: u64 = 0x40_0000;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn stuck(site: FaultSite, bit: u8) -> HardFault {
+    HardFault::stuck_bit(site, bit)
+}
+
+/// Store 5, load it back, store the loaded value — the value round-trips
+/// through the LVQ, so a payload-RAM or data-array defect on its path
+/// decides the verdict (bit 1 of 5 is clear, so stuck-at-1 is visible).
+fn load_roundtrip_program(name: &str) -> blackjack_isa::Program {
+    let src = format!(
+        r#"
+        .text
+            li   x5, {HEAP}
+            li   x6, 5
+            sd   x6, 0(x5)
+            ld   x7, 0(x5)
+            sd   x7, 8(x5)
+            halt
+        "#
+    );
+    assemble_named(&src, name).expect("taxonomy program assembles")
+}
+
+/// An ALU loop long enough that an 8-of-16 duty-cycled burst is certain
+/// to land on a live increment, followed by a store of the loop counter
+/// so a corrupted copy must face the pair check.
+fn alu_loop_program(name: &str) -> blackjack_isa::Program {
+    let src = format!(
+        r#"
+        .text
+            li   x10, 300
+            li   x11, 0
+        loop:
+            addi x11, x11, 1
+            blt  x11, x10, loop
+            li   x13, {HEAP}
+            sd   x11, 0(x13)
+            halt
+        "#
+    );
+    assemble_named(&src, name).expect("taxonomy program assembles")
+}
+
+fn taxonomy_cases() -> Vec<Case> {
+    // The first load in each program is load_seq 0, so LVQ slot 0
+    // (circular RAM: slot = seq % capacity) is the exercised entry.
+    let mut ce = Case::new(
+        "taxonomy-ce-lvq-corrected".into(),
+        CaseKind::Interesting,
+        None,
+        load_roundtrip_program("taxonomy-ce-lvq-corrected"),
+        Some(stuck(FaultSite::LvqPayload { entry: 0 }, 1)),
+    );
+    ce.ecc = true;
+    ce.expect = Some(Taxonomy::Ce);
+
+    let mut due = Case::new(
+        "taxonomy-due-intermittent-burst".into(),
+        CaseKind::Interesting,
+        None,
+        alu_loop_program("taxonomy-due-intermittent-burst"),
+        Some(stuck(FaultSite::Backend { way: 0 }, 0)),
+    );
+    due.temporal = FaultKind::Intermittent { period: 16, on: 8 };
+    due.expect = Some(Taxonomy::Due);
+
+    let mut sdc = Case::new(
+        "taxonomy-sdc-cache-data".into(),
+        CaseKind::Interesting,
+        None,
+        load_roundtrip_program("taxonomy-sdc-cache-data"),
+        Some(stuck(FaultSite::CacheData { index: 0 }, 1)),
+    );
+    sdc.expect = Some(Taxonomy::Sdc);
+
+    vec![ce, due, sdc]
+}
+
+#[test]
+fn checked_in_taxonomy_cases_match_sources() {
+    for case in taxonomy_cases() {
+        let want = case.to_text();
+        let path = corpus_dir().join(format!("{}.bjcase", case.name));
+        if std::env::var_os("BJ_BLESS").is_some() {
+            std::fs::write(&path, &want).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+        let got = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{}: {e} (regenerate with BJ_BLESS=1)", path.display())
+        });
+        assert_eq!(got, want, "{}: stale; regenerate with BJ_BLESS=1", path.display());
+    }
+}
+
+#[test]
+fn taxonomy_goldens_replay_to_their_verdicts() {
+    for case in taxonomy_cases() {
+        let golden = golden_memory(&case.program);
+        let plan = case.plan().expect("taxonomy cases carry a fault");
+        let got = run_taxonomy(&case.program, plan, case.ecc, &golden);
+        assert_eq!(
+            Some(got),
+            case.expect,
+            "{}: replayed to {got:?}, pinned {:?}",
+            case.name,
+            case.expect
+        );
+    }
+}
+
+#[test]
+fn sdc_case_is_downgraded_to_due_by_ecc() {
+    // The SDC golden is exactly the escape the SEC-DED layer closes:
+    // with ECC on, the trailing read is repaired (the check bits were
+    // generated over the clean composed value before the data-array hook
+    // struck), the *leading* copy stays corrupt, and the now-divergent
+    // pair trips the store check — silent corruption becomes a
+    // detection, SDC -> DUE. A CE needs the corruption confined to the
+    // trailing copy (the LVQ-payload golden above).
+    let cases = taxonomy_cases();
+    let sdc = cases.iter().find(|c| c.name == "taxonomy-sdc-cache-data").unwrap();
+    let golden = golden_memory(&sdc.program);
+    let plan = sdc.plan().unwrap();
+    assert_eq!(run_taxonomy(&sdc.program, plan.clone(), false, &golden), Taxonomy::Sdc);
+    assert_eq!(run_taxonomy(&sdc.program, plan, true, &golden), Taxonomy::Due);
+}

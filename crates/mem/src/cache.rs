@@ -188,6 +188,18 @@ impl Cache {
         ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
     }
 
+    /// Set index the line containing `addr` maps to (no state change).
+    /// Fault plans target physical sets (the `CacheData`/`CacheTag` fault
+    /// sites), so the pipeline needs the geometry mapping exposed.
+    pub fn set_of(&self, addr: u64) -> usize {
+        self.split(addr).0
+    }
+
+    /// Number of sets in this cache.
+    pub fn sets(&self) -> usize {
+        (self.set_mask + 1) as usize
+    }
+
     /// True if the line containing `addr` is resident (no state change).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.split(addr);
@@ -320,6 +332,17 @@ mod tests {
         for i in 0..4u64 {
             assert!(c.probe(i * 16), "set {i} retained");
         }
+    }
+
+    #[test]
+    fn set_of_matches_geometry() {
+        let c = small();
+        assert_eq!(c.sets(), 4);
+        // 16B lines, 4 sets: set = (addr >> 4) & 3.
+        assert_eq!(c.set_of(0x00), 0);
+        assert_eq!(c.set_of(0x10), 1);
+        assert_eq!(c.set_of(0x3f), 3);
+        assert_eq!(c.set_of(0x40), 0, "wraps past the last set");
     }
 
     #[test]

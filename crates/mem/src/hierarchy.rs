@@ -121,9 +121,34 @@ impl MemSystem {
         lat
     }
 
+    /// Data access whose L1D lookup is forced to miss (tag-array fault
+    /// model): the stored tag reads as garbage, so the access pays the L2
+    /// path on top of the L1 latency even when the line is resident. The
+    /// underlying access still updates tag/LRU state normally — the fault
+    /// is purely a timing perturbation, which is exactly what a corrupted
+    /// tag costs once the refill rewrites it.
+    pub fn access_data_forced_miss(&mut self, addr: u64, write: bool) -> u64 {
+        let base = self.access_data(addr, write);
+        if base == self.l1d.config().hit_latency {
+            base + self.level2(addr, false)
+        } else {
+            base
+        }
+    }
+
     /// True if `addr` currently hits in the L1D (no state change).
     pub fn probe_l1d(&self, addr: u64) -> bool {
         self.l1d.probe(addr)
+    }
+
+    /// Set index `addr` maps to in the L1D (fault-site keying).
+    pub fn l1d_set(&self, addr: u64) -> usize {
+        self.l1d.set_of(addr)
+    }
+
+    /// Number of L1D sets (fault-universe sizing).
+    pub fn l1d_sets(&self) -> usize {
+        self.l1d.sets()
     }
 
     /// L1I statistics.
@@ -209,6 +234,30 @@ mod tests {
             m.access_data(i * 64, false);
         }
         assert_eq!(m.l1d_stats().misses, 10, "second sweep all hits");
+    }
+
+    #[test]
+    fn forced_miss_charges_l2_path_on_resident_line() {
+        let cfg = MemConfig::default();
+        let mut m = MemSystem::new(&cfg);
+        m.access_data(0x1000, false);
+        // Resident line: a healthy access is an L1 hit (2 cycles); the
+        // tag-fault access pays the L2 hit path on top (2 + 12).
+        assert_eq!(m.access_data(0x1000, false), 2);
+        assert_eq!(m.access_data_forced_miss(0x1000, false), 2 + 12);
+        // On a genuine miss the forced-miss path charges nothing extra.
+        assert_eq!(m.access_data_forced_miss(0x2000, false), 2 + 12 + 350);
+    }
+
+    #[test]
+    fn l1d_set_indexing() {
+        let cfg = MemConfig::default();
+        let m = MemSystem::new(&cfg);
+        // 64KB / 4-way / 64B lines = 256 sets; set = (addr >> 6) & 255.
+        assert_eq!(m.l1d_sets(), 256);
+        assert_eq!(m.l1d_set(0), 0);
+        assert_eq!(m.l1d_set(64), 1);
+        assert_eq!(m.l1d_set(256 * 64), 0);
     }
 
     #[test]

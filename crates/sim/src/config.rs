@@ -250,6 +250,15 @@ pub struct CoreConfig {
     /// the safe-shuffle backend mapping far more often than the paper
     /// observes. On by default; the ablation benches flip it.
     pub trailing_packet_atomic: bool,
+    /// Protect the LVQ payload RAM with SEC-DED ECC: check bits are
+    /// generated over the clean load value at the protected end of the
+    /// load path and syndrome-decoded at the trailing read port. Closes
+    /// the known LVQ escape (a load value corrupted *before* capture is
+    /// shared by both threads) — single-bit upsets are corrected (CE),
+    /// multi-bit ones raise [`DetectionKind::EccUncorrectable`]
+    /// (crate::DetectionKind). Off by default to preserve the paper's
+    /// unprotected baseline; `BJ_ECC=1` turns it on in the harnesses.
+    pub lvq_ecc: bool,
 }
 
 impl Default for CoreConfig {
@@ -276,6 +285,7 @@ impl Default for CoreConfig {
             split_payload_ram: true,
             shuffle_algo: ShuffleAlgo::default(),
             trailing_packet_atomic: true,
+            lvq_ecc: false,
         }
     }
 }

@@ -116,6 +116,18 @@ pub struct SiteUsage {
     backend: Vec<AtomicU64>,
     /// Last exercise cycle + 1 per payload-RAM entry.
     payload: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per L1D data-array set (leading load
+    /// value composition).
+    cache_data: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per L1D tag-array set (actual cache
+    /// lookups on the load latency path — forwarded loads skip the tags).
+    cache_tag: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per store-buffer entry.
+    store_buffer: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per DTQ payload-RAM entry.
+    dtq: Vec<AtomicU64>,
+    /// Last exercise cycle + 1 per LVQ payload-RAM entry.
+    lvq: Vec<AtomicU64>,
 }
 
 impl Clone for SiteUsage {
@@ -127,6 +139,11 @@ impl Clone for SiteUsage {
             frontend: copy(&self.frontend),
             backend: copy(&self.backend),
             payload: copy(&self.payload),
+            cache_data: copy(&self.cache_data),
+            cache_tag: copy(&self.cache_tag),
+            store_buffer: copy(&self.store_buffer),
+            dtq: copy(&self.dtq),
+            lvq: copy(&self.lvq),
         }
     }
 
@@ -138,13 +155,39 @@ impl Clone for SiteUsage {
         refill(&mut self.frontend, &source.frontend);
         refill(&mut self.backend, &source.backend);
         refill(&mut self.payload, &source.payload);
+        refill(&mut self.cache_data, &source.cache_data);
+        refill(&mut self.cache_tag, &source.cache_tag);
+        refill(&mut self.store_buffer, &source.store_buffer);
+        refill(&mut self.dtq, &source.dtq);
+        refill(&mut self.lvq, &source.lvq);
     }
 }
 
+/// Structure sizes for [`SiteUsage::with_sizes`], one per fault-site
+/// family.
+struct SiteSizes {
+    frontend: usize,
+    backend: usize,
+    payload: usize,
+    cache_sets: usize,
+    store_buffer: usize,
+    dtq: usize,
+    lvq: usize,
+}
+
 impl SiteUsage {
-    fn with_sizes(frontend: usize, backend: usize, payload: usize) -> SiteUsage {
+    fn with_sizes(s: SiteSizes) -> SiteUsage {
         let cells = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
-        SiteUsage { frontend: cells(frontend), backend: cells(backend), payload: cells(payload) }
+        SiteUsage {
+            frontend: cells(s.frontend),
+            backend: cells(s.backend),
+            payload: cells(s.payload),
+            cache_data: cells(s.cache_sets),
+            cache_tag: cells(s.cache_sets),
+            store_buffer: cells(s.store_buffer),
+            dtq: cells(s.dtq),
+            lvq: cells(s.lvq),
+        }
     }
 
     fn note(cells: &[AtomicU64], i: usize, cycle: u64) {
@@ -160,6 +203,11 @@ impl SiteUsage {
             FaultSite::Frontend { way } => self.frontend.get(way),
             FaultSite::Backend { way } => self.backend.get(way),
             FaultSite::PayloadRam { entry } => self.payload.get(entry),
+            FaultSite::CacheData { index } => self.cache_data.get(index),
+            FaultSite::CacheTag { index } => self.cache_tag.get(index),
+            FaultSite::StoreBuffer { entry } => self.store_buffer.get(entry),
+            FaultSite::DtqPayload { entry } => self.dtq.get(entry),
+            FaultSite::LvqPayload { entry } => self.lvq.get(entry),
         };
         match cell.map(|c| c.load(Ordering::Relaxed)).unwrap_or(0) {
             0 => None,
@@ -665,11 +713,15 @@ impl Core {
     /// Turns on per-site last-exercise tracking (the reference pass of an
     /// early-exit campaign). Off by default: one branch per fault hook.
     pub fn enable_site_usage(&mut self) {
-        self.site_usage = Some(SiteUsage::with_sizes(
-            self.cfg.width,
-            self.cfg.fu_counts.total(),
-            self.cfg.issue_queue,
-        ));
+        self.site_usage = Some(SiteUsage::with_sizes(SiteSizes {
+            frontend: self.cfg.width,
+            backend: self.cfg.fu_counts.total(),
+            payload: self.cfg.issue_queue,
+            cache_sets: self.cfg.mem.l1d.num_sets(),
+            store_buffer: self.cfg.store_buffer,
+            dtq: self.cfg.dtq,
+            lvq: self.cfg.lvq,
+        }));
     }
 
     /// The site-usage tracker, if enabled.
@@ -889,6 +941,10 @@ impl Core {
             return;
         }
         self.cycle += 1;
+        // Publish the cycle so every fault hook this step evaluates the
+        // plan's temporal model (transient/intermittent presence) against
+        // the cycle being simulated.
+        self.plan.observe_cycle(self.cycle);
         self.stats.cycles = self.cycle;
         if self.tracer.is_on() {
             // Start-of-cycle occupancy snapshot (last cycle's end state).
@@ -1076,6 +1132,7 @@ impl Core {
         let (dst, old_dst) = (u.dst, u.old_dst);
         let (load_seq, store_seq, mem_seq) = (u.load_seq, u.store_seq, u.mem_seq);
         let (eff_addr, store_val, result) = (u.eff_addr, u.store_val, u.result);
+        let ecc = u.ecc;
         let lead_srcs = u.srcs;
         let ghist = u.ghist_snapshot;
         let dtq_index = u.dtq_index;
@@ -1093,13 +1150,17 @@ impl Core {
             self.ctxs[LEADING].committed_mem += 1;
         }
         if inst.is_store() {
-            let rec = StoreRecord {
+            let mut rec = StoreRecord {
                 addr: eff_addr.expect("committed store has an address"),
                 bytes: inst.mem_bytes().expect("store width"),
                 data: store_val.expect("committed store has data"),
                 seq: store_seq.expect("store seq"),
             };
             if redundant {
+                // A defective store-buffer entry corrupts the buffered
+                // leading copy; the trailing comparison at release then
+                // disagrees and the store never reaches memory.
+                rec.data = self.corrupt_sb_data(rec.seq, rec.data);
                 self.sb.push(rec);
             } else {
                 self.mem.write_sized(rec.addr, rec.bytes, rec.data);
@@ -1107,10 +1168,12 @@ impl Core {
             }
         }
         if inst.is_load() && redundant {
+            let load_seq = load_seq.expect("load seq");
             self.lvq.push(LvqEntry {
-                load_seq: load_seq.expect("load seq"),
+                load_seq,
                 addr: eff_addr.expect("committed load has an address"),
                 value: result.expect("committed load has a value"),
+                ecc,
             });
         }
 
@@ -1719,6 +1782,77 @@ impl Core {
         }
     }
 
+    /// Store-buffer entry corruption hook, applied to the leading store's
+    /// data as it is written into its circular-RAM slot at commit
+    /// (`slot = store ordinal mod capacity`).
+    fn corrupt_sb_data(&self, store_seq: u64, data: u64) -> u64 {
+        let slot = (store_seq % self.cfg.store_buffer as u64) as usize;
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.store_buffer, slot, self.cycle);
+        }
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
+            return data;
+        }
+        self.plan.corrupt_store_buffer(slot, data)
+    }
+
+    /// L1D data-array corruption hook, applied to the composed leading
+    /// load value as it leaves the set `addr` maps to — *after* the ECC
+    /// check bits were generated, so the LVQ decoder sees the upset.
+    fn corrupt_cache_value(&self, addr: u64, value: u64) -> u64 {
+        let set = self.mem_sys.l1d_set(addr);
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.cache_data, set, self.cycle);
+        }
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
+            return value;
+        }
+        self.plan.corrupt_cache_data(set, value)
+    }
+
+    /// L1D tag-array fault predicate for the set `addr` maps to: a
+    /// corrupted tag makes the lookup miss, so the load pays the L2 path
+    /// — purely a timing perturbation (the refill rewrites the tag).
+    /// Consulted only on the real-cache-access latency path; fully
+    /// forwarded loads never read the tags.
+    fn cache_tag_fault(&self, addr: u64) -> bool {
+        let set = self.mem_sys.l1d_set(addr);
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.cache_tag, set, self.cycle);
+        }
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
+            return false;
+        }
+        self.plan.cache_tag_miss(set)
+    }
+
+    /// DTQ payload-RAM corruption hook, applied to the carried pristine
+    /// instruction word as the trailing thread reads its circular-RAM
+    /// slot (`slot = program-order sequence mod capacity` — entries are
+    /// allocated in program order).
+    fn corrupt_dtq_word(&self, seq: u64, word: u32) -> u32 {
+        let slot = (seq % self.cfg.dtq as u64) as usize;
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.dtq, slot, self.cycle);
+        }
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
+            return word;
+        }
+        self.plan.corrupt_dtq_payload(slot, word)
+    }
+
+    /// LVQ payload-RAM corruption hook, applied to the captured load
+    /// value as the trailing load reads its circular-RAM slot.
+    fn corrupt_lvq_value(&self, slot: usize, value: u64) -> u64 {
+        if let Some(u) = &self.site_usage {
+            SiteUsage::note(&u.lvq, slot, self.cycle);
+        }
+        if self.plan.is_empty() || self.cycle < self.plan.arm_cycle() {
+            return value;
+        }
+        self.plan.corrupt_lvq_payload(slot, value)
+    }
+
     /// Computes the uop's result on backend way `way`, applying backend and
     /// payload-RAM faults, and returns its completion latency.
     ///
@@ -1769,7 +1903,13 @@ impl Core {
                 let mem_lat = match &probe {
                     Some(f) if f.iter().all(|b| b.is_some()) => self.cfg.mem.l1d.hit_latency,
                     None => self.cfg.mem.l1d.hit_latency,
-                    _ => self.mem_sys.access_data(addr, false),
+                    _ => {
+                        if self.cache_tag_fault(addr) {
+                            self.mem_sys.access_data_forced_miss(addr, false)
+                        } else {
+                            self.mem_sys.access_data(addr, false)
+                        }
+                    }
                 };
                 let u = self.slab.at_mut(id);
                 u.eff_addr = Some(addr);
@@ -1791,7 +1931,43 @@ impl Core {
                         None,
                     );
                 }
-                let value = self.fault_value(ctx, way, payload_entry, entry.value);
+                // The payload RAM read: a defective slot corrupts what
+                // the trailing thread sees (never what the leading
+                // thread committed).
+                let value = self.corrupt_lvq_value(self.lvq.slot_of(load_seq), entry.value);
+                // SEC-DED decode at the read port. The check bits were
+                // generated over the *clean* composed value, before the
+                // backend/payload/cache-data hooks on the leading side
+                // could strike, so a single-bit upset anywhere along the
+                // captured value's path is repaired here — the trailing
+                // thread then diverges from the corrupt leading copy and
+                // the pair checks fire (closing the LVQ escape).
+                let value = if self.cfg.lvq_ecc {
+                    match blackjack_faults::ecc::decode(value, entry.ecc) {
+                        blackjack_faults::EccOutcome::Clean => value,
+                        blackjack_faults::EccOutcome::Corrected { data, .. } => {
+                            self.stats.ecc_corrected += 1;
+                            data
+                        }
+                        blackjack_faults::EccOutcome::Uncorrectable => {
+                            let u = self.slab.at(id);
+                            let lead_back =
+                                (u.lead_back_way != usize::MAX).then_some(u.lead_back_way);
+                            self.detect_ways(
+                                DetectionKind::EccUncorrectable,
+                                seq,
+                                pc,
+                                lead_back,
+                                Some(way),
+                                None,
+                            );
+                            value
+                        }
+                    }
+                } else {
+                    value
+                };
+                let value = self.fault_value(ctx, way, payload_entry, value);
                 let u = self.slab.at_mut(id);
                 u.eff_addr = Some(addr);
                 u.result = Some(value);
@@ -1847,8 +2023,18 @@ impl Core {
                 });
                 raw |= (v as u64) << (8 * i);
             }
-            let value = self.fault_value(ctx, way, payload_slot, finish_load(&inst, raw));
-            self.slab.at_mut(id).result = Some(value);
+            // ECC check bits are generated over the clean composed value
+            // — the protected end of the load path. Everything after
+            // (cache data array, memory-port backend way, payload RAM)
+            // corrupts only the data bits, which the LVQ read port's
+            // decoder can then repair for the trailing thread.
+            let clean = finish_load(&inst, raw);
+            let ecc = if self.cfg.lvq_ecc { blackjack_faults::ecc::encode(clean) } else { 0 };
+            let value = self.corrupt_cache_value(addr, clean);
+            let value = self.fault_value(ctx, way, payload_slot, value);
+            let u = self.slab.at_mut(id);
+            u.result = Some(value);
+            u.ecc = ecc;
             return true;
         }
         true
@@ -2362,7 +2548,12 @@ impl Core {
                     self.trace_uop(FlightKind::Fetch, id);
                 }
                 Slot::Inst(p) => {
-                    let raw = self.corrupt_fetch(slot, p.raw);
+                    // The DTQ payload RAM read: a defective entry hands
+                    // the trailing thread a corrupted copy of the
+                    // pristine word, *before* the trailing fetch way's
+                    // own corruption applies.
+                    let word = self.corrupt_dtq_word(p.seq, p.raw);
+                    let raw = self.corrupt_fetch(slot, word);
                     let inst = decode(raw).ok();
                     // A decode that disagrees with the leading structure
                     // (class or memory behaviour) would derail the virtual

@@ -29,6 +29,9 @@ pub enum DetectionKind {
     /// store buffer — a corrupted trailing stream reached `halt` without
     /// consuming the leading thread's full output.
     UncheckedStores,
+    /// The LVQ payload RAM's SEC-DED decoder flagged a multi-bit upset
+    /// at the trailing read port — a detected uncorrectable error (DUE).
+    EccUncorrectable,
 }
 
 impl fmt::Display for DetectionKind {
@@ -41,6 +44,7 @@ impl fmt::Display for DetectionKind {
             DetectionKind::DependenceCheckMismatch => "dependence check mismatch",
             DetectionKind::ProgramOrderMismatch => "program-order (PC) check mismatch",
             DetectionKind::UncheckedStores => "unchecked leading stores at completion",
+            DetectionKind::EccUncorrectable => "uncorrectable ECC error at LVQ read",
         };
         f.write_str(s)
     }

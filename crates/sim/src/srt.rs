@@ -81,6 +81,10 @@ pub struct LvqEntry {
     pub addr: u64,
     /// The loaded (extended) value forwarded to the trailing thread.
     pub value: u64,
+    /// SEC-DED check bits generated over the clean load value at the
+    /// protected end of the load path (`CoreConfig::lvq_ecc`); zero when
+    /// ECC is disabled. Decoded at the trailing read port.
+    pub ecc: u8,
 }
 
 /// The Load Value Queue: leading load values consumed by trailing loads so
@@ -133,6 +137,19 @@ impl Lvq {
             debug_assert!(back.load_seq < e.load_seq);
         }
         self.entries.push_back(e);
+    }
+
+    /// The physical payload-RAM slot the entry for `load_seq` occupies:
+    /// the queue is a circular RAM, so the slot is the load sequence
+    /// number modulo capacity. Fault plans target slots, not sequence
+    /// numbers ([`FaultSite::LvqPayload`](blackjack_faults::FaultSite)).
+    pub fn slot_of(&self, load_seq: u64) -> usize {
+        (load_seq % self.capacity as u64) as usize
+    }
+
+    /// The queue's capacity (number of payload-RAM slots).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Looks up the entry for `load_seq` (out-of-order trailing access).
@@ -257,7 +274,7 @@ mod tests {
     fn lvq_indexed_lookup() {
         let mut l = Lvq::new(8);
         for i in 0..4 {
-            l.push(LvqEntry { load_seq: i, addr: 100 + i, value: i * 10 });
+            l.push(LvqEntry { load_seq: i, addr: 100 + i, value: i * 10, ecc: 0 });
         }
         assert_eq!(l.lookup(2).unwrap().value, 20);
         assert_eq!(l.lookup(0).unwrap().addr, 100);
@@ -268,7 +285,7 @@ mod tests {
     fn lvq_retire_slides_window() {
         let mut l = Lvq::new(8);
         for i in 0..4 {
-            l.push(LvqEntry { load_seq: i, addr: 0, value: i });
+            l.push(LvqEntry { load_seq: i, addr: 0, value: i, ecc: 0 });
         }
         l.retire_through(1);
         assert_eq!(l.len(), 2);
@@ -279,7 +296,8 @@ mod tests {
     #[test]
     fn lvq_lookup_before_window_is_none() {
         let mut l = Lvq::new(4);
-        l.push(LvqEntry { load_seq: 5, addr: 0, value: 0 });
+        l.push(LvqEntry { load_seq: 5, addr: 0, value: 0, ecc: 0 });
+        assert_eq!(l.slot_of(5), 1, "circular RAM: slot = seq % capacity");
         assert!(l.lookup(4).is_none());
     }
 

@@ -136,6 +136,10 @@ pub struct SimStats {
     // --- redundancy machinery ---
     /// Trailing stores checked against the store buffer.
     pub store_checks: u64,
+    /// Single-bit upsets corrected by the LVQ payload SEC-DED decoder
+    /// (`CoreConfig::lvq_ecc`) — the CE count of the reliability
+    /// taxonomy. Always zero when ECC is off.
+    pub ecc_corrected: u64,
     /// Detection events (at most one — the run stops on detection).
     pub detections: Vec<DetectionEvent>,
     /// True if the run was cut off by the no-progress watchdog (possible
@@ -256,6 +260,7 @@ impl SimStats {
         self.shuffle_forced += other.shuffle_forced;
         self.shuffle_packets += other.shuffle_packets;
         self.store_checks += other.store_checks;
+        self.ecc_corrected += other.ecc_corrected;
         self.detections.extend(other.detections.iter().copied());
         self.deadlocked |= other.deadlocked;
         if self.exit_reason != other.exit_reason {
@@ -269,6 +274,15 @@ impl SimStats {
     /// One-line JSON object with the run's headline counters, for the
     /// `BJ_TRACE` telemetry stream. Same counter names as the fields.
     pub fn to_json(&self) -> String {
+        // Additive, schema-v1-compatible tail: exit_reason absent when no
+        // run() ended, ECC corrections absent unless one actually fired.
+        let mut extras = self
+            .exit_reason
+            .map(|r| format!(",\"exit_reason\":\"{}\"", r.as_str()))
+            .unwrap_or_default();
+        if self.ecc_corrected > 0 {
+            extras.push_str(&format!(",\"ecc_corrected\":{}", self.ecc_corrected));
+        }
         format!(
             "{{\"cycles\":{},\"wall_nanos\":{},\"agg_wall_nanos\":{},\
              \"committed\":[{},{}],\"fetched\":[{},{}],\"issued\":[{},{}],\
@@ -298,10 +312,7 @@ impl SimStats {
             self.store_checks,
             self.detections.len(),
             self.deadlocked,
-            // Additive, schema-v1-compatible: absent when no run() ended.
-            self.exit_reason
-                .map(|r| format!(",\"exit_reason\":\"{}\"", r.as_str()))
-                .unwrap_or_default(),
+            extras,
             self.ipc(),
         )
     }

@@ -94,6 +94,11 @@ pub struct Uop {
     // --- execution results ---
     /// Computed destination value (raw bits for FP).
     pub result: Option<u64>,
+    /// SEC-DED check bits over the *clean* load value, generated at the
+    /// leading load's value capture before any backend/payload/cache-data
+    /// corruption can strike (`CoreConfig::lvq_ecc`). Travels with the
+    /// load to commit, where it is pushed into the LVQ entry.
+    pub ecc: u8,
     /// Computed next PC.
     pub next_pc: u64,
     /// Conditional-branch outcome.
@@ -157,6 +162,7 @@ impl Uop {
             packet: None,
             filler: false,
             result: None,
+            ecc: 0,
             next_pc: pc.wrapping_add(4),
             taken: false,
             eff_addr: None,

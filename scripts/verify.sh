@@ -120,4 +120,26 @@ echo "== tier-1: bj-fuzz smoke (fixed seed, 50 iterations) =="
 BJ_FUZZ_ITERS=50 cargo run --release -q --offline -p blackjack-fuzz --bin bj-fuzz -- \
   --seed 0xB1AC --quiet | grep -q "all checks passed"
 
+echo "== tier-1: transient-campaign smoke (ext_detection, worker determinism) =="
+# A transient campaign with the ECC layer on must report the CE/DUE/SDC
+# taxonomy and be byte-identical for any worker count.
+tr_1="$(BJ_SCALE=1 BJ_THREADS=1 BJ_FAULT_KINDS=transient BJ_ECC=1 \
+  cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+tr_8="$(BJ_SCALE=1 BJ_THREADS=8 BJ_FAULT_KINDS=transient BJ_ECC=1 \
+  cargo run --release -q --offline -p blackjack-bench \
+  --bin ext_detection -- --bench gzip 2>/dev/null)"
+[ -n "$tr_1" ]
+echo "$tr_1" | grep -q "per injected transient fault"
+echo "$tr_1" | grep -q "taxonomy (ECC on):"
+diff <(printf '%s' "$tr_1") <(printf '%s' "$tr_8")
+
+echo "== tier-1: fault-universe oracle battery (bj-fuzz, all kinds, ECC on) =="
+# The soundness battery over the full universe: hard, transient, and
+# intermittent plans on every site family with the LVQ SEC-DED layer on
+# — every load-value site is guaranteed, so zero escapes anywhere.
+BJ_FUZZ_ITERS=50 BJ_FAULT_KINDS=hard,transient,intermittent BJ_ECC=1 \
+  cargo run --release -q --offline -p blackjack-fuzz --bin bj-fuzz -- \
+  --seed 0xB1AC --quiet | grep -q "all checks passed"
+
 echo "verify: OK"

@@ -3,7 +3,7 @@
 //! The harnesses are steered by a handful of environment variables
 //! (`BJ_THREADS`, `BJ_SCALE`, `BJ_PRUNE`, `BJ_TRACE`, `BJ_TRACE_DEPTH`,
 //! `BJ_FUZZ_SEED`, `BJ_FUZZ_ITERS`, `BJ_CALL_DEPTH`, `BJ_METRICS`,
-//! `BJ_PROGRESS_SECS`). Historically a
+//! `BJ_PROGRESS_SECS`, `BJ_FAULT_KINDS`, `BJ_ECC`). Historically a
 //! typo like
 //! `BJ_THREADS=eight` or `BJ_SCALE=0` was silently swallowed (falling
 //! back to a default) or surfaced as a panic deep inside a workload
@@ -51,6 +51,13 @@ pub enum EnvError {
         /// The OS error that rejected it.
         reason: String,
     },
+    /// A fault-kind list entry is not part of the fault-universe grammar.
+    UnknownKind {
+        /// Variable name.
+        var: &'static str,
+        /// The offending entry (not the whole list).
+        value: String,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -72,6 +79,11 @@ impl fmt::Display for EnvError {
             EnvError::Unwritable { var, path, reason } => {
                 write!(f, "{var}={path:?} is not writable: {reason}")
             }
+            EnvError::UnknownKind { var, value } => write!(
+                f,
+                "{var}: {value:?} is not a fault kind (use hard, transient, or \
+                 intermittent[:PERIOD:ON])"
+            ),
         }
     }
 }
@@ -296,6 +308,98 @@ pub fn progress_secs_from_env() -> Result<Option<u64>, EnvError> {
     positive_from_env::<u64>("BJ_PROGRESS_SECS")
 }
 
+/// Default duty-cycle window for an `intermittent` fault kind given
+/// without explicit parameters: broken for the first
+/// [`DEFAULT_INTERMITTENT_ON`] cycles of every 64-cycle window —
+/// bursty enough to dodge a single check yet dense enough that every
+/// campaign workload crosses many active windows.
+pub const DEFAULT_INTERMITTENT_PERIOD: u64 = 64;
+
+/// Active cycles per default intermittent window.
+pub const DEFAULT_INTERMITTENT_ON: u64 = 8;
+
+/// Parses one fault-kind entry: `hard`, `transient`, `intermittent`
+/// (default 8-of-64 duty cycle), or `intermittent:PERIOD:ON` with
+/// `1 <= ON <= PERIOD`.
+///
+/// # Errors
+///
+/// [`EnvError::UnknownKind`] for anything else.
+pub fn parse_fault_kind(
+    var: &'static str,
+    raw: &str,
+) -> Result<crate::faults::FaultKind, EnvError> {
+    use crate::faults::FaultKind;
+    let bad = || EnvError::UnknownKind { var, value: raw.trim().to_string() };
+    let parts: Vec<&str> = raw.trim().split(':').collect();
+    match (parts[0], parts.len()) {
+        ("hard", 1) => Ok(FaultKind::Hard),
+        ("transient", 1) => Ok(FaultKind::Transient),
+        ("intermittent", 1) => Ok(FaultKind::Intermittent {
+            period: DEFAULT_INTERMITTENT_PERIOD,
+            on: DEFAULT_INTERMITTENT_ON,
+        }),
+        ("intermittent", 3) => {
+            let period: u64 = parts[1].parse().map_err(|_| bad())?;
+            let on: u64 = parts[2].parse().map_err(|_| bad())?;
+            if period >= 1 && (1..=period).contains(&on) {
+                Ok(FaultKind::Intermittent { period, on })
+            } else {
+                Err(bad())
+            }
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Parses `raw` as a comma-separated fault-kind list (the `BJ_FAULT_KINDS`
+/// grammar). Entries may repeat; an empty list is rejected.
+///
+/// # Errors
+///
+/// [`EnvError::UnknownKind`] naming the first bad entry.
+pub fn parse_fault_kinds(
+    var: &'static str,
+    raw: &str,
+) -> Result<Vec<crate::faults::FaultKind>, EnvError> {
+    let kinds: Vec<_> = raw
+        .split(',')
+        .map(|e| parse_fault_kind(var, e))
+        .collect::<Result<_, _>>()?;
+    if kinds.is_empty() {
+        return Err(EnvError::UnknownKind { var, value: raw.to_string() });
+    }
+    Ok(kinds)
+}
+
+/// Reads `BJ_FAULT_KINDS`: which temporal fault models the injection
+/// campaigns sweep, as a comma-separated list (`hard`, `transient`,
+/// `intermittent[:PERIOD:ON]`). Unset/empty defaults to `[hard]` — the
+/// original wear-out campaign, whose report is the byte-stability
+/// contract.
+///
+/// # Errors
+///
+/// [`EnvError::UnknownKind`] per [`parse_fault_kinds`].
+pub fn fault_kinds_from_env() -> Result<Vec<crate::faults::FaultKind>, EnvError> {
+    match std::env::var("BJ_FAULT_KINDS") {
+        Ok(raw) if !raw.trim().is_empty() => parse_fault_kinds("BJ_FAULT_KINDS", &raw),
+        _ => Ok(vec![crate::faults::FaultKind::Hard]),
+    }
+}
+
+/// Reads the `BJ_ECC` flag: whether the LVQ payload RAM carries the
+/// SEC-DED check-bit layer. Default off — the legacy hard-fault report
+/// is byte-stable only on the unprotected datapath, and ECC is the
+/// fault-universe extension's opt-in.
+///
+/// # Errors
+///
+/// [`EnvError::NotAFlag`] for set, non-empty, non-flag values.
+pub fn ecc_from_env() -> Result<bool, EnvError> {
+    flag_from_env("BJ_ECC", false)
+}
+
 /// Prints `err` to stderr (prefixed with the program's purpose) and
 /// exits with status 2 — the shared failure path for harness binaries,
 /// which have no caller to propagate to.
@@ -487,6 +591,71 @@ mod tests {
         }
         if std::env::var("BJ_PROGRESS_SECS").is_err() {
             assert_eq!(progress_secs_from_env(), Ok(None));
+        }
+    }
+
+    #[test]
+    fn fault_kinds_parse_the_universe() {
+        use crate::faults::FaultKind;
+        assert_eq!(parse_fault_kinds("BJ_FAULT_KINDS", "hard"), Ok(vec![FaultKind::Hard]));
+        assert_eq!(
+            parse_fault_kinds("BJ_FAULT_KINDS", "hard,transient,intermittent"),
+            Ok(vec![
+                FaultKind::Hard,
+                FaultKind::Transient,
+                FaultKind::Intermittent {
+                    period: DEFAULT_INTERMITTENT_PERIOD,
+                    on: DEFAULT_INTERMITTENT_ON,
+                },
+            ])
+        );
+        assert_eq!(
+            parse_fault_kinds("BJ_FAULT_KINDS", " transient , intermittent:100:25 "),
+            Ok(vec![FaultKind::Transient, FaultKind::Intermittent { period: 100, on: 25 }])
+        );
+        if std::env::var("BJ_FAULT_KINDS").is_err() {
+            assert_eq!(fault_kinds_from_env(), Ok(vec![FaultKind::Hard]));
+        }
+    }
+
+    #[test]
+    fn fault_kinds_reject_malformed_entries() {
+        for bad in [
+            "soft",
+            "",
+            "hard,,transient",
+            "intermittent:0:0",
+            "intermittent:8:9",
+            "intermittent:8",
+            "intermittent:8:2:1",
+            "transient:5",
+            "HARD",
+        ] {
+            let err = parse_fault_kinds("BJ_FAULT_KINDS", bad).unwrap_err();
+            assert!(
+                matches!(err, EnvError::UnknownKind { var: "BJ_FAULT_KINDS", .. }),
+                "{bad:?} gave {err:?}"
+            );
+            assert!(err.to_string().contains("BJ_FAULT_KINDS"), "{bad:?}");
+        }
+        // The error names the offending entry, not the whole list.
+        let err = parse_fault_kinds("BJ_FAULT_KINDS", "hard,soft").unwrap_err();
+        assert_eq!(
+            err,
+            EnvError::UnknownKind { var: "BJ_FAULT_KINDS", value: "soft".to_string() }
+        );
+    }
+
+    #[test]
+    fn ecc_flag_accepts_and_rejects_like_prune() {
+        assert_eq!(parse_flag("BJ_ECC", "1"), Ok(true));
+        assert_eq!(parse_flag("BJ_ECC", "off"), Ok(false));
+        let err = parse_flag("BJ_ECC", "secded").unwrap_err();
+        assert_eq!(err, EnvError::NotAFlag { var: "BJ_ECC", value: "secded".to_string() });
+        // Unset defaults to off: the unprotected datapath is the
+        // byte-stable legacy configuration.
+        if std::env::var("BJ_ECC").is_err() {
+            assert_eq!(ecc_from_env(), Ok(false));
         }
     }
 
